@@ -1,0 +1,28 @@
+# Convenience targets for the XMT toolchain reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/bfs.py
+	$(PYTHON) examples/memory_model.py
+	$(PYTHON) examples/design_space.py
+	$(PYTHON) examples/parallel_sort.py
+	$(PYTHON) examples/thermal_dvfs.py
+
+all: install test bench examples
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

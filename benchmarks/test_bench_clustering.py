@@ -1,0 +1,91 @@
+"""Virtual-thread clustering (Section IV-C, mechanism of ref [10]).
+
+"despite the efficient implementation, extremely fine-grained programs
+can benefit from coarsening (i.e., grouping virtual threads into longer
+virtual threads), consequently reducing the overall scheduling
+overhead."  We sweep the clustering factor on a very fine-grained spawn
+(a couple of instructions per virtual thread) and report simulated
+cycles and getvt (thread-dispatch) counts.
+"""
+
+import pytest
+
+from conftest import once
+from repro.sim.config import fpga64
+from repro.sim.machine import Simulator
+from repro.xmtc.compiler import CompileOptions, compile_source
+
+N = 2048
+
+#: an extremely fine-grained program: one add per virtual thread
+SRC = f"""
+int A[{N}];
+int B[{N}];
+int main() {{
+    spawn(0, {N - 1}) {{
+        B[$] = A[$] + 1;
+    }}
+    return 0;
+}}
+"""
+
+
+def run(factor: int):
+    program = compile_source(SRC, CompileOptions(cluster_factor=factor))
+    program.write_global("A", list(range(N)))
+    res = Simulator(program, fpga64()).run(max_cycles=30_000_000)
+    assert res.read_global("B") == [i + 1 for i in range(N)]
+    return res.cycles, res.stats.get("spawn.getvt")
+
+
+def test_clustering_sweep(benchmark, table):
+    def sweep():
+        return [(f, *run(f)) for f in (1, 2, 4, 8, 16, 32)]
+
+    rows = once(benchmark, sweep)
+    table.header(f"Virtual-thread clustering ({N} one-add threads, fpga64)")
+    table.row(f"{'factor':>7} {'cycles':>9} {'getvt ops':>10} {'speedup':>8}")
+    base = rows[0][1]
+    for factor, cycles, getvt in rows:
+        table.row(f"{factor:7d} {cycles:9d} {getvt:10d} {base / cycles:8.2f}")
+
+    # coarsening reduces dispatch operations proportionally...
+    assert rows[3][2] < rows[0][2] / 4
+    # ...and pays off in cycles for this extreme granularity
+    best = min(r[1] for r in rows[1:])
+    assert best < base, "clustering should help one-add virtual threads"
+
+
+def test_clustering_not_always_better(benchmark, table):
+    """Coarsening a *coarse* workload mostly just reduces load-balance
+    slack; extreme factors hurt when threads become longer than the
+    machine can balance.  (Why it ships as an *optional* pass.)"""
+
+    src = f"""
+int A[256];
+int B[256];
+int main() {{
+    spawn(0, 255) {{
+        int acc = 0;
+        for (int k = 0; k < 24; k++) acc += A[$] + k * $;
+        B[$] = acc;
+    }}
+    return 0;
+}}
+"""
+
+    def run_factor(factor):
+        program = compile_source(src, CompileOptions(cluster_factor=factor))
+        program.write_global("A", list(range(256)))
+        res = Simulator(program, fpga64()).run(max_cycles=30_000_000)
+        return res.cycles
+
+    def sweep():
+        return [(f, run_factor(f)) for f in (1, 4, 64)]
+
+    rows = once(benchmark, sweep)
+    table.header("Clustering a coarse-grained workload (256 loop threads)")
+    for factor, cycles in rows:
+        table.row(f"factor {factor:3d}: {cycles:8d} cycles")
+    # factor 64 leaves only 4 mega-threads for 64 TCUs: a slowdown
+    assert rows[2][1] > rows[0][1]

@@ -1,0 +1,122 @@
+"""DE-engine ablation (paper Figs. 4/5 and Section III-D).
+
+"DT simulation may be considerably faster than DE simulation, most
+notably when a lot of actions fall in the same exact moment in simulated
+time. ... A way around this problem is grouping closely related
+components in one large actor [macro-actor]. ... For a simple experiment
+conducted with components that contain no action code this threshold was
+800 events per cycle."
+
+We reproduce that exact experiment: N no-op components simulated for a
+fixed number of cycles either as N individual actors (one event each per
+cycle) or as one macro-actor (ClockDomain) that polls all N per cycle,
+and measure host time per simulated cycle as N sweeps across the
+threshold region.
+"""
+
+import time
+
+import pytest
+
+from conftest import once
+from repro.sim.engine import ClockDomain, ComponentActor, Scheduler
+
+
+class NoOpComponent:
+    __slots__ = ()
+
+    def tick(self, cycle):
+        pass
+
+
+def run_fine_grained(n_components: int, cycles: int) -> float:
+    sched = Scheduler()
+    for _ in range(n_components):
+        ComponentActor(NoOpComponent(), period=10).start(sched)
+    t0 = time.perf_counter()
+    sched.run(until=cycles * 10)
+    return time.perf_counter() - t0
+
+
+def run_macro_actor(n_components: int, cycles: int) -> float:
+    sched = Scheduler()
+    domain = ClockDomain("macro", period=10)
+    for _ in range(n_components):
+        domain.add(NoOpComponent())
+    domain.start(sched)
+    t0 = time.perf_counter()
+    sched.run(until=cycles * 10)
+    return time.perf_counter() - t0
+
+
+@pytest.mark.parametrize("mode", ["fine", "macro"])
+def test_event_scheduling_cost(benchmark, mode):
+    """Host cost of one simulated cycle with 800 components."""
+    runner = run_fine_grained if mode == "fine" else run_macro_actor
+
+    def run():
+        return runner(800, 200)
+
+    elapsed = once(benchmark, run)
+    benchmark.extra_info["seconds_per_cycle"] = elapsed / 200
+
+
+def test_macro_actor_crossover(benchmark, table):
+    """Sweep events-per-cycle; the macro-actor's advantage grows with
+    density (the paper's grouping threshold argument)."""
+
+    def sweep():
+        rows = []
+        for n in (10, 50, 200, 800, 2000):
+            cycles = max(50, 40_000 // n)
+            fine = run_fine_grained(n, cycles) / cycles
+            macro = run_macro_actor(n, cycles) / cycles
+            rows.append((n, fine * 1e6, macro * 1e6, fine / macro))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table.header("DE engine: per-cycle host cost, fine-grained actors vs "
+                 "macro-actor (no-op components)")
+    table.row(f"{'events/cycle':>12} {'fine us/cyc':>12} {'macro us/cyc':>13} "
+              f"{'fine/macro':>11}")
+    for n, fine, macro, ratio in rows:
+        table.row(f"{n:12d} {fine:12.2f} {macro:13.2f} {ratio:11.2f}")
+    # the macro-actor must win clearly at high event density...
+    assert rows[-1][3] > 2.0
+    # ...and its advantage must grow with density
+    assert rows[-1][3] > rows[0][3]
+
+
+def test_de_vs_dt_uneven_time(benchmark, table):
+    """The flip side (why XMTSim is DE, not DT): when activity is sparse
+    in simulated time, the event-driven engine skips quiet cycles that a
+    polling DT loop would still execute."""
+
+    class SparseActor(ComponentActor):
+        pass
+
+    def run_de(period_gap):
+        sched = Scheduler()
+        ComponentActor(NoOpComponent(), period=period_gap).start(sched)
+        t0 = time.perf_counter()
+        sched.run(until=1_000_000)
+        return time.perf_counter() - t0
+
+    def run_dt_equivalent():
+        # a DT loop ticks every unit of time regardless of activity
+        sched = Scheduler()
+        ComponentActor(NoOpComponent(), period=1).start(sched)
+        t0 = time.perf_counter()
+        sched.run(until=100_000)
+        return (time.perf_counter() - t0) * 10  # scale to same span
+
+    def run():
+        sparse = run_de(10_000)   # one event per 10k time units
+        dense_poll = run_dt_equivalent()
+        return sparse, dense_poll
+
+    sparse, dense = once(benchmark, run)
+    table.header("DE vs DT: sparse activity over 1M time units")
+    table.row(f"event-driven (100 events):      {sparse * 1e3:8.2f} ms")
+    table.row(f"polling every unit (DT-style):  {dense * 1e3:8.2f} ms")
+    assert sparse < dense

@@ -1,0 +1,68 @@
+"""Memory-fence conservatism ablation (Section IV-A).
+
+"The current implementation does not take into account the base of
+prefix-sum operations and may be overly conservative in some cases.
+Using static analysis to reduce the number of memory fences ... is the
+subject of future research."  We measure what the always-fence policy
+costs on a psm-heavy kernel, by compiling with and without fence
+insertion.  (Without fences the program is UNSAFE in general; this
+kernel's prefix-sums are commutative counters, so the final sums stay
+correct and only the ordering guarantee is lost.)
+"""
+
+import pytest
+
+from conftest import once
+from repro.sim.config import fpga64
+from repro.sim.machine import Simulator
+from repro.xmtc.compiler import CompileOptions, compile_source
+
+N = 1024
+BUCKETS = 16
+
+SRC = f"""
+int A[{N}];
+int B[{N}];
+int hist[{BUCKETS}];
+int main() {{
+    spawn(0, {N - 1}) {{
+        int v = A[$] & {BUCKETS - 1};
+        B[$] = v;
+        int one = 1;
+        psm(one, hist[v]);
+    }}
+    return 0;
+}}
+"""
+
+
+def run(fences: bool):
+    program = compile_source(SRC, CompileOptions(memory_fences=fences))
+    data = [(i * 7919) % 256 for i in range(N)]
+    program.write_global("A", data)
+    res = Simulator(program, fpga64()).run(max_cycles=30_000_000)
+    expected = [0] * BUCKETS
+    for v in data:
+        expected[v & (BUCKETS - 1)] += 1
+    assert res.read_global("hist") == expected
+    assert res.read_global("B") == [v & (BUCKETS - 1) for v in data]
+    return res.cycles, res.stats.get("instructions.fence"), \
+        res.stats.get("tcu.stall.fence")
+
+
+def test_fence_cost(benchmark, table):
+    def measure():
+        with_f = run(True)
+        without = run(False)
+        return with_f, without
+
+    (wc, wf, ws), (nc, nf, ns) = once(benchmark, measure)
+    table.header("Conservative fence insertion cost "
+                 f"(histogram of {N} psm updates, fpga64)")
+    table.row(f"{'policy':16} {'cycles':>9} {'fences':>8} {'fence stalls':>13}")
+    table.row(f"{'always-fence':16} {wc:9d} {wf:8d} {ws:13d}")
+    table.row(f"{'no fences':16} {nc:9d} {nf:8d} {ns:13d}")
+    table.row(f"overhead: {(wc - nc) / nc * 100:.1f}%")
+    assert wf > 0 and nf == 0
+    assert wc >= nc, "fences cannot make the program faster"
+    benchmark.extra_info["fence_overhead_pct"] = round((wc - nc) / nc * 100, 2)

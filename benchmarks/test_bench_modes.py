@@ -1,0 +1,70 @@
+"""Functional vs cycle-accurate simulation speed (Section III-A).
+
+"The functional simulation mode does not provide any cycle-accurate
+information hence it is orders of magnitude faster than the
+cycle-accurate mode and can be used as a fast, limited debugging tool."
+"""
+
+import time
+
+import pytest
+
+from conftest import once
+from repro.sim.config import fpga64
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.machine import Simulator
+from repro.workloads import programs as W
+from repro.xmtc.compiler import compile_source
+
+
+def _prepare():
+    src, inputs, _ = W.matmul(12)
+    program = compile_source(src)
+    for name, values in inputs.items():
+        program.write_global(name, values)
+    return program
+
+
+def test_cycle_accurate_speed(benchmark):
+    program = _prepare()
+
+    def run():
+        return Simulator(program, fpga64()).run(max_cycles=10_000_000)
+
+    res = once(benchmark, run)
+    benchmark.extra_info["simulated_cycles"] = res.cycles
+
+
+def test_functional_speed(benchmark):
+    program = _prepare()
+
+    def run():
+        return FunctionalSimulator(program, max_instructions=50_000_000).run()
+
+    res = once(benchmark, run)
+    benchmark.extra_info["instructions"] = res.instructions
+
+
+def test_functional_is_orders_of_magnitude_faster(benchmark, table):
+    program = _prepare()
+
+    def measure():
+        t0 = time.perf_counter()
+        fres = FunctionalSimulator(program, max_instructions=50_000_000).run()
+        t_func = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        cres = Simulator(program, fpga64()).run(max_cycles=10_000_000)
+        t_cycle = time.perf_counter() - t0
+        return fres, t_func, cres, t_cycle
+
+    fres, t_func, cres, t_cycle = once(benchmark, measure)
+    speedup = t_cycle / t_func
+    table.header("Functional vs cycle-accurate mode (matmul 12x12, fpga64)")
+    table.row(f"functional:      {t_func * 1e3:9.1f} ms "
+              f"({fres.instructions} instructions)")
+    table.row(f"cycle-accurate:  {t_cycle * 1e3:9.1f} ms "
+              f"({cres.cycles} cycles, {cres.instructions} instructions)")
+    table.row(f"speedup:         {speedup:9.1f}x")
+    # same final memory state for this race-free program
+    assert fres.read_global(program, "C") == cres.read_global("C")
+    assert speedup > 10, "functional mode must be at least an order faster"

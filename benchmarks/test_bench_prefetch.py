@@ -1,0 +1,133 @@
+"""Prefetch-buffer design space (Section IV-C, the study of ref [8]).
+
+"[8] searches for the optimal size and replacement policy for prefetch
+buffers given limited transistor resources."  We sweep buffer size and
+replacement policy on a streaming multi-array kernel and report
+simulated cycles and prefetch hit rates, plus the compiler-pass on/off
+ablation ("has been shown to out-perform ... the one included in the
+GCC compiler suite" -- here the ablation is simply with/without).
+"""
+
+import pytest
+
+from conftest import once
+from repro.sim.config import fpga64
+from repro.sim.machine import Simulator
+from repro.xmtc.compiler import CompileOptions, compile_source
+
+N = 512
+
+SRC = f"""
+int A[{N}];
+int B[{N}];
+int C[{N}];
+int D[{N}];
+int main() {{
+    spawn(0, {N - 1}) {{
+        D[$] = A[$] + B[$] * 2 + C[$];
+    }}
+    return 0;
+}}
+"""
+
+
+def run(size: int, policy: str, prefetch_pass: bool):
+    options = CompileOptions(prefetch=prefetch_pass, prefetch_degree=8)
+    program = compile_source(SRC, options)
+    for name in "ABC":
+        program.write_global(name, list(range(N)))
+    cfg = fpga64(prefetch_buffer_size=size, prefetch_policy=policy)
+    res = Simulator(program, cfg).run(max_cycles=20_000_000)
+    expected = [i + i * 2 + i for i in range(N)]
+    assert res.read_global("D") == expected
+    hits = res.stats.get("tcu.prefetch.hit")
+    return res.cycles, hits
+
+
+def test_prefetch_size_sweep(benchmark, table):
+    def sweep():
+        rows = []
+        base_cycles, _ = run(0, "fifo", prefetch_pass=False)
+        rows.append(("off", "-", base_cycles, 0))
+        for size in (1, 2, 4, 8, 16):
+            for policy in ("fifo", "lru"):
+                cycles, hits = run(size, policy, prefetch_pass=True)
+                rows.append((size, policy, cycles, hits))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table.header("Prefetch buffer design space (streaming kernel, fpga64)")
+    table.row(f"{'size':>5} {'policy':>7} {'cycles':>9} {'pf hits':>8}")
+    for size, policy, cycles, hits in rows:
+        table.row(f"{str(size):>5} {policy:>7} {cycles:9d} {hits:8d}")
+
+    base = rows[0][2]
+    best = min(r[2] for r in rows[1:])
+    assert best < base, "prefetching must help this streaming kernel"
+    # a buffer large enough for the kernel's 3 streams beats a 1-entry one
+    one_entry = min(r[2] for r in rows if r[0] == 1)
+    eight_entry = min(r[2] for r in rows if r[0] == 8)
+    assert eight_entry <= one_entry
+
+
+#: a kernel with *reuse*: every virtual thread touches the same hot word
+#: plus two streaming words -- with a 3-entry buffer the replacement
+#: policy decides whether the hot word survives the streams
+REUSE_SRC = f"""
+int HOT[4];
+int A[{N}];
+int B[{N}];
+int OUT[{N}];
+int main() {{
+    spawn(0, {N - 1}) {{
+        int h = HOT[0];
+        int x = A[$];
+        int y = B[$];
+        OUT[$] = h + x + y;
+    }}
+    return 0;
+}}
+"""
+
+
+def run_reuse(policy: str):
+    program = compile_source(REUSE_SRC,
+                             CompileOptions(prefetch=True, prefetch_degree=4))
+    program.write_global("HOT", [7, 0, 0, 0])
+    program.write_global("A", list(range(N)))
+    program.write_global("B", [i * 3 for i in range(N)])
+    cfg = fpga64(prefetch_buffer_size=3, prefetch_policy=policy)
+    res = Simulator(program, cfg).run(max_cycles=20_000_000)
+    assert res.read_global("OUT") == [7 + i + i * 3 for i in range(N)]
+    return res.cycles, res.stats.get("tcu.prefetch.hit")
+
+
+def test_replacement_policy_reuse_kernel(benchmark, table):
+    """[8]'s other axis: the replacement policy.  On a reuse pattern a
+    3-entry LRU buffer keeps the hot word alive; FIFO streams it out."""
+
+    def measure():
+        return run_reuse("fifo"), run_reuse("lru")
+
+    (fifo_cycles, fifo_hits), (lru_cycles, lru_hits) = once(benchmark, measure)
+    table.header("Prefetch replacement policy on a reuse kernel "
+                 "(3-entry buffers)")
+    table.row(f"fifo: {fifo_cycles:6d} cycles, {fifo_hits} buffer hits")
+    table.row(f"lru:  {lru_cycles:6d} cycles, {lru_hits} buffer hits")
+    assert lru_hits > fifo_hits, "LRU must retain the reused word"
+    assert lru_cycles <= fifo_cycles
+
+
+def test_prefetch_pass_ablation(benchmark, table):
+    def measure():
+        off_cycles, _ = run(8, "fifo", prefetch_pass=False)
+        on_cycles, hits = run(8, "fifo", prefetch_pass=True)
+        return off_cycles, on_cycles, hits
+
+    off_cycles, on_cycles, hits = once(benchmark, measure)
+    table.header("Compiler prefetch pass ablation (8-entry buffers)")
+    table.row(f"pass off: {off_cycles:8d} cycles")
+    table.row(f"pass on:  {on_cycles:8d} cycles ({hits} buffer hits)")
+    table.row(f"gain:     {off_cycles / on_cycles:8.2f}x")
+    assert on_cycles < off_cycles
+    assert hits > 0

@@ -1,0 +1,66 @@
+"""Phase-sampling benchmark (Section III-F, "Features under Development").
+
+"Incorporating features that will enable phase sampling will allow
+simulation of large programs and improve the capabilities of the
+simulator as a design space exploration tool."  We measure the host-time
+speedup and the cycle-estimate error of spawn-site phase sampling on a
+long spawn-loop program.
+"""
+
+import time
+
+import pytest
+
+from conftest import once
+from repro.sim.config import fpga64
+from repro.sim.machine import Simulator
+from repro.sim.sampling import PhaseSampler, SampledSimulator
+from repro.xmtc.compiler import compile_source
+
+ROUNDS = 120
+
+SRC = f"""
+int A[512];
+int main() {{
+    for (int r = 0; r < {ROUNDS}; r++) {{
+        spawn(0, 511) {{ A[$] = A[$] + r; }}
+    }}
+    return 0;
+}}
+"""
+
+
+def test_phase_sampling_speedup(benchmark, table):
+    def measure():
+        program = compile_source(SRC)
+        t0 = time.perf_counter()
+        ref = Simulator(program, fpga64()).run(max_cycles=100_000_000)
+        t_ref = time.perf_counter() - t0
+
+        program = compile_source(SRC)
+        sampler = PhaseSampler(warmup=3, resample_every=40)
+        t0 = time.perf_counter()
+        got = SampledSimulator(program, fpga64(), sampler=sampler).run(
+            max_cycles=100_000_000)
+        t_sample = time.perf_counter() - t0
+        return ref, t_ref, got, t_sample, sampler
+
+    ref, t_ref, got, t_sample, sampler = once(benchmark, measure)
+    expected = [sum(range(ROUNDS))] * 512
+    assert ref.read_global("A") == expected
+    assert got.read_global("A") == expected
+
+    error = abs(got.cycles - ref.cycles) / ref.cycles
+    speedup = t_ref / t_sample
+    table.header(f"Phase sampling ({ROUNDS} spawn rounds, fpga64)")
+    table.row(f"full cycle-accurate: {t_ref * 1e3:8.0f} ms, "
+              f"{ref.cycles} cycles")
+    table.row(f"phase-sampled:       {t_sample * 1e3:8.0f} ms, "
+              f"{got.cycles} cycles (estimated)")
+    table.row(f"host speedup:        {speedup:8.1f}x")
+    table.row(f"cycle error:         {error * 100:8.2f}%")
+    table.row(sampler.report())
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cycle_error_pct"] = round(error * 100, 2)
+    assert error < 0.15, "estimates should stay phase-calibrated"
+    assert speedup > 2.0, "sampling should clearly pay off"

@@ -1,0 +1,89 @@
+"""Table I reproduction: simulated throughputs of the simulator itself.
+
+Paper (1024-TCU configuration, Intel Xeon 5160 @ 3 GHz host):
+
+    Benchmark Group                  Instruction/sec    Cycle/sec
+    Parallel, memory intensive             98K             5.5K
+    Parallel, computation intensive       2.23M            10K
+    Serial, memory intensive               76K            519K
+    Serial, computation intensive         1.7M            4.2M
+
+Shape to reproduce (absolute numbers depend on the host and on Python
+vs Java): within the parallel group, computation-intensive benchmarks
+have a much higher *instruction* throughput than memory-intensive ones
+(memory instructions exercise the expensive ICN/cache model), while
+their *cycle* throughputs are comparable; serial benchmarks have far
+higher cycle throughput than parallel ones (only the Master is active).
+"""
+
+import time
+
+import pytest
+
+from conftest import once
+from repro.sim.config import chip1024
+from repro.sim.machine import Simulator
+from repro.workloads import microbench as MB
+from repro.xmtc.compiler import compile_source
+
+_RESULTS = {}
+
+
+def _run(name, src, inputs):
+    program = compile_source(src)
+    for gname, values in (inputs or {}).items():
+        program.write_global(gname, values)
+    sim = Simulator(program, chip1024())
+    t0 = time.perf_counter()
+    res = sim.run(max_cycles=3_000_000)
+    dt = time.perf_counter() - t0
+    _RESULTS[name] = (res.instructions / dt, res.cycles / dt,
+                      res.instructions, res.cycles)
+    return res
+
+
+@pytest.mark.parametrize("index,name", [
+    (0, "parallel_memory"),
+    (1, "parallel_compute"),
+    (2, "serial_memory"),
+    (3, "serial_compute"),
+])
+def test_table1_group(benchmark, index, name):
+    _, src, inputs = list(MB.table1_grid(1))[index]
+    res = once(benchmark, _run, name, src, inputs)
+    inst_s, cyc_s, instructions, cycles = _RESULTS[name]
+    benchmark.extra_info["instructions_per_sec"] = round(inst_s)
+    benchmark.extra_info["cycles_per_sec"] = round(cyc_s)
+    assert res.cycles > 0
+
+
+def test_table1_shape(benchmark, table):
+    """Assemble the table and assert the paper's qualitative ordering."""
+    def fill_missing():
+        for i, (name, src, inputs) in enumerate(MB.table1_grid(1)):
+            if name not in _RESULTS:
+                _run(name, src, inputs)
+        return True
+
+    once(benchmark, fill_missing)
+    table.header("Table I -- simulated throughputs of the simulator "
+                 "(1024-TCU configuration)")
+    table.row(f"{'group':24} {'instr/sec':>12} {'cycle/sec':>12}")
+    for name in ("parallel_memory", "parallel_compute",
+                 "serial_memory", "serial_compute"):
+        inst_s, cyc_s, _, _ = _RESULTS[name]
+        table.row(f"{name:24} {inst_s:12.0f} {cyc_s:12.0f}")
+
+    pm, pc = _RESULTS["parallel_memory"], _RESULTS["parallel_compute"]
+    sm, sc = _RESULTS["serial_memory"], _RESULTS["serial_compute"]
+    # 1. computation-intensive parallel code simulates many more
+    #    instructions per second than memory-intensive parallel code
+    assert pc[0] > 2 * pm[0]
+    # 2. ...but their cycle throughputs are comparable (paper: "not as
+    #    significant"; within ~3x either way)
+    assert pm[1] / pc[1] < 3 and pc[1] / pm[1] < 3
+    # 3. serial cycle throughput is orders of magnitude above parallel
+    assert sm[1] > 10 * pm[1]
+    assert sc[1] > 10 * pc[1]
+    # 4. within the serial group, computation beats memory on both axes
+    assert sc[0] > 2 * sm[0]

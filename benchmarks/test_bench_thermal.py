@@ -1,0 +1,115 @@
+"""Power/thermal pipeline and DTM benchmark (Sections III-B, III-F).
+
+XMTSim's headline unique feature: evaluating dynamic power/thermal
+management at runtime through activity plug-ins.  We run a hot
+compute-bound workload with the full activity -> power -> temperature
+pipeline and compare: no DTM (peak temperature) vs threshold DTM
+(capped temperature, longer runtime) -- the classic DTM trade-off.
+"""
+
+import pytest
+
+from conftest import once
+from repro.power import DTMPolicy, PowerThermalPlugin
+from repro.sim.config import fpga64
+from repro.sim.machine import Simulator
+from repro.xmtc.compiler import compile_source
+
+SRC = """
+int RESULT[512];
+int main() {
+    spawn(0, 511) {
+        int a = $ + 1;
+        int b = 17;
+        for (int k = 0; k < 120; k++) {
+            a = (a << 1) + b;
+            b = b ^ (a >> 3);
+            a = a + b + k;
+        }
+        RESULT[$] = a;
+    }
+    return 0;
+}
+"""
+
+
+def run(policy):
+    program = compile_source(SRC)
+    cfg = fpga64(merge_clock_domains=False)
+    plug = PowerThermalPlugin(interval_cycles=400, policy=policy)
+    res = Simulator(program, cfg, plugins=[plug]).run(max_cycles=30_000_000)
+    return res, plug
+
+
+def test_thermal_pipeline_and_dtm(benchmark, table):
+    def measure():
+        base_res, base_plug = run(None)
+        threshold = (base_plug.peak_temperature()
+                     + base_plug.history[0][2]) / 2  # halfway up the ramp
+        policy = DTMPolicy(t_throttle=threshold,
+                           t_release=threshold - 0.05,
+                           throttle_scale=0.5)
+        dtm_res, dtm_plug = run(policy)
+        return base_res, base_plug, dtm_res, dtm_plug, threshold
+
+    base_res, base_plug, dtm_res, dtm_plug, threshold = once(benchmark, measure)
+    table.header("Dynamic thermal management (compute-hot workload, fpga64)")
+    table.row(f"{'':12} {'cycles':>9} {'peak T (C)':>11} {'throttled':>10}")
+    table.row(f"{'no DTM':12} {base_res.cycles:9d} "
+              f"{base_plug.peak_temperature():11.3f} {'0%':>10}")
+    table.row(f"{'DTM @'+format(threshold, '.2f'):12} {dtm_res.cycles:9d} "
+              f"{dtm_plug.peak_temperature():11.3f} "
+              f"{dtm_plug.throttled_fraction() * 100:9.0f}%")
+
+    # DTM caps the temperature...
+    assert dtm_plug.peak_temperature() < base_plug.peak_temperature()
+    # ...at the cost of wall-clock performance
+    assert dtm_res.time_ps > base_res.time_ps
+    assert dtm_plug.throttled_fraction() > 0
+    # both runs computed the same thing
+    assert dtm_res.read_global("RESULT") == base_res.read_global("RESULT")
+    benchmark.extra_info["peak_no_dtm"] = round(base_plug.peak_temperature(), 3)
+    benchmark.extra_info["peak_dtm"] = round(dtm_plug.peak_temperature(), 3)
+
+
+def test_activity_profile_phases(benchmark, table):
+    """Execution profiles over simulated time 'showing memory and
+    computation intensive phases' (Section III-B): a program with a
+    memory phase then a compute phase shows the transition in the
+    recorded activity."""
+    from repro.sim.plugins import ActivityRecorder
+
+    src = """
+int A[2048];
+int B[2048];
+int RESULT[256];
+int main() {
+    spawn(0, 2047) { B[$] = A[$] + 1; }
+    spawn(0, 255) {
+        int a = $;
+        for (int k = 0; k < 200; k++) a = (a << 1) ^ (a + k);
+        RESULT[$] = a;
+    }
+    return 0;
+}
+"""
+
+    def measure():
+        program = compile_source(src)
+        rec = ActivityRecorder(interval_cycles=300)
+        res = Simulator(program, fpga64(), plugins=[rec]).run(
+            max_cycles=30_000_000)
+        return res, rec
+
+    res, rec = once(benchmark, measure)
+    icn = rec.series.series("icn.send")
+    alu = rec.series.series("instr_class.alu")
+    table.header("Activity profile (per 300-cycle interval)")
+    table.row(f"{'interval':>8} {'icn.send':>9} {'alu instrs':>11}")
+    for i, (a, b) in enumerate(zip(icn, alu)):
+        table.row(f"{i:8d} {a:9d} {b:11d}")
+    # the memory phase concentrates ICN traffic early; the compute phase
+    # carries most ALU work late
+    half = max(1, len(icn) // 2)
+    assert sum(icn[:half]) > sum(icn[half:])
+    assert sum(alu[half:]) > 0

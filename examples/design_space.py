@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Design-space exploration: the simulator as an architecture tool.
+
+Reason 3 in the paper's introduction: "The simulator allows users to
+change the parameters of the simulated architecture including the number
+of functional units, and organization of the parallel cores ... making
+it the ideal platform for evaluating both architectural extensions and
+algorithmic improvements."
+
+This example holds the workload fixed (a 256-thread table-lookup/
+accumulate kernel) and sweeps four architectural axes around the fpga64
+baseline, printing cycles for each point -- the everyday loop of a
+system architect using XMTSim.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import Simulator, compile_xmtc, fpga64
+
+N = 256
+
+SOURCE = f"""
+int A[{N}];
+int B[{N}];
+int OUT[{N}];
+int main() {{
+    spawn(0, {N - 1}) {{
+        int acc = A[$] * 3 + B[$];
+        OUT[$] = acc + ($ << 1);
+    }}
+    return 0;
+}}
+"""
+
+
+def run(**overrides) -> int:
+    program = compile_xmtc(SOURCE)
+    program.write_global("A", [(i * 7) % 100 for i in range(N)])
+    program.write_global("B", [(i * 13) % 50 for i in range(N)])
+    config = fpga64(**overrides)
+    result = Simulator(program, config).run(max_cycles=10_000_000)
+    expected = [((i * 7) % 100) * 3 + (i * 13) % 50 + (i << 1)
+                for i in range(N)]
+    assert result.read_global("OUT") == expected
+    return result.cycles
+
+
+def sweep(title, axis, points, **fixed):
+    print(title)
+    base = None
+    for value in points:
+        cycles = run(**{axis: value}, **fixed)
+        base = base or cycles
+        bar = "#" * max(1, round(40 * cycles / base))
+        print(f"  {axis}={value!s:<6} {cycles:7d} cycles  {bar}")
+    print()
+
+
+def main():
+    print(f"workload: {N} virtual threads, 2 loads + 1 store each, "
+          "fpga64 baseline\n")
+
+    sweep("1. parallel width: clusters x TCUs (64 TCUs rearranged, then "
+          "grown)", "n_clusters", [2, 4, 8, 16],)
+
+    sweep("2. shared-cache banking: number of cache modules",
+          "n_cache_modules", [1, 2, 4, 8, 16])
+
+    sweep("3. ICN injection width per cluster (packages/cycle)",
+          "icn_width_per_cluster", [1, 2, 4])
+
+    sweep("4. DRAM latency (controller cycles)",
+          "dram_latency", [4, 12, 40, 120])
+
+    print("observations an architect would take away:")
+    print("  - this kernel saturates around 8 clusters; more width buys")
+    print("    little without more memory banking;")
+    print("  - a single cache module serializes everything (the hot-spot")
+    print("    the hashed multi-module L1 exists to avoid);")
+    print("  - injection width matters once TCUs produce >1 package/cycle;")
+    print("  - cold-miss-dominated kernels track DRAM latency almost 1:1.")
+
+
+if __name__ == "__main__":
+    main()

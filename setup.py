@@ -1,0 +1,20 @@
+"""Setup shim.
+
+The execution environment has no `wheel` package, so PEP-517 editable
+installs (`pip install -e .`) fail with `invalid command 'bdist_wheel'`.
+`python setup.py develop` installs the same editable egg-link without
+needing wheel; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup(
+    # duplicated from pyproject [project.scripts]: setuptools 65's
+    # `develop` path does not materialize pyproject script entry points
+    entry_points={
+        "console_scripts": [
+            "xmtcc=repro.toolchain.cli:xmtcc_main",
+            "xmtsim=repro.toolchain.cli:xmtsim_main",
+        ]
+    }
+)

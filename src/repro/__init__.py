@@ -1,0 +1,50 @@
+"""repro -- a Python reproduction of the XMT many-core toolchain.
+
+Public API highlights:
+
+- :func:`repro.compile_xmtc` -- compile XMTC source to an XMT
+  :class:`~repro.isa.program.Program` (the optimizing compiler of the
+  paper's Section IV).
+- :class:`repro.Simulator` -- the cycle-accurate simulator (XMTSim,
+  Section III); :class:`repro.FunctionalSimulator` -- the fast
+  functional mode.
+- :func:`repro.fpga64` / :func:`repro.chip1024` -- the two built-in
+  machine configurations.
+- :mod:`repro.toolchain.driver` -- ``compile_and_run`` one-stop helper.
+"""
+
+from repro.isa import assemble, Program
+from repro.sim import (
+    FunctionalSimulator,
+    Simulator,
+    XMTConfig,
+    chip1024,
+    fpga64,
+)
+
+__version__ = "1.0.0"
+
+
+def compile_xmtc(source, **options):
+    """Compile XMTC source text to a :class:`Program`.
+
+    Thin wrapper around :func:`repro.xmtc.compiler.compile_source`
+    (imported lazily so simulator-only users don't pay for the
+    compiler's import time).
+    """
+    from repro.xmtc.compiler import compile_source
+
+    return compile_source(source, **options)
+
+
+__all__ = [
+    "assemble",
+    "Program",
+    "FunctionalSimulator",
+    "Simulator",
+    "XMTConfig",
+    "chip1024",
+    "fpga64",
+    "compile_xmtc",
+    "__version__",
+]

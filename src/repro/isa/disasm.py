@@ -1,0 +1,40 @@
+"""Disassembly helpers for traces and debugging.
+
+``XMTSim generates execution traces at various detail levels`` (Section
+III-E); the trace machinery renders instructions through this module so
+the text matches what the assembler accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+
+
+def format_instruction(ins: Instruction, program: Optional[Program] = None) -> str:
+    """Render one instruction as assembly text."""
+    text = ins.operand_str()
+    rendered = f"{ins.op} {text}" if text else ins.op
+    if program is not None:
+        label = program.label_at(ins.index)
+        if label is not None:
+            rendered = f"{label}: {rendered}"
+    return rendered
+
+
+def format_program(program: Program) -> str:
+    """Render an entire text segment, one instruction per line."""
+    by_index = {}
+    for name, idx in program.labels.items():
+        by_index.setdefault(idx, []).append(name)
+    lines = []
+    for i, ins in enumerate(program.instructions):
+        for name in sorted(by_index.get(i, ())):
+            lines.append(f"{name}:")
+        body = ins.operand_str()
+        lines.append(f"    {ins.op} {body}" if body else f"    {ins.op}")
+    for name in sorted(by_index.get(len(program.instructions), ())):
+        lines.append(f"{name}:")
+    return "\n".join(lines)

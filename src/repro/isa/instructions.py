@@ -1,0 +1,496 @@
+"""The ``Instruction`` class hierarchy.
+
+Mirrors the simulator design described in Section III-A of the paper:
+each assembly instruction is an object; adding a new instruction means
+adding a new class that extends :class:`Instruction` and declares its
+functional-unit type.  Instruction *instances* are created once when a
+program is assembled; at simulation time they are wrapped in ``Package``
+objects that travel through the cycle-accurate components.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+# Functional-unit classes (determine which cycle-accurate components a
+# package visits and which shared unit executes the operation).
+FU_ALU = "alu"
+FU_MDU = "mdu"      # cluster-shared multiply/divide unit
+FU_FPU = "fpu"      # cluster-shared floating-point unit
+FU_BRANCH = "branch"
+FU_MEM = "mem"      # travels TCU -> ICN -> shared cache (-> DRAM)
+FU_PS = "ps"        # global prefix-sum unit
+FU_CTRL = "ctrl"    # spawn / join / getvt / chkid / fence / halt
+FU_SYS = "sys"      # print and friends
+
+
+class Instruction:
+    """Base class for all XMT instructions.
+
+    Attributes
+    ----------
+    op:
+        Mnemonic string (``"add"``, ``"lw"``, ...).
+    fu:
+        Functional-unit class; drives cycle-accurate routing.
+    index:
+        Position in the program text segment (set by the assembler).
+    line:
+        Source line number in the assembly file, for diagnostics/traces.
+    """
+
+    __slots__ = ("op", "index", "line", "src_line")
+    fu = FU_ALU
+
+    def __init__(self, op: str, line: int = 0):
+        self.op = op
+        self.index = -1
+        self.line = line
+        #: originating XMTC source line (0 = unknown); carried through
+        #: the compiler so filter plug-ins can refer memory bottlenecks
+        #: "back to the corresponding XMTC lines of code" (Section III-B)
+        self.src_line = 0
+
+    #: registers read / written; used by traces, the post-pass verifier
+    #: and the TCU scoreboard.  Subclasses override.
+    def reads(self) -> Tuple[int, ...]:
+        return ()
+
+    def writes(self) -> Optional[int]:
+        return None
+
+    def operand_str(self) -> str:
+        return ""
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        text = self.operand_str()
+        return f"<{self.op} {text}>" if text else f"<{self.op}>"
+
+
+def _r(i: int) -> str:
+    from repro.isa.registers import reg_name
+
+    return reg_name(i)
+
+
+class ALUOp(Instruction):
+    """Three-register ALU/MDU/FPU operation (``add $d, $s, $t``).
+
+    The functional-unit class is per-instance because ``mul``/``div``
+    (MDU) and the float ops (FPU) share this operand shape.
+    """
+
+    __slots__ = ("rd", "rs", "rt", "_fu")
+
+    def __init__(self, op, rd, rs, rt, line=0, fu=FU_ALU):
+        super().__init__(op, line)
+        self.rd = rd
+        self.rs = rs
+        self.rt = rt
+        self._fu = fu
+
+    @property
+    def fu(self):  # type: ignore[override]
+        return self._fu
+
+    def reads(self):
+        return (self.rs, self.rt)
+
+    def writes(self):
+        return self.rd
+
+    def operand_str(self):
+        return f"{_r(self.rd)}, {_r(self.rs)}, {_r(self.rt)}"
+
+
+class ALUImm(Instruction):
+    """Register-immediate ALU operation (``addi $d, $s, imm``)."""
+
+    __slots__ = ("rd", "rs", "imm")
+    fu = FU_ALU
+
+    def __init__(self, op, rd, rs, imm, line=0):
+        super().__init__(op, line)
+        self.rd = rd
+        self.rs = rs
+        self.imm = imm & 0xFFFFFFFF
+
+    def reads(self):
+        return (self.rs,)
+
+    def writes(self):
+        return self.rd
+
+    def operand_str(self):
+        from repro.isa.semantics import to_signed
+
+        return f"{_r(self.rd)}, {_r(self.rs)}, {to_signed(self.imm)}"
+
+
+class UnaryOp(Instruction):
+    """Two-register unary operation (``neg``, ``fneg``, ``itof``, ``ftoi``)."""
+
+    __slots__ = ("rd", "rs", "_fu")
+
+    def __init__(self, op, rd, rs, line=0, fu=FU_ALU):
+        super().__init__(op, line)
+        self.rd = rd
+        self.rs = rs
+        self._fu = fu
+
+    @property
+    def fu(self):  # type: ignore[override]
+        return self._fu
+
+    def reads(self):
+        return (self.rs,)
+
+    def writes(self):
+        return self.rd
+
+    def operand_str(self):
+        return f"{_r(self.rd)}, {_r(self.rs)}"
+
+
+class LoadImm(Instruction):
+    """``li $d, imm32`` -- also produced by the ``la`` pseudo-instruction."""
+
+    __slots__ = ("rd", "imm")
+    fu = FU_ALU
+
+    def __init__(self, rd, imm, line=0):
+        super().__init__("li", line)
+        self.rd = rd
+        self.imm = imm & 0xFFFFFFFF
+
+    def reads(self):
+        return ()
+
+    def writes(self):
+        return self.rd
+
+    def operand_str(self):
+        from repro.isa.semantics import to_signed
+
+        return f"{_r(self.rd)}, {to_signed(self.imm)}"
+
+
+class Branch(Instruction):
+    """Conditional branch. ``target`` is resolved to a text index."""
+
+    __slots__ = ("rs", "rt", "label", "target")
+    fu = FU_BRANCH
+
+    def __init__(self, op, rs, rt, label, line=0):
+        super().__init__(op, line)
+        self.rs = rs
+        self.rt = rt  # -1 for single-operand forms (blez & co.)
+        self.label = label
+        self.target = -1
+
+    def reads(self):
+        return (self.rs,) if self.rt < 0 else (self.rs, self.rt)
+
+    def operand_str(self):
+        if self.rt < 0:
+            return f"{_r(self.rs)}, {self.label}"
+        return f"{_r(self.rs)}, {_r(self.rt)}, {self.label}"
+
+
+class Jump(Instruction):
+    """Unconditional jump ``j label`` or call ``jal label``."""
+
+    __slots__ = ("label", "target")
+    fu = FU_BRANCH
+
+    def __init__(self, op, label, line=0):
+        super().__init__(op, line)
+        self.label = label
+        self.target = -1
+
+    def writes(self):
+        from repro.isa.registers import REG_RA
+
+        return REG_RA if self.op == "jal" else None
+
+    def operand_str(self):
+        return self.label
+
+
+class JumpReg(Instruction):
+    """``jr $s`` -- function return."""
+
+    __slots__ = ("rs",)
+    fu = FU_BRANCH
+
+    def __init__(self, rs, line=0):
+        super().__init__("jr", line)
+        self.rs = rs
+
+    def reads(self):
+        return (self.rs,)
+
+    def operand_str(self):
+        return _r(self.rs)
+
+
+class MemAccess(Instruction):
+    """Common base of memory-class instructions (address = R[base]+off)."""
+
+    __slots__ = ("base", "offset")
+    fu = FU_MEM
+
+    def __init__(self, op, base, offset, line=0):
+        super().__init__(op, line)
+        self.base = base
+        self.offset = offset
+
+    def addr_operand_str(self):
+        return f"{self.offset}({_r(self.base)})"
+
+
+class Load(MemAccess):
+    """``lw $d, off($b)`` or the read-only-cache variant ``lwro``."""
+
+    __slots__ = ("rd", "readonly")
+
+    def __init__(self, rd, base, offset, readonly=False, line=0):
+        super().__init__("lwro" if readonly else "lw", base, offset, line)
+        self.rd = rd
+        self.readonly = readonly
+
+    def reads(self):
+        return (self.base,)
+
+    def writes(self):
+        return self.rd
+
+    def operand_str(self):
+        return f"{_r(self.rd)}, {self.addr_operand_str()}"
+
+
+class Store(MemAccess):
+    """``sw $t, off($b)`` (blocking) or ``swnb`` (non-blocking)."""
+
+    __slots__ = ("rt", "nonblocking")
+
+    def __init__(self, rt, base, offset, nonblocking=False, line=0):
+        super().__init__("swnb" if nonblocking else "sw", base, offset, line)
+        self.rt = rt
+        self.nonblocking = nonblocking
+
+    def reads(self):
+        return (self.rt, self.base)
+
+    def operand_str(self):
+        return f"{_r(self.rt)}, {self.addr_operand_str()}"
+
+
+class Prefetch(MemAccess):
+    """``pref off($b)`` -- fill the TCU prefetch buffer."""
+
+    __slots__ = ()
+
+    def __init__(self, base, offset, line=0):
+        super().__init__("pref", base, offset, line)
+
+    def reads(self):
+        return (self.base,)
+
+    def operand_str(self):
+        return self.addr_operand_str()
+
+
+class Psm(MemAccess):
+    """Prefix-sum to memory: ``psm $d, off($b)``.
+
+    Atomically ``old = M[addr]; M[addr] += R[d]; R[d] = old`` at the
+    owning cache module.  The amount may be any signed 32-bit integer
+    and the base any memory location (Section II-A).
+    """
+
+    __slots__ = ("rd",)
+
+    def __init__(self, rd, base, offset, line=0):
+        super().__init__("psm", base, offset, line)
+        self.rd = rd
+
+    def reads(self):
+        return (self.rd, self.base)
+
+    def writes(self):
+        return self.rd
+
+    def operand_str(self):
+        return f"{_r(self.rd)}, {self.addr_operand_str()}"
+
+
+class Ps(Instruction):
+    """Global-register prefix-sum family.
+
+    - ``ps $d, $gN`` -- ``old = G[N]; G[N] += R[d]; R[d] = old`` with
+      same-cycle combining of concurrent requests (hardware restricts
+      the increment to 0/1);
+    - ``getg $d, $gN`` -- read a global register;
+    - ``setg $s, $gN`` -- write a global register (used to initialize /
+      reset prefix-sum bases between parallel sections).
+    """
+
+    __slots__ = ("rd", "greg", "mode")
+    fu = FU_PS
+
+    def __init__(self, rd, greg, mode="ps", line=0):
+        assert mode in ("ps", "get", "set")
+        super().__init__({"ps": "ps", "get": "getg", "set": "setg"}[mode], line)
+        self.rd = rd
+        self.greg = greg
+        self.mode = mode
+
+    def reads(self):
+        return (self.rd,) if self.mode in ("ps", "set") else ()
+
+    def writes(self):
+        return self.rd if self.mode in ("ps", "get") else None
+
+    def operand_str(self):
+        return f"{_r(self.rd)}, $g{self.greg}"
+
+
+class Spawn(Instruction):
+    """``spawn $low, $high`` -- enter parallel mode.
+
+    The broadcast region is ``[index+1, join_index)``; the assembler
+    resolves ``join_index`` when the program is loaded.
+    """
+
+    __slots__ = ("rs", "rt", "join_index")
+    fu = FU_CTRL
+
+    def __init__(self, rs, rt, line=0):
+        super().__init__("spawn", line)
+        self.rs = rs
+        self.rt = rt
+        self.join_index = -1
+
+    def reads(self):
+        return (self.rs, self.rt)
+
+    def operand_str(self):
+        return f"{_r(self.rs)}, {_r(self.rt)}"
+
+
+class Join(Instruction):
+    """``join`` -- end of a spawn region (executed as a marker)."""
+
+    __slots__ = ()
+    fu = FU_CTRL
+
+    def __init__(self, line=0):
+        super().__init__("join", line)
+
+
+class GetVT(Instruction):
+    """``getvt $d`` -- hardware prefix-sum on the virtual-thread counter."""
+
+    __slots__ = ("rd",)
+    fu = FU_CTRL
+
+    def __init__(self, rd, line=0):
+        super().__init__("getvt", line)
+        self.rd = rd
+
+    def writes(self):
+        return self.rd
+
+    def operand_str(self):
+        return _r(self.rd)
+
+
+class GetTCU(Instruction):
+    """``gettcu $d`` -- the physical TCU index (extension).
+
+    Used by the parallel-calls extension to derive each TCU's private
+    stack base.  Local knowledge: answers in one cycle.
+    """
+
+    __slots__ = ("rd",)
+    fu = FU_CTRL
+
+    def __init__(self, rd, line=0):
+        super().__init__("gettcu", line)
+        self.rd = rd
+
+    def writes(self):
+        return self.rd
+
+    def operand_str(self):
+        return _r(self.rd)
+
+
+class ChkID(Instruction):
+    """``chkid $s`` -- validate a virtual-thread ID.
+
+    If ``R[s]`` exceeds the spawn upper bound the TCU parks; when every
+    TCU is parked the hardware performs the join and resumes the Master.
+    """
+
+    __slots__ = ("rs",)
+    fu = FU_CTRL
+
+    def __init__(self, rs, line=0):
+        super().__init__("chkid", line)
+        self.rs = rs
+
+    def reads(self):
+        return (self.rs,)
+
+    def operand_str(self):
+        return _r(self.rs)
+
+
+class Fence(Instruction):
+    """``fence`` -- wait until this TCU's pending memory operations complete."""
+
+    __slots__ = ()
+    fu = FU_CTRL
+
+    def __init__(self, line=0):
+        super().__init__("fence", line)
+
+
+class Halt(Instruction):
+    """``halt`` -- terminate the simulated program (Master only)."""
+
+    __slots__ = ()
+    fu = FU_CTRL
+
+    def __init__(self, line=0):
+        super().__init__("halt", line)
+
+
+class Nop(Instruction):
+    __slots__ = ()
+    fu = FU_ALU
+
+    def __init__(self, line=0):
+        super().__init__("nop", line)
+
+
+class Print(Instruction):
+    """``print Lfmt, $r...`` -- formatted output through the string table."""
+
+    __slots__ = ("fmt_id", "fmt_label", "regs")
+    fu = FU_SYS
+
+    def __init__(self, fmt_label, regs, line=0):
+        super().__init__("print", line)
+        self.fmt_label = fmt_label
+        self.fmt_id = -1
+        self.regs = tuple(regs)
+
+    def reads(self):
+        return self.regs
+
+    def operand_str(self):
+        parts = [self.fmt_label] + [_r(r) for r in self.regs]
+        return ", ".join(parts)

@@ -1,0 +1,248 @@
+"""Operational definitions of XMT instructions.
+
+The paper's simulator is *execution-driven*: a functional model holds
+"the operational definition of the instructions, as well as the state of
+the registers and the memory" (Section III-A).  This module is that
+single source of truth.  Both the fast functional mode and the
+cycle-accurate mode call into these helpers, so the two modes cannot
+diverge on instruction semantics -- only on timing.
+
+Registers hold raw 32-bit patterns (Python ints in ``[0, 2**32)``).
+Integer instructions interpret them as two's-complement 32-bit values;
+floating-point instructions reinterpret them as IEEE-754 single
+precision (via :mod:`struct` packing), so compiled float arithmetic is
+bit-exact across modes -- property-tested against strict numpy float32
+evaluation in ``tests/test_hypothesis_programs.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+MASK32 = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+
+
+class TrapError(Exception):
+    """Raised on a hardware trap (division by zero, bad address...)."""
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit pattern as a signed integer."""
+    value &= MASK32
+    return value - 0x100000000 if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate an integer to its 32-bit pattern."""
+    return value & MASK32
+
+
+def f32_to_bits(value: float) -> int:
+    """Round a Python float to IEEE-754 single and return its bit pattern."""
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        # Round-to-infinity on single-precision overflow.
+        return struct.unpack("<I", struct.pack("<f", math.inf if value > 0 else -math.inf))[0]
+
+
+def bits_to_f32(bits: int) -> float:
+    """Reinterpret a 32-bit pattern as an IEEE-754 single value."""
+    return struct.unpack("<f", struct.pack("<I", bits & MASK32))[0]
+
+
+def _sra(value: int, amount: int) -> int:
+    return to_unsigned(to_signed(value) >> (amount & 31))
+
+
+def _div_trunc(a: int, b: int) -> int:
+    if b == 0:
+        raise TrapError("integer division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q
+
+
+def _rem_trunc(a: int, b: int) -> int:
+    if b == 0:
+        raise TrapError("integer remainder by zero")
+    return a - _div_trunc(a, b) * b
+
+
+#: Binary integer ALU/MDU operations: raw-bits x raw-bits -> raw-bits.
+INT_BINOPS = {
+    "add": lambda a, b: to_unsigned(a + b),
+    "sub": lambda a, b: to_unsigned(a - b),
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "nor": lambda a, b: to_unsigned(~(a | b)),
+    "sll": lambda a, b: to_unsigned(a << (b & 31)),
+    "srl": lambda a, b: (a & MASK32) >> (b & 31),
+    "sra": _sra,
+    "slt": lambda a, b: int(to_signed(a) < to_signed(b)),
+    "sltu": lambda a, b: int((a & MASK32) < (b & MASK32)),
+    "seq": lambda a, b: int(a == b),
+    "sne": lambda a, b: int(a != b),
+    "sle": lambda a, b: int(to_signed(a) <= to_signed(b)),
+    "sgt": lambda a, b: int(to_signed(a) > to_signed(b)),
+    "sge": lambda a, b: int(to_signed(a) >= to_signed(b)),
+    "mul": lambda a, b: to_unsigned(to_signed(a) * to_signed(b)),
+    "div": lambda a, b: to_unsigned(_div_trunc(to_signed(a), to_signed(b))),
+    "rem": lambda a, b: to_unsigned(_rem_trunc(to_signed(a), to_signed(b))),
+}
+
+#: Immediate-form aliases map onto the same definitions.
+IMM_ALIASES = {
+    "addi": "add",
+    "andi": "and",
+    "ori": "or",
+    "xori": "xor",
+    "slli": "sll",
+    "srli": "srl",
+    "srai": "sra",
+    "slti": "slt",
+}
+
+
+def _fbin(op):
+    def run(a_bits: int, b_bits: int) -> int:
+        a = bits_to_f32(a_bits)
+        b = bits_to_f32(b_bits)
+        try:
+            return f32_to_bits(op(a, b))
+        except ZeroDivisionError:
+            if a != a or a == 0.0:  # NaN / 0/0
+                return f32_to_bits(math.nan)
+            return f32_to_bits(math.copysign(math.inf, a) * math.copysign(1.0, b))
+    return run
+
+
+#: Binary FPU operations: raw-bits x raw-bits -> raw-bits.
+FLOAT_BINOPS = {
+    "fadd": _fbin(lambda a, b: a + b),
+    "fsub": _fbin(lambda a, b: a - b),
+    "fmul": _fbin(lambda a, b: a * b),
+    "fdiv": _fbin(lambda a, b: a / b),
+    # Comparisons produce an integer 0/1 pattern.
+    "feq": lambda a, b: int(bits_to_f32(a) == bits_to_f32(b)),
+    "flt": lambda a, b: int(bits_to_f32(a) < bits_to_f32(b)),
+    "fle": lambda a, b: int(bits_to_f32(a) <= bits_to_f32(b)),
+}
+
+#: Unary operations (integer and float): raw-bits -> raw-bits.
+UNOPS = {
+    "neg": lambda a: to_unsigned(-to_signed(a)),
+    "not": lambda a: to_unsigned(~a),
+    "fneg": lambda a: f32_to_bits(-bits_to_f32(a)),
+    "itof": lambda a: f32_to_bits(float(to_signed(a))),
+    "ftoi": lambda a: _ftoi(a),
+}
+
+
+def _ftoi(bits: int) -> int:
+    value = bits_to_f32(bits)
+    if value != value:  # NaN
+        return 0
+    value = math.trunc(value) if abs(value) != math.inf else (
+        0x7FFFFFFF if value > 0 else -0x80000000
+    )
+    value = max(-0x80000000, min(0x7FFFFFFF, value))
+    return to_unsigned(value)
+
+
+#: Branch-condition predicates on raw 32-bit patterns.
+BRANCH_CONDS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blez": lambda a, b: to_signed(a) <= 0,
+    "bgtz": lambda a, b: to_signed(a) > 0,
+    "bltz": lambda a, b: to_signed(a) < 0,
+    "bgez": lambda a, b: to_signed(a) >= 0,
+}
+
+
+def eval_binop(op: str, a: int, b: int) -> int:
+    """Evaluate any binary opcode (int, imm alias, or float)."""
+    op = IMM_ALIASES.get(op, op)
+    fn = INT_BINOPS.get(op)
+    if fn is None:
+        fn = FLOAT_BINOPS[op]
+    return fn(a, b)
+
+
+def register_binop(op: str, fn, float_unit: bool = False) -> None:
+    """Extension hook: define a new binary instruction's semantics.
+
+    The paper's two-step recipe for adding an instruction ("modify the
+    assembly language definition file ... create a new class [that]
+    follows the Instruction API") maps here to: (1) register the
+    operational definition with this function (or :func:`register_unop`),
+    (2) register the mnemonic with
+    :func:`repro.isa.assembler.register_instruction`.  Both simulation
+    modes pick the definition up automatically.
+    """
+    table = FLOAT_BINOPS if float_unit else INT_BINOPS
+    if op in INT_BINOPS or op in FLOAT_BINOPS or op in UNOPS:
+        raise ValueError(f"opcode {op!r} already defined")
+    table[op] = fn
+
+
+def register_unop(op: str, fn) -> None:
+    """Extension hook: define a new unary instruction's semantics."""
+    if op in INT_BINOPS or op in FLOAT_BINOPS or op in UNOPS:
+        raise ValueError(f"opcode {op!r} already defined")
+    UNOPS[op] = fn
+
+
+def check_word_addr(addr: int) -> int:
+    """Validate a data address (word aligned, in range) and return it."""
+    if addr & 3:
+        raise TrapError(f"unaligned word access at 0x{addr & MASK32:08x}")
+    addr &= MASK32
+    if addr < 4:
+        raise TrapError("null-pointer dereference")
+    return addr
+
+
+def format_print(fmt: str, values) -> str:
+    """Render a ``print`` instruction's format string.
+
+    Supports ``%d``, ``%u``, ``%x``, ``%f``, ``%%`` -- the subset the
+    XMTC builtin ``printf`` accepts.  ``values`` are raw 32-bit patterns.
+    """
+    out = []
+    vi = 0
+    i = 0
+    n = len(fmt)
+    while i < n:
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise TrapError("dangling '%' in format string")
+        spec = fmt[i + 1]
+        i += 2
+        if spec == "%":
+            out.append("%")
+            continue
+        if vi >= len(values):
+            raise TrapError("too few arguments for format string")
+        raw = values[vi]
+        vi += 1
+        if spec == "d":
+            out.append(str(to_signed(raw)))
+        elif spec == "u":
+            out.append(str(raw & MASK32))
+        elif spec == "x":
+            out.append(format(raw & MASK32, "x"))
+        elif spec == "f":
+            out.append(f"{bits_to_f32(raw):.6f}")
+        else:
+            raise TrapError(f"unsupported format specifier %{spec}")
+    return "".join(out)

@@ -1,0 +1,27 @@
+"""Power estimation, thermal modeling, floorplan visualization, and
+dynamic thermal management (paper Sections III-B, III-E, III-F).
+
+The real XMTSim computes power from its activity counters and feeds
+HotSpot (a C library, via JNI) for temperature estimation; the
+substitute here is a lumped-RC thermal grid in numpy with the same
+pipeline: activity deltas -> per-block power -> temperature field ->
+(optionally) DVFS decisions through the activity-plug-in interface.
+"""
+
+from repro.power.floorplan import Block, Floorplan, build_floorplan, render_heatmap
+from repro.power.power_model import PowerConfig, PowerModel
+from repro.power.thermal import ThermalConfig, ThermalModel
+from repro.power.dtm import DTMPolicy, PowerThermalPlugin
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "build_floorplan",
+    "render_heatmap",
+    "PowerConfig",
+    "PowerModel",
+    "ThermalConfig",
+    "ThermalModel",
+    "DTMPolicy",
+    "PowerThermalPlugin",
+]

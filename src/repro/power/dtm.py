@@ -1,0 +1,124 @@
+"""Dynamic power/thermal management through the activity-plug-in API.
+
+"A feature unique to XMTSim is the capability to evaluate runtime
+systems for dynamic power and thermal management. ... An activity
+plug-in can generate execution profiles of XMTC programs over simulated
+time, showing memory and computation intensive phases, power, etc.
+Moreover, it can change the frequencies of the clock domains assigned to
+clusters, interconnection network, shared caches and DRAM controllers or
+even enable and disable them." (Section III-B)
+
+:class:`PowerThermalPlugin` is that runtime system: every sampling
+interval it converts activity deltas into a power map, steps the thermal
+model, records the profile, and lets a :class:`DTMPolicy` retime the
+clock domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.power.floorplan import Floorplan, build_floorplan
+from repro.power.power_model import PowerConfig, PowerModel
+from repro.power.thermal import ThermalConfig, ThermalModel
+from repro.sim.plugins import ActivityPlugin
+
+
+@dataclass
+class DTMPolicy:
+    """Threshold throttling with hysteresis (a classic DTM baseline).
+
+    When the hottest cluster exceeds ``t_throttle`` the cluster domain is
+    slowed to ``throttle_scale``; it returns to nominal once the die
+    cools below ``t_release``.
+    """
+
+    t_throttle: float = 85.0
+    t_release: float = 75.0
+    throttle_scale: float = 0.5
+    domain: str = "clusters"
+
+    def decide(self, max_temp: float, throttled: bool) -> Tuple[bool, float]:
+        if not throttled and max_temp >= self.t_throttle:
+            return True, self.throttle_scale
+        if throttled and max_temp <= self.t_release:
+            return False, 1.0
+        return throttled, self.throttle_scale if throttled else 1.0
+
+
+class PowerThermalPlugin(ActivityPlugin):
+    """Activity plug-in computing power/temperature (and optionally DTM).
+
+    Records ``history``: (time_ps, total_power_W, max_cluster_temp_C,
+    clusters_scale).  Requires ``merge_clock_domains=False`` on the
+    machine config when a policy is attached (so the cluster domain can
+    be retimed independently).
+    """
+
+    def __init__(self, interval_cycles: int = 20_000,
+                 floorplan: Optional[Floorplan] = None,
+                 power_config: Optional[PowerConfig] = None,
+                 thermal_config: Optional[ThermalConfig] = None,
+                 policy: Optional[DTMPolicy] = None):
+        super().__init__(interval_cycles)
+        self.plan = floorplan
+        self.power_config = power_config
+        self.thermal_config = thermal_config
+        self.policy = policy
+        self.power_model: Optional[PowerModel] = None
+        self.thermal: Optional[ThermalModel] = None
+        self.history: List[Tuple[int, float, float, float]] = []
+        self.power_maps: List[Dict[str, float]] = []
+        self._last_time_ps = 0
+        self._throttled = False
+        self._scale = 1.0
+
+    def _lazy_init(self, machine) -> None:
+        if self.power_model is not None:
+            return
+        cfg = machine.config
+        if self.plan is None:
+            self.plan = build_floorplan(cfg.n_clusters, cfg.n_cache_modules,
+                                        cfg.n_dram_ports)
+        if self.policy is not None and cfg.merge_clock_domains:
+            raise ValueError(
+                "DTM needs merge_clock_domains=False so the cluster clock "
+                "domain can be retimed independently")
+        self.power_model = PowerModel(self.plan, self.power_config)
+        self.thermal = ThermalModel(self.plan, self.thermal_config)
+
+    def sample(self, machine, time: int) -> None:
+        self._lazy_init(machine)
+        dt = (time - self._last_time_ps) * 1e-12
+        self._last_time_ps = time
+        if dt <= 0:
+            return
+        exponent = self.power_model.config.dvfs_energy_exponent
+        energy_scale = self._scale ** exponent
+        power = self.power_model.sample(machine, dt, energy_scale=energy_scale)
+        self.thermal.step(power, dt)
+        max_temp = self.thermal.max_temp("cluster")
+        if self.policy is not None:
+            throttled, scale = self.policy.decide(max_temp, self._throttled)
+            if scale != self._scale:
+                machine.set_domain_scale(self.policy.domain, scale)
+            self._throttled = throttled
+            self._scale = scale
+        self.history.append((time, self.power_model.total(power), max_temp,
+                             self._scale))
+        self.power_maps.append(power)
+
+    def finish(self, machine) -> None:
+        self.sample(machine, machine.scheduler.now)
+
+    # -- reporting --------------------------------------------------------------
+
+    def peak_temperature(self) -> float:
+        return max((h[2] for h in self.history), default=0.0)
+
+    def throttled_fraction(self) -> float:
+        if not self.history:
+            return 0.0
+        throttled = sum(1 for h in self.history if h[3] < 1.0)
+        return throttled / len(self.history)

@@ -1,0 +1,106 @@
+"""Power as a function of the activity counters (Section III-F).
+
+"The power output is computed as a function of the activity counters and
+passed on to HotSpot ... for temperature estimation."  Dynamic energy is
+charged per architectural event (instructions by class, cache accesses,
+ICN packages, DRAM transactions, prefix-sum grants); leakage is a
+per-block constant scaled by area.  Activity is read per *component*
+(each cluster / cache module / DRAM port keeps its own counters), which
+is what gives the thermal model a spatial power map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.power.floorplan import Floorplan
+
+
+@dataclass
+class PowerConfig:
+    """Per-event energies (nanojoules) and leakage (W/mm^2).
+
+    Absolute values are calibration constants, not measurements; the
+    experiments only rely on the relative weights (memory traffic and
+    FPU work are expensive, idle clusters burn leakage only).
+    """
+
+    e_issue: float = 0.02          # any issued instruction (fetch/decode)
+    e_alu: float = 0.03
+    e_mdu: float = 0.25
+    e_fpu: float = 0.18
+    e_mem_instr: float = 0.05      # TCU-side LSU work per memory op
+    e_cache_access: float = 0.12
+    e_cache_miss_extra: float = 0.10
+    e_icn_package: float = 0.20    # per traversal (both directions alike)
+    e_dram_access: float = 1.50
+    e_ps_grant: float = 0.04
+    leakage_per_mm2: float = 0.008
+    #: dynamic power scales with the cube... no: with f*V^2; we model
+    #: DVFS as frequency scaling with proportional voltage, i.e. ~f^3
+    #: for dynamic power at a fixed amount of *work per second*; since
+    #: we charge energy per event, a lower clock simply spreads the same
+    #: energy over more time (power drops linearly), plus this optional
+    #: voltage-scaling exponent on the per-event energy itself.
+    dvfs_energy_exponent: float = 2.0
+
+
+class PowerModel:
+    """Turns per-interval component activity into per-block power (W)."""
+
+    def __init__(self, floorplan: Floorplan, config: PowerConfig = None):
+        self.plan = floorplan
+        self.config = config or PowerConfig()
+        self._prev: Dict[str, float] = {}
+
+    # -- component activity snapshot -------------------------------------------
+
+    def _activity(self, machine) -> Dict[str, float]:
+        """Cumulative dynamic energy (nJ) attributed to each block."""
+        cfg = self.config
+        out: Dict[str, float] = {}
+        for cluster in machine.clusters:
+            issued = sum(t.instructions_issued for t in cluster.tcus)
+            energy = issued * (cfg.e_issue + cfg.e_alu)
+            energy += cluster.fpu_ops * cfg.e_fpu
+            energy += cluster.mdu_ops * cfg.e_mdu
+            out[f"cluster{cluster.cluster_id}"] = energy
+        for module in machine.cache_modules:
+            energy = (module.hits + module.misses) * cfg.e_cache_access
+            energy += module.misses * cfg.e_cache_miss_extra
+            out[f"cache{module.module_id}"] = energy
+        for port in machine.dram_ports:
+            out[f"dram{port.port_id}"] = (port.reads + port.writes) * cfg.e_dram_access
+        icn = machine.icn
+        out["icn"] = ((icn.packages_sent + icn.packages_returned)
+                      * cfg.e_icn_package
+                      * getattr(icn, "energy_factor", 1.0))
+        master_energy = machine.master.instructions_issued * (
+            cfg.e_issue + cfg.e_alu)
+        master_energy += machine.ps_unit.requests * cfg.e_ps_grant
+        out["master"] = master_energy
+        return out
+
+    def sample(self, machine, dt_seconds: float,
+               energy_scale: float = 1.0) -> Dict[str, float]:
+        """Per-block power (W) over the interval since the last sample.
+
+        ``energy_scale`` implements the DVFS voltage effect: pass
+        ``scale ** dvfs_energy_exponent`` when a domain runs at
+        frequency scale ``scale``.
+        """
+        cfg = self.config
+        activity = self._activity(machine)
+        power: Dict[str, float] = {}
+        for block in self.plan.blocks:
+            cumulative = activity.get(block.name, 0.0)
+            delta_nj = cumulative - self._prev.get(block.name, 0.0)
+            self._prev[block.name] = cumulative
+            dynamic = (delta_nj * 1e-9 * energy_scale) / max(dt_seconds, 1e-12)
+            leak = cfg.leakage_per_mm2 * block.area
+            power[block.name] = dynamic + leak
+        return power
+
+    def total(self, power: Dict[str, float]) -> float:
+        return sum(power.values())

@@ -1,0 +1,278 @@
+"""Shared first-level cache, master cache, and cluster read-only cache.
+
+The XMT L1 "is shared and partitioned into mutually-exclusive cache
+modules, sharing several off-chip DRAM memory channels. ... Cache
+modules handle concurrent requests, which are buffered and reordered to
+achieve better DRAM bandwidth utilization" (Section II).  Because each
+module owns a disjoint hash-partition of the address space and processes
+its queue serially, ``psm`` operations to the same location are
+naturally atomic and queued -- exactly the paper's description.
+
+Timing is transaction-level: the tag arrays decide hit/miss and
+replacement; data values live in the machine's functional
+:class:`~repro.sim.functional.Memory`, which each module reads/writes at
+the instant a request is *processed*.  That instant defines the global
+memory order, so relaxed-consistency outcomes (paper Fig. 6) emerge from
+modeled timing rather than from an arbitrary serialization.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.semantics import to_signed
+from repro.sim import packages as P
+from repro.sim.engine import TimedQueue
+
+
+class CacheArray:
+    """Set-associative tag array with true-LRU replacement (tags only)."""
+
+    __slots__ = ("sets", "assoc", "line_words", "_line_shift", "_lines")
+
+    def __init__(self, sets: int, assoc: int, line_words: int):
+        if sets & (sets - 1):
+            raise ValueError("cache sets must be a power of two")
+        self.sets = sets
+        self.assoc = assoc
+        self.line_words = line_words
+        self._line_shift = 2 + (line_words - 1).bit_length() if line_words > 1 else 2
+        # per-set OrderedDict tag -> dirty flag; LRU order = insertion order
+        self._lines: List[OrderedDict] = [OrderedDict() for _ in range(sets)]
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _set_of(self, line: int) -> OrderedDict:
+        return self._lines[line & (self.sets - 1)]
+
+    def lookup(self, addr: int, write: bool = False) -> bool:
+        """Probe (and on hit, touch) the line containing ``addr``."""
+        line = self.line_addr(addr)
+        entries = self._set_of(line)
+        if line in entries:
+            entries.move_to_end(line)
+            if write:
+                entries[line] = True
+            return True
+        return False
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Install the line containing ``addr``.
+
+        Returns ``(victim_line, victim_dirty)`` if an eviction occurred.
+        """
+        line = self.line_addr(addr)
+        entries = self._set_of(line)
+        victim = None
+        if line in entries:
+            entries.move_to_end(line)
+            entries[line] = entries[line] or dirty
+            return None
+        if len(entries) >= self.assoc:
+            victim = entries.popitem(last=False)
+        entries[line] = dirty
+        return victim
+
+    def invalidate_all(self) -> int:
+        """Drop every line; returns how many were dirty (write-back cost)."""
+        dirty = 0
+        for entries in self._lines:
+            dirty += sum(1 for d in entries.values() if d)
+            entries.clear()
+        return dirty
+
+    def occupancy(self) -> int:
+        return sum(len(e) for e in self._lines)
+
+
+class CacheModule:
+    """One hash-partition of the shared L1 (a solid box of Fig. 1).
+
+    Requests arrive from the ICN into :attr:`in_queue`; up to
+    ``cache_ports`` are dequeued per cache cycle.  Hits respond after the
+    hit latency; misses allocate an MSHR, go to the owning DRAM port and
+    respond when the fill returns.  Responses leave through
+    :attr:`out_queue`, drained by the ICN return network.
+    """
+
+    def __init__(self, machine, module_id: int):
+        cfg = machine.config
+        self.machine = machine
+        self.module_id = module_id
+        self.array = CacheArray(cfg.cache_sets, cfg.cache_assoc, cfg.cache_line_words)
+        self.in_queue = TimedQueue()          # requests from the ICN
+        self.out_queue = TimedQueue()         # responses toward the ICN
+        self.ports = cfg.cache_ports
+        self.hit_latency = cfg.cache_hit_latency
+        # line address -> list of waiting packages (MSHR-style merging)
+        self.pending_misses: Dict[int, List[P.Package]] = {}
+        # responses scheduled after the hit latency
+        self._delayed: List[Tuple[int, int, P.Package]] = []
+        self.domain = None  # set by the machine
+        # local counters (floorplan visualization / power model)
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.psm_ops = 0
+
+    # -- functional execution at the commit point -----------------------------
+
+    def _perform(self, pkg: P.Package) -> None:
+        """Apply the package's memory effect; this defines memory order."""
+        memory = self.machine.memory
+        stats = self.machine.stats
+        if pkg.kind in (P.LOAD, P.PREFETCH, P.RO_FILL):
+            pkg.reply = memory.load(pkg.addr)
+        elif pkg.kind in (P.STORE, P.STORE_NB):
+            if not pkg.performed:
+                memory.store(pkg.addr, pkg.value)
+        elif pkg.kind == P.PSM:
+            pkg.reply = memory.psm(pkg.addr, to_signed(pkg.value))
+            self.psm_ops += 1
+            stats.inc("cache.psm")
+        else:  # pragma: no cover - routing prevents this
+            raise AssertionError(f"cache module got {pkg.kind} package")
+        if self.machine.filter_hook is not None:
+            self.machine.filter_hook(pkg)
+
+    def _respond(self, now: int, pkg: P.Package, extra_cycles: int) -> None:
+        period = self.domain.period
+        ready = now + extra_cycles * period
+        heapq.heappush(self._delayed, (ready, pkg.seq, pkg))
+
+    # -- per-cycle behaviour ----------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        now = self.machine.scheduler.now
+        stats = self.machine.stats
+        # release responses whose latency elapsed
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, pkg = heapq.heappop(self._delayed)
+            self.out_queue.push(now, pkg)
+            self.machine.icn_pending += 1
+        # accept new requests
+        for _ in range(self.ports):
+            pkg = self.in_queue.pop_ready(now)
+            if pkg is None:
+                break
+            self.machine.note_progress()
+            line = self.array.line_addr(pkg.addr)
+            if self.array.lookup(pkg.addr, write=pkg.is_write):
+                self.hits += 1
+                stats.inc("cache.hit")
+                self._perform(pkg)
+                self._respond(now, pkg, self.hit_latency)
+            elif line in self.pending_misses:
+                # merge with the in-flight fill (buffered concurrent requests)
+                self.misses += 1
+                stats.inc("cache.miss")
+                stats.inc("cache.mshr_merge")
+                self.pending_misses[line].append(pkg)
+            else:
+                self.misses += 1
+                stats.inc("cache.miss")
+                self.pending_misses[line] = [pkg]
+                self.machine.dram_request(self, line, pkg.addr)
+
+    # -- DRAM fill callback -------------------------------------------------------
+
+    def dram_fill(self, now: int, line: int) -> None:
+        """A line fetch completed: install, write back victim, drain waiters."""
+        waiters = self.pending_misses.pop(line, [])
+        dirty = any(w.is_write or w.kind == P.PSM for w in waiters)
+        fill_addr = waiters[0].addr if waiters else line << self.array._line_shift
+        victim = self.array.fill(fill_addr, dirty=dirty)
+        if victim is not None and victim[1]:
+            self.writebacks += 1
+            self.machine.stats.inc("cache.writeback")
+            self.machine.dram_writeback(self, victim[0])
+        for pkg in waiters:
+            self._perform(pkg)
+            self._respond(now, pkg, self.hit_latency)
+
+    def idle(self) -> bool:
+        return (not self._delayed and not self.in_queue._items
+                and not self.pending_misses and not self.out_queue._items)
+
+
+class MasterCache:
+    """The Master TCU's private cache (write-through, tags-only timing).
+
+    Only serial code runs while the master cache is live; it is
+    invalidated at every spawn and join so the serial section always
+    observes the TCUs' writes and vice versa.
+    """
+
+    def __init__(self, machine):
+        cfg = machine.config
+        self.machine = machine
+        self.array = CacheArray(cfg.master_cache_sets, cfg.master_cache_assoc,
+                                cfg.cache_line_words)
+        self.hit_latency = cfg.master_cache_hit_latency
+        self.hits = 0
+        self.misses = 0
+
+    def probe_read(self, addr: int) -> bool:
+        hit = self.array.lookup(addr)
+        if hit:
+            self.hits += 1
+            self.machine.stats.inc("master_cache.hit")
+        else:
+            self.misses += 1
+            self.machine.stats.inc("master_cache.miss")
+        return hit
+
+    def fill(self, addr: int) -> None:
+        self.array.fill(addr)  # write-through: never dirty
+
+    def invalidate(self) -> None:
+        self.array.invalidate_all()
+        self.machine.stats.inc("master_cache.invalidate")
+
+
+class ReadOnlyCache:
+    """Cluster-level read-only cache for values constant across threads.
+
+    Fully-associative LRU over line addresses; invalidated at spawn and
+    join boundaries, so its tags-only model can never return a value
+    that differs from shared memory.
+    """
+
+    def __init__(self, machine, cluster_id: int):
+        cfg = machine.config
+        self.machine = machine
+        self.cluster_id = cluster_id
+        self.capacity = cfg.ro_cache_lines
+        self.hit_latency = cfg.ro_cache_hit_latency
+        self.line_words = cfg.cache_line_words
+        self._shift = 2 + (self.line_words - 1).bit_length() if self.line_words > 1 else 2
+        self._lines: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, addr: int) -> bool:
+        line = addr >> self._shift
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            self.hits += 1
+            self.machine.stats.inc("ro_cache.hit")
+            return True
+        self.misses += 1
+        self.machine.stats.inc("ro_cache.miss")
+        return False
+
+    def fill(self, addr: int) -> None:
+        line = addr >> self._shift
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            return
+        if self.capacity and len(self._lines) >= self.capacity:
+            self._lines.popitem(last=False)
+        if self.capacity:
+            self._lines[line] = None
+
+    def invalidate(self) -> None:
+        self._lines.clear()

@@ -1,0 +1,105 @@
+"""Simulation checkpoints (Section III-E).
+
+"XMTSim supports simulation checkpoints, i.e., the state of the
+simulation can be saved at a point that is given by the user ahead of
+time or determined by a command line interrupt during execution.
+Simulation can be resumed at a later time."  Among other uses this
+facilitates dynamically load balancing batches of long simulations
+across machines.
+
+Checkpointing pickles the entire :class:`~repro.sim.machine.Machine`
+(scheduler heap included -- events reference actors which are plain
+picklable objects).  Plug-ins and traces may hold unpicklable callbacks,
+so they are detached on save and must be re-registered on resume.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Optional
+
+from repro.sim.engine import Actor, PRIO_PLUGIN, Scheduler
+from repro.sim.functional import SimulationError
+from repro.sim.machine import Machine
+
+
+class _CheckpointRequest(Exception):
+    """Internal control-flow signal that unwinds the scheduler loop."""
+
+    def __init__(self, payload: bytes):
+        super().__init__("checkpoint")
+        self.payload = payload
+
+
+class _CheckpointActor(Actor):
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    def notify(self, scheduler, time, arg):
+        raise _CheckpointRequest(save_bytes(self.machine))
+
+
+def save_bytes(machine: Machine) -> bytes:
+    """Serialize a machine's complete state to bytes."""
+    detached = _detach_unpicklables(machine)
+    try:
+        return pickle.dumps(machine, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        _reattach(machine, detached)
+
+
+def _detach_unpicklables(machine: Machine):
+    detached = (machine.trace, machine.activity_plugins,
+                machine.filter_plugins, machine.filter_hook)
+    machine.trace = None
+    machine.activity_plugins = []
+    machine.filter_plugins = []
+    machine.filter_hook = None
+    return detached
+
+
+def _reattach(machine: Machine, detached) -> None:
+    (machine.trace, machine.activity_plugins,
+     machine.filter_plugins, machine.filter_hook) = detached
+
+
+def load_bytes(payload: bytes) -> Machine:
+    """Restore a machine checkpoint; plug-ins/traces must be re-added."""
+    machine = pickle.loads(payload)
+    if not isinstance(machine, Machine):
+        raise SimulationError("checkpoint payload is not a Machine")
+    return machine
+
+
+def save(machine: Machine, path: str) -> None:
+    with open(path, "wb") as fh:
+        fh.write(save_bytes(machine))
+
+
+def load(path: str) -> Machine:
+    with open(path, "rb") as fh:
+        return load_bytes(fh.read())
+
+
+def run_with_checkpoint(machine: Machine, checkpoint_cycle: int,
+                        max_cycles: Optional[int] = None) -> Optional[bytes]:
+    """Run until ``checkpoint_cycle`` and return the checkpoint bytes.
+
+    Returns ``None`` if the program halted before the checkpoint time
+    (in which case the run simply completed).  The machine object passed
+    in continues from the checkpoint instant and may be run further; the
+    returned bytes restore an identical machine via :func:`load_bytes`.
+    """
+    machine.start()
+    when = checkpoint_cycle * machine.config.cluster_period
+    if when < machine.scheduler.now:
+        raise ValueError("checkpoint time already passed")
+    machine.scheduler.schedule_at(when, _CheckpointActor(machine), PRIO_PLUGIN)
+    try:
+        deadline = None if max_cycles is None else (
+            max_cycles * machine.config.cluster_period)
+        machine.scheduler.run(until=deadline)
+    except _CheckpointRequest as req:
+        return req.payload
+    return None

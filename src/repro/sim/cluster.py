@@ -1,0 +1,79 @@
+"""Clusters: groups of TCUs sharing expensive functional units.
+
+"TCUs include lightweight ALUs, shift and branch units, but the more
+expensive multiply/divide (MDU) and floating point units (FPU) are
+shared among TCUs in a cluster" (Section II).  The cluster also owns the
+read-only cache and the ICN send port (a bounded queue that
+back-pressures its TCUs).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import FU_FPU, FU_MDU
+from repro.sim.cache import ReadOnlyCache
+from repro.sim.engine import TimedQueue
+from repro.sim.tcu import TCU
+
+
+class Cluster:
+    def __init__(self, machine, cluster_id: int):
+        cfg = machine.config
+        self.machine = machine
+        self.cluster_id = cluster_id
+        self.send_queue = TimedQueue(capacity=cfg.send_queue_capacity)
+        self.ro_cache = ReadOnlyCache(machine, cluster_id)
+        self.tcus = [
+            TCU(machine, self, cluster_id * cfg.tcus_per_cluster + i, i)
+            for i in range(cfg.tcus_per_cluster)
+        ]
+        self.domain = None  # set by the machine
+        # shared-FU arbitration state
+        self._fpu_pipelined = cfg.fpu_pipelined
+        self._mdu_pipelined = cfg.mdu_pipelined
+        self._fpu_issued_at = -1
+        self._mdu_issued_at = -1
+        self._fpu_busy_until = -1
+        self._mdu_busy_until = -1
+        self.fpu_ops = 0
+        self.mdu_ops = 0
+
+    def try_issue_fu(self, fu: str, now: int, latency: int) -> bool:
+        """Arbitrate the shared MDU/FPU; at most one issue per cycle, and
+        non-pipelined units stay busy for the full latency."""
+        period = self.domain.period
+        if fu == FU_FPU:
+            if self._fpu_issued_at == now:
+                return False
+            if not self._fpu_pipelined and self._fpu_busy_until > now:
+                return False
+            self._fpu_issued_at = now
+            self._fpu_busy_until = now + latency * period
+            self.fpu_ops += 1
+            self.machine.stats.inc("cluster.fpu_ops")
+            return True
+        if fu == FU_MDU:
+            if self._mdu_issued_at == now:
+                return False
+            if not self._mdu_pipelined and self._mdu_busy_until > now:
+                return False
+            self._mdu_issued_at = now
+            self._mdu_busy_until = now + latency * period
+            self.mdu_ops += 1
+            self.machine.stats.inc("cluster.mdu_ops")
+            return True
+        raise AssertionError(f"unknown shared FU {fu}")
+
+    def tick(self, cycle: int) -> None:
+        # Fast path: clusters are completely quiescent during serial
+        # sections, so skip TCU iteration entirely (this mirrors the
+        # macro-actor efficiency argument of Section III-D).
+        if not self.machine.parallel_active:
+            return
+        for tcu in self.tcus:
+            tcu.tick(cycle)
+
+    def invalidate_caches(self) -> None:
+        self.ro_cache.invalidate()
+        for tcu in self.tcus:
+            tcu.prefetch_buffer.clear()
+            tcu._pf_pending.clear()

@@ -1,0 +1,65 @@
+"""DRAM ports.
+
+"Currently, only on-chip components are simulated, and DRAM is modeled
+as simple latency" (Section III).  Each port accepts one transaction per
+DRAM-domain cycle (the bandwidth knob) and completes it a fixed number
+of cycles later; line fills call back into the owning cache module.
+Addresses are interleaved over ports by cache-line index.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Tuple
+
+
+class DRAMPort:
+    """One off-chip memory channel: bounded queue + fixed latency."""
+
+    def __init__(self, machine, port_id: int):
+        cfg = machine.config
+        self.machine = machine
+        self.port_id = port_id
+        self.latency = cfg.dram_latency
+        self.capacity = cfg.dram_queue_capacity
+        # (module, line, is_writeback) waiting to be accepted
+        self.queue: Deque[Tuple[object, int, bool]] = deque()
+        # (ready_time, seq, module, line) in flight
+        self._in_flight: List[Tuple[int, int, object, int]] = []
+        self._seq = 0
+        self.domain = None  # set by the machine
+        self.reads = 0
+        self.writes = 0
+
+    def request(self, module, line: int, writeback: bool = False) -> None:
+        """Enqueue a transaction (cache modules never see a full DRAM
+        queue stall; the queue is where reordering slack lives)."""
+        self.queue.append((module, line, writeback))
+
+    def tick(self, cycle: int) -> None:
+        now = self.machine.scheduler.now
+        stats = self.machine.stats
+        # complete transactions
+        while self._in_flight and self._in_flight[0][0] <= now:
+            _, _, module, line = heapq.heappop(self._in_flight)
+            self.machine.note_progress()
+            module.dram_fill(now, line)
+            self.machine.cache_bank.activate(module.module_id)
+        # accept one transaction per cycle (bandwidth limit)
+        if self.queue:
+            module, line, writeback = self.queue.popleft()
+            self.machine.note_progress()
+            if writeback:
+                # write-backs consume bandwidth but need no completion event
+                self.writes += 1
+                stats.inc("dram.write")
+            else:
+                self.reads += 1
+                stats.inc("dram.read")
+                self._seq += 1
+                ready = now + self.latency * self.domain.period
+                heapq.heappush(self._in_flight, (ready, self._seq, module, line))
+
+    def idle(self) -> bool:
+        return not self.queue and not self._in_flight

@@ -1,0 +1,303 @@
+"""Discrete-event simulation engine (Section III-C of the paper).
+
+The system is a collection of *actors* that schedule *events*; the
+scheduler keeps events "in a list-like data structure, the event list,
+ordered according to their schedule times and priorities" and notifies
+one actor per main-loop iteration (the paper's Fig. 5b).  Unlike a
+discrete-time simulator, simulated time advances unevenly, which is what
+lets components live in different clock domains (and lets the
+DVFS/thermal plug-ins retime domains at runtime).
+
+Two styles of actor are provided, matching the paper's Fig. 4:
+
+- fine-grained: one :class:`ComponentActor` per cycle-accurate component
+  (``Actor 1`` in Fig. 4), and
+- :class:`ClockDomain` **macro-actors** that iterate over many registered
+  components on each tick (``Actor 2``), the style the real XMTSim uses
+  for the interconnection network because scheduling one event per
+  component per cycle becomes more expensive than polling once the event
+  density passes a threshold (~800 events/cycle in the paper's
+  experiment; ``benchmarks/test_bench_de_engine.py`` reproduces the
+  crossover).
+
+Time is measured in integer **picoseconds** so that domains with
+different frequencies interleave deterministically.  Ties are broken by
+``(time, priority, sequence)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+#: Canonical event priorities.  Each clock cycle is split into two
+#: phases (negotiate, then transfer -- Section III-C "ports and event
+#: priorities"); downstream components tick at later priorities so a
+#: package handed off in phase TRANSFER is seen by its consumer in the
+#: same simulated cycle, exactly once.
+PRIO_PHASE_NEGOTIATE = 0
+PRIO_PHASE_TRANSFER = 1
+PRIO_CLUSTERS = 10
+PRIO_SPAWN_UNIT = 12
+PRIO_PS_UNIT = 13
+PRIO_ICN = 14
+PRIO_CACHE = 16
+PRIO_DRAM = 18
+PRIO_PLUGIN = 50
+PRIO_STOP = 99
+
+
+class Event:
+    """A scheduled notification.  Cancel by flipping :attr:`cancelled`."""
+
+    __slots__ = ("time", "priority", "seq", "actor", "arg", "cancelled")
+
+    def __init__(self, time: int, priority: int, seq: int, actor: "Actor", arg: Any):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.actor = actor
+        self.arg = arg
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+
+class Actor:
+    """Base class of everything that can be notified by the scheduler."""
+
+    def notify(self, scheduler: "Scheduler", time: int, arg: Any) -> None:
+        raise NotImplementedError
+
+
+class _StopActor(Actor):
+    def notify(self, scheduler, time, arg):
+        scheduler.stopped = True
+
+
+class Scheduler:
+    """The DE scheduler: event list + main loop (paper Fig. 4/5b)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self.now = 0
+        self.stopped = False
+        self.events_processed = 0
+        self._stop_actor = _StopActor()
+
+    # -- event management ---------------------------------------------------
+
+    def schedule(self, delay: int, actor: Actor, priority: int = 0,
+                 arg: Any = None) -> Event:
+        """Schedule ``actor.notify`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        return self.schedule_at(self.now + delay, actor, priority, arg)
+
+    def schedule_at(self, time: int, actor: Actor, priority: int = 0,
+                    arg: Any = None) -> Event:
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        self._seq += 1
+        event = Event(time, priority, self._seq, actor, arg)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Lazy cancellation: the event is skipped when popped."""
+        event.cancelled = True
+
+    def stop(self, delay: int = 0) -> Event:
+        """Schedule the *stop event* that terminates the simulation."""
+        return self.schedule(delay, self._stop_actor, priority=PRIO_STOP)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run until the stop event, an empty event list, ``until`` time,
+        or ``max_events`` notifications.  Returns the final time."""
+        heap = self._heap
+        processed = 0
+        while heap and not self.stopped:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(heap, event)
+                self.now = until
+                break
+            self.now = event.time
+            event.actor.notify(self, event.time, event.arg)
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        self.events_processed += processed
+        return self.now
+
+
+class CallbackActor(Actor):
+    """Adapter turning a plain callable into an actor.
+
+    Avoid for checkpointable state -- bound methods of picklable objects
+    are fine, module-level lambdas are not.
+    """
+
+    def __init__(self, fn: Callable[["Scheduler", int, Any], None]):
+        self._fn = fn
+
+    def notify(self, scheduler, time, arg):
+        self._fn(scheduler, time, arg)
+
+
+class ComponentActor(Actor):
+    """Fine-grained style: one actor per component, one event per cycle.
+
+    This is ``Actor 1`` of the paper's Fig. 4.  Used by the DE-engine
+    ablation benchmark; the machine model itself uses macro-actors.
+    """
+
+    def __init__(self, component: Any, period: int, priority: int = PRIO_CLUSTERS):
+        self.component = component
+        self.period = period
+        self.priority = priority
+        self.cycle = 0
+        self.running = False
+
+    def start(self, scheduler: Scheduler, phase: int = 0) -> None:
+        self.running = True
+        scheduler.schedule(phase, self, self.priority)
+
+    def notify(self, scheduler, time, arg):
+        if not self.running:
+            return
+        self.component.tick(self.cycle)
+        self.cycle += 1
+        scheduler.schedule(self.period, self, self.priority)
+
+
+class ClockDomain(Actor):
+    """Macro-actor: iterates registered components once per clock edge.
+
+    "A macro-actor contains the code for many components and iterates
+    through them at every simulated clock cycle" (Section III-D).  The
+    domain's frequency may be changed -- or the domain disabled entirely
+    -- at runtime by activity plug-ins (Section III-B); period changes
+    take effect at the next edge.
+    """
+
+    def __init__(self, name: str, period: int, priority: int = PRIO_CLUSTERS):
+        if period <= 0:
+            raise ValueError("clock period must be positive")
+        self.name = name
+        self.period = period
+        self.priority = priority
+        self.components: List[Any] = []
+        self.cycle = 0
+        self.enabled = True
+        self.running = False
+        self._next_event: Optional[Event] = None
+        #: set by the machine to observe every edge (stats hooks)
+        self.on_tick: Optional[Callable[[int], None]] = None
+
+    def add(self, component: Any) -> None:
+        """Register a component exposing ``tick(cycle)``."""
+        self.components.append(component)
+
+    def start(self, scheduler: Scheduler, phase: int = 0) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._next_event = scheduler.schedule(phase, self, self.priority)
+
+    def set_frequency_scale(self, base_period: int, scale: float) -> None:
+        """Retime the domain to ``base_period / scale`` (DVFS hook)."""
+        if scale <= 0:
+            raise ValueError("frequency scale must be positive")
+        self.period = max(1, round(base_period / scale))
+
+    def disable(self) -> None:
+        """Clock-gate the domain (components stop ticking, time passes)."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def notify(self, scheduler, time, arg):
+        if not self.running:
+            return
+        if self.enabled:
+            cycle = self.cycle
+            for component in self.components:
+                component.tick(cycle)
+            if self.on_tick is not None:
+                self.on_tick(cycle)
+            self.cycle += 1
+        self._next_event = scheduler.schedule(self.period, self, self.priority)
+
+    def halt(self, scheduler: Scheduler) -> None:
+        self.running = False
+        if self._next_event is not None:
+            scheduler.cancel(self._next_event)
+            self._next_event = None
+
+
+class TimedQueue:
+    """Bounded FIFO whose entries become visible one consumer-tick later.
+
+    This implements the paper's two-phase hand-off (negotiate/transfer)
+    without per-transfer events: producers ``push`` during their tick;
+    consumers ``pop_ready`` only see entries pushed strictly before the
+    current time, so a package can never traverse two components in the
+    same cycle regardless of component iteration order.
+    """
+
+    __slots__ = ("capacity", "_items",)
+
+    def __init__(self, capacity: int = 0):
+        self.capacity = capacity  # 0 = unbounded
+        self._items: Deque[Tuple[int, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def full(self) -> bool:
+        return self.capacity > 0 and len(self._items) >= self.capacity
+
+    def push(self, time: int, item: Any) -> bool:
+        """Append ``item``; returns False (and drops nothing) when full."""
+        if self.full():
+            return False
+        self._items.append((time, item))
+        return True
+
+    def peek_ready(self, now: int) -> Optional[Any]:
+        if self._items and self._items[0][0] < now:
+            return self._items[0][1]
+        return None
+
+    def pop_ready(self, now: int) -> Optional[Any]:
+        """Pop the head entry if it was pushed before ``now``."""
+        if self._items and self._items[0][0] < now:
+            return self._items.popleft()[1]
+        return None
+
+    def drain_ready(self, now: int, limit: int = 0) -> List[Any]:
+        """Pop up to ``limit`` ready entries (0 = all ready)."""
+        out = []
+        while self._items and self._items[0][0] < now:
+            out.append(self._items.popleft()[1])
+            if limit and len(out) >= limit:
+                break
+        return out

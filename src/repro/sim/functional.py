@@ -1,0 +1,325 @@
+"""The functional model and the fast functional simulation mode.
+
+Section III-A: "The functional model contains the operational definition
+of the instructions, as well as the state of the registers and the
+memory."  Both simulation modes share this state; the *functional mode*
+"serializes the parallel sections of code ... it is orders of magnitude
+faster than the cycle-accurate mode and can be used as a fast, limited
+debugging tool for XMTC programs" -- but, as the paper notes, it cannot
+reveal concurrency bugs, because each spawn block executes its virtual
+threads one after the other on a single execution context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.isa import instructions as I
+from repro.isa.program import Program
+from repro.isa.registers import NUM_GLOBAL_REGS, NUM_REGS, REG_SP, REG_ZERO
+from repro.isa.semantics import (
+    BRANCH_CONDS,
+    TrapError,
+    check_word_addr,
+    eval_binop,
+    format_print,
+    to_signed,
+    to_unsigned,
+    UNOPS,
+)
+
+#: Default top-of-stack for the Master TCU's serial stack.
+DEFAULT_STACK_TOP = 0x00800000
+
+
+class Memory:
+    """Sparse word-addressed shared memory (raw 32-bit patterns)."""
+
+    __slots__ = ("words",)
+
+    def __init__(self, image: Optional[Dict[int, int]] = None):
+        self.words: Dict[int, int] = dict(image) if image else {}
+
+    def load(self, addr: int) -> int:
+        return self.words.get(check_word_addr(addr), 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self.words[check_word_addr(addr)] = value & 0xFFFFFFFF
+
+    def psm(self, addr: int, amount: int) -> int:
+        """Atomic prefix-sum-to-memory; returns the old value."""
+        addr = check_word_addr(addr)
+        old = self.words.get(addr, 0)
+        self.words[addr] = (old + amount) & 0xFFFFFFFF
+        return old
+
+
+class CoreState:
+    """Register file + program counter of one execution context."""
+
+    __slots__ = ("regs", "pc")
+
+    def __init__(self, pc: int = 0):
+        self.regs: List[int] = [0] * NUM_REGS
+        self.pc = pc
+
+    def read(self, r: int) -> int:
+        return self.regs[r]
+
+    def write(self, r: int, value: int) -> None:
+        if r != REG_ZERO:
+            self.regs[r] = value & 0xFFFFFFFF
+
+    def copy_from(self, other: "CoreState") -> None:
+        self.regs[:] = other.regs
+
+
+@dataclass
+class FunctionalResult:
+    """Outcome of a functional-mode run."""
+
+    output: str
+    instructions: int
+    memory: Dict[int, int]
+    global_regs: List[int]
+    #: per-mnemonic instruction counts (the paper's instruction counters)
+    instruction_counts: Dict[str, int] = field(default_factory=dict)
+
+    def read_global(self, program: Program, name: str, **kw):
+        return program.read_global(name, self.memory, **kw)
+
+
+class SimulationError(Exception):
+    """Raised when the simulated program traps or misbehaves."""
+
+
+class FunctionalSimulator:
+    """Executes a :class:`Program` in fast functional mode."""
+
+    def __init__(self, program: Program, stack_top: int = DEFAULT_STACK_TOP,
+                 max_instructions: Optional[int] = None,
+                 on_instruction: Optional[Callable[[I.Instruction, CoreState], None]] = None):
+        self.program = program
+        self.memory = Memory(program.data_image)
+        self.global_regs: List[int] = [0] * NUM_GLOBAL_REGS
+        for index, value in program.greg_init.items():
+            self.global_regs[index] = value
+        self.master = CoreState(pc=program.entry)
+        self.master.write(REG_SP, stack_top)
+        self.output: List[str] = []
+        self.instructions_executed = 0
+        self.instruction_counts: Dict[str, int] = {}
+        self.max_instructions = max_instructions
+        self.on_instruction = on_instruction
+        self._halted = False
+        self._current_core = self.master
+
+    @classmethod
+    def attached(cls, program: Program, memory: Memory, global_regs: List[int],
+                 output: List[str], max_instructions: Optional[int] = None
+                 ) -> "FunctionalSimulator":
+        """Build a functional executor sharing another machine's state.
+
+        Used by phase sampling (Section III-F): the cycle-accurate
+        machine hands its live memory / global registers / output list
+        to a functional executor to fast-forward a parallel section.
+        """
+        sim = cls.__new__(cls)
+        sim.program = program
+        sim.memory = memory
+        sim.global_regs = global_regs
+        sim.master = CoreState(pc=program.entry)
+        sim.output = output
+        sim.instructions_executed = 0
+        sim.instruction_counts = {}
+        sim.max_instructions = max_instructions
+        sim.on_instruction = None
+        sim._halted = False
+        sim._current_core = sim.master
+        return sim
+
+    def run_spawn_region(self, region, low: int, high: int,
+                         master_regs: List[int]) -> int:
+        """Execute one spawn region functionally (serialized); returns
+        the number of instructions executed."""
+        master = CoreState()
+        master.regs[:] = master_regs
+        self._run_spawn_serialized(master, region, low, high)
+        return self.instructions_executed
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self) -> FunctionalResult:
+        """Run to ``halt``; returns the collected result."""
+        self._exec_serial(self.master)
+        if not self._halted:
+            raise SimulationError("program ended without executing halt")
+        return FunctionalResult(
+            output="".join(self.output),
+            instructions=self.instructions_executed,
+            memory=self.memory.words,
+            global_regs=list(self.global_regs),
+            instruction_counts=dict(self.instruction_counts),
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def _bump(self, ins: I.Instruction) -> None:
+        self.instructions_executed += 1
+        counts = self.instruction_counts
+        counts[ins.op] = counts.get(ins.op, 0) + 1
+        if (self.max_instructions is not None
+                and self.instructions_executed > self.max_instructions):
+            raise SimulationError(
+                f"instruction budget exceeded ({self.max_instructions}); "
+                "likely an infinite loop")
+        if self.on_instruction is not None:
+            self.on_instruction(ins, self._current_core)
+
+    def _trap(self, ins: I.Instruction, message: str) -> "SimulationError":
+        return SimulationError(
+            f"trap at text index {ins.index} (asm line {ins.line}, {ins.op}): {message}")
+
+    def _exec_serial(self, core: CoreState) -> None:
+        """Serial execution on the Master until halt; spawns serialize."""
+        program = self.program
+        instrs = program.instructions
+        n = len(instrs)
+        self._current_core = core
+        while not self._halted:
+            if not 0 <= core.pc < n:
+                raise SimulationError(f"PC out of range: {core.pc}")
+            ins = instrs[core.pc]
+            self._bump(ins)
+            op = ins.op
+            if op == "spawn":
+                low = to_signed(core.read(ins.rs))
+                high = to_signed(core.read(ins.rt))
+                region = program.region_for_spawn(core.pc)
+                self._run_spawn_serialized(core, region, low, high)
+                core.pc = region.join_index + 1
+                self._current_core = core
+                continue
+            if op == "join":
+                raise self._trap(ins, "join reached in serial flow "
+                                      "(fell through into a spawn region?)")
+            if op in ("getvt", "chkid", "gettcu"):
+                raise self._trap(ins, f"{op} outside a spawn region")
+            if op == "halt":
+                self._halted = True
+                return
+            self._step(core, ins)
+
+    def _run_spawn_serialized(self, master: CoreState, region, low: int, high: int) -> None:
+        """Serialize a spawn block: one context runs all virtual threads.
+
+        The context starts from a broadcast copy of the master register
+        file (the paper's "broadcast all live Master TCU registers"),
+        then executes the region's getvt/chkid dispatch loop with the
+        thread counter granting IDs ``low..high`` in order.
+        """
+        tcu = CoreState(pc=region.start)
+        tcu.copy_from(master)
+        counter = low
+        instrs = self.program.instructions
+        self._current_core = tcu
+        while True:
+            if not region.contains(tcu.pc):
+                if tcu.pc == region.join_index:
+                    raise SimulationError(
+                        "TCU flowed into join without a chkid park "
+                        f"(text index {tcu.pc})")
+                if not self.program.parallel_calls:
+                    # The XMT hardware cannot execute instructions that
+                    # were not broadcast -- exactly the Fig. 9 basic-block
+                    # layout hazard the compiler post-pass must prevent.
+                    raise SimulationError(
+                        "control left the spawn region to text index "
+                        f"{tcu.pc} (basic-block layout bug? see paper "
+                        "Fig. 9)")
+                if not 0 <= tcu.pc < len(instrs):
+                    raise SimulationError(f"TCU PC out of range: {tcu.pc}")
+            ins = instrs[tcu.pc]
+            self._bump(ins)
+            op = ins.op
+            if op == "getvt":
+                tcu.write(ins.rd, to_unsigned(counter))
+                counter += 1
+                tcu.pc += 1
+                continue
+            if op == "gettcu":
+                tcu.write(ins.rd, 0)  # one serialized context
+                tcu.pc += 1
+                continue
+            if op == "chkid":
+                vt = to_signed(tcu.read(ins.rs))
+                if vt > high:
+                    return  # all virtual threads done; hardware joins
+                tcu.pc += 1
+                continue
+            if op in ("spawn", "halt", "join"):
+                raise self._trap(ins, f"{op} inside a spawn region")
+            self._step(tcu, ins)
+
+    # one instruction, shared by serial and spawn paths --------------------------
+
+    def _step(self, core: CoreState, ins: I.Instruction) -> None:
+        op = ins.op
+        try:
+            if isinstance(ins, I.ALUOp):
+                core.write(ins.rd, eval_binop(op, core.read(ins.rs), core.read(ins.rt)))
+            elif isinstance(ins, I.ALUImm):
+                core.write(ins.rd, eval_binop(op, core.read(ins.rs), ins.imm))
+            elif isinstance(ins, I.LoadImm):
+                core.write(ins.rd, ins.imm)
+            elif isinstance(ins, I.UnaryOp):
+                core.write(ins.rd, UNOPS[op](core.read(ins.rs)))
+            elif isinstance(ins, I.Load):
+                addr = to_unsigned(core.read(ins.base) + ins.offset)
+                core.write(ins.rd, self.memory.load(addr))
+            elif isinstance(ins, I.Store):
+                addr = to_unsigned(core.read(ins.base) + ins.offset)
+                self.memory.store(addr, core.read(ins.rt))
+            elif isinstance(ins, I.Psm):
+                addr = to_unsigned(core.read(ins.base) + ins.offset)
+                old = self.memory.psm(addr, to_signed(core.read(ins.rd)))
+                core.write(ins.rd, old)
+            elif isinstance(ins, I.Ps):
+                if ins.mode == "ps":
+                    amount = core.read(ins.rd)
+                    old = self.global_regs[ins.greg]
+                    self.global_regs[ins.greg] = (old + amount) & 0xFFFFFFFF
+                    core.write(ins.rd, old)
+                elif ins.mode == "get":
+                    core.write(ins.rd, self.global_regs[ins.greg])
+                else:  # set
+                    self.global_regs[ins.greg] = core.read(ins.rd)
+            elif isinstance(ins, I.Branch):
+                a = core.read(ins.rs)
+                b = core.read(ins.rt) if ins.rt >= 0 else 0
+                if BRANCH_CONDS[op](a, b):
+                    core.pc = ins.target
+                    return
+            elif isinstance(ins, I.Jump):
+                if op == "jal":
+                    core.write(31, to_unsigned(core.pc + 1))
+                core.pc = ins.target
+                return
+            elif isinstance(ins, I.JumpReg):
+                core.pc = to_unsigned(core.read(ins.rs))
+                return
+            elif isinstance(ins, I.Prefetch):
+                pass  # timing hint only
+            elif isinstance(ins, I.Fence):
+                pass  # ordering is trivially satisfied in functional mode
+            elif isinstance(ins, I.Nop):
+                pass
+            elif isinstance(ins, I.Print):
+                fmt = self.program.strings[ins.fmt_id]
+                self.output.append(format_print(fmt, [core.read(r) for r in ins.regs]))
+            else:  # pragma: no cover - assembler prevents this
+                raise TrapError(f"unhandled instruction {op}")
+        except TrapError as exc:
+            raise self._trap(ins, str(exc)) from None
+        core.pc += 1

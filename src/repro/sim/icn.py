@@ -1,0 +1,162 @@
+"""The interconnection network (mesh-of-trees), modeled as a macro-actor.
+
+The paper singles the ICN out twice: it is the component implemented as
+a macro-actor (Fig. 4) because per-switch events would cross the DE
+scheduling threshold, and it dominates simulation cost ("up to 60% of
+the time can be spent in simulating the interconnection network",
+Section III-D).  We model it transaction-level: a package injected at a
+cluster send port traverses a log-depth pipeline to its hashed cache
+module; responses traverse a separate return network.  Contention is
+expressed by per-cluster injection width, per-module return drain width
+and the bounded cluster send queues (back-pressure to the TCUs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from repro.sim import packages as P
+
+
+class Interconnect:
+    """Both ICN directions plus the Master ICN send/return paths."""
+
+    #: relative per-package dynamic energy (see AsyncInterconnect)
+    energy_factor = 1.0
+
+    def __init__(self, machine):
+        cfg = machine.config
+        self.machine = machine
+        self.depth = cfg.icn_depth()
+        self._line_shift = 2 + (cfg.cache_line_words - 1).bit_length() \
+            if cfg.cache_line_words > 1 else 2
+        self.width_per_cluster = cfg.icn_width_per_cluster
+        self.return_width = cfg.icn_return_width
+        # in-flight heaps: (arrival_time, seq, pkg)
+        self._to_cache: List[Tuple[int, int, P.Package]] = []
+        self._to_cluster: List[Tuple[int, int, P.Package]] = []
+        self.domain = None  # set by the machine
+        self.packages_sent = 0
+        self.packages_returned = 0
+
+    # -- per-cycle behaviour -------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        machine = self.machine
+        if (not self._to_cache and not self._to_cluster
+                and machine.icn_pending == 0):
+            return  # quiet cycle: nothing queued anywhere on the network
+        now = machine.scheduler.now
+        stats = machine.stats
+
+        # 1. deliver packages that finished the send traversal
+        to_cache = self._to_cache
+        while to_cache and to_cache[0][0] <= now:
+            _, _, pkg = heapq.heappop(to_cache)
+            machine.cache_modules[pkg.module].in_queue.push(now, pkg)
+            machine.cache_bank.activate(pkg.module)
+            machine.note_progress()
+
+        # 2. deliver responses that finished the return traversal
+        to_cluster = self._to_cluster
+        while to_cluster and to_cluster[0][0] <= now:
+            _, _, pkg = heapq.heappop(to_cluster)
+            machine.deliver_response(now, pkg)
+            machine.note_progress()
+
+        # 3. inject new requests from the cluster (and master) send ports
+        for port in machine.send_ports:
+            for _ in range(self.width_per_cluster):
+                pkg = port.pop_ready(now)
+                if pkg is None:
+                    break
+                machine.icn_pending -= 1
+                pkg.module = P.hash_address(pkg.addr,
+                                            machine.config.n_cache_modules,
+                                            self._line_shift)
+                self.packages_sent += 1
+                stats.inc("icn.send")
+                heapq.heappush(to_cache,
+                               (self._arrival(now, pkg, "send"), pkg.seq, pkg))
+
+        # 4. drain cache-module responses into the return network
+        for module in machine.cache_modules:
+            for _ in range(self.return_width):
+                pkg = module.out_queue.pop_ready(now)
+                if pkg is None:
+                    break
+                machine.icn_pending -= 1
+                self.packages_returned += 1
+                stats.inc("icn.return")
+                heapq.heappush(to_cluster,
+                               (self._arrival(now, pkg, "return"), pkg.seq, pkg))
+
+    def idle(self) -> bool:
+        return not self._to_cache and not self._to_cluster
+
+    def traversal_latency(self, pkg: P.Package) -> int:
+        """Picoseconds for one traversal; synchronous ICN quantizes to
+        its clock (depth cycles of the ICN domain)."""
+        return self.depth * self.domain.period
+
+    def _arrival(self, now: int, pkg: P.Package, direction: str) -> int:
+        """Arrival time of a package.  Fixed-latency (synchronous)
+        traversal preserves per-channel FIFO order by construction."""
+        return now + self.traversal_latency(pkg)
+
+
+class AsyncInterconnect(Interconnect):
+    """GALS/asynchronous mesh-of-trees (Section III-F, following [39]).
+
+    "Use of asynchronous logic in the interconnection network design
+    might be preferable for its advantages in power consumption."  An
+    asynchronous network has no ICN clock: a package's traversal time is
+    a continuous quantity -- per-stage handshake delay times the log
+    depth, plus data-dependent jitter -- *independent of any clock
+    period*.  This is exactly what the paper's DE (not DT) engine
+    exists to support: "DE simulation allows modeling not only
+    synchronous (clocked) components but also asynchronous components
+    that require a continuous time concept."
+
+    Two observable differences from the synchronous ICN:
+
+    - traversal latency does not degrade when the ICN clock domain is
+      slowed for power (there is no ICN clock);
+    - per-package energy is lower (no clock tree): the power model
+      reads :attr:`energy_factor`.
+    """
+
+    #: relative per-package dynamic energy vs the synchronous network
+    energy_factor = 0.7
+
+    def __init__(self, machine):
+        super().__init__(machine)
+        cfg = machine.config
+        self.hop_delay_ps = cfg.icn_async_hop_delay_ps
+        self.jitter = cfg.icn_async_jitter
+        # per-channel last-arrival clamp: asynchronous links are still
+        # physical FIFOs, so same-source same-destination ordering (rule
+        # 1 of the memory model) must survive the jitter
+        self._last_arrival: dict = {}
+
+    def traversal_latency(self, pkg: P.Package) -> int:
+        base = self.depth * self.hop_delay_ps
+        if self.jitter <= 0:
+            return base
+        # deterministic per-package handshake jitter in [-j, +j];
+        # keyed on run-local state (injection count, address, source) so
+        # identical runs reproduce identical timings
+        n = self.packages_sent + self.packages_returned
+        h = ((n * 0x9E3779B1) ^ (pkg.addr * 31) ^ (pkg.tcu_id * 7919)) & 0xFFFF
+        spread = (h / 0xFFFF) * 2.0 - 1.0
+        return max(1, int(base * (1.0 + self.jitter * spread)))
+
+    def _arrival(self, now: int, pkg: P.Package, direction: str) -> int:
+        arrival = now + self.traversal_latency(pkg)
+        key = (direction, pkg.tcu_id, pkg.module)
+        floor = self._last_arrival.get(key, 0)
+        if arrival <= floor:
+            arrival = floor + 1
+        self._last_arrival[key] = arrival
+        return arrival

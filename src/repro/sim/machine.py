@@ -1,0 +1,393 @@
+"""The assembled XMT machine and the cycle-accurate ``Simulator`` facade.
+
+This is the counterpart of the paper's Fig. 3: the *functional model*
+(shared memory + register state + operational definitions) in the
+middle, the *cycle-accurate model* (clusters of TCUs, spawn and
+prefix-sum units, ICN, shared cache modules, DRAM ports) around it, an
+event-scheduler engine controlling the flow of simulation, instruction
+and activity counters, and the plug-in interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.program import Program
+from repro.isa.registers import NUM_GLOBAL_REGS, REG_SP
+from repro.sim.cluster import Cluster
+from repro.sim.cache import CacheModule
+from repro.sim.config import XMTConfig, fpga64
+from repro.sim.dram import DRAMPort
+from repro.sim.engine import (
+    Actor,
+    ClockDomain,
+    PRIO_CACHE,
+    PRIO_CLUSTERS,
+    PRIO_DRAM,
+    PRIO_ICN,
+    PRIO_PLUGIN,
+    Scheduler,
+)
+from repro.sim.functional import Memory, SimulationError
+from repro.sim.icn import AsyncInterconnect, Interconnect
+from repro.sim.mtcu import MasterTCU
+from repro.sim.psunit import PrefixSumUnit
+from repro.sim.spawn_unit import SpawnUnit
+from repro.sim.stats import Stats
+
+
+class CacheBank:
+    """Macro-actor over all shared-cache modules.
+
+    Iterating 128 idle modules every cycle dominates host time for
+    serial phases (the paper's Section III-D grouping argument); the
+    bank keeps an *active set* -- a module is ticked only while it has
+    queued requests, in-flight misses or pending responses.
+    """
+
+    def __init__(self, machine, modules):
+        self.machine = machine
+        self.modules = modules
+        self._active = []
+        self._in_active = [False] * len(modules)
+
+    def activate(self, module_id: int) -> None:
+        if not self._in_active[module_id]:
+            self._in_active[module_id] = True
+            self._active.append(module_id)
+
+    def tick(self, cycle: int) -> None:
+        if not self._active:
+            return
+        survivors = []
+        for module_id in self._active:
+            module = self.modules[module_id]
+            module.tick(cycle)
+            if module.idle():
+                self._in_active[module_id] = False
+            else:
+                survivors.append(module_id)
+        self._active = survivors
+
+
+class _Watchdog(Actor):
+    """Deadlock detector: aborts if nothing progressed for a full window."""
+
+    def __init__(self, machine, interval_ps: int):
+        self.machine = machine
+        self.interval_ps = interval_ps
+        self.prev_progress = -1
+
+    def start(self, scheduler: Scheduler) -> None:
+        scheduler.schedule(self.interval_ps, self, PRIO_PLUGIN)
+
+    def notify(self, scheduler, time, arg):
+        machine = self.machine
+        if machine.halted:
+            return
+        if machine.last_progress == self.prev_progress:
+            raise SimulationError(
+                f"deadlock: no progress for {self.interval_ps} ps "
+                f"(time {time}, {machine.stats.instruction_total()} instructions "
+                "executed)")
+        self.prev_progress = machine.last_progress
+        scheduler.schedule(self.interval_ps, self, PRIO_PLUGIN)
+
+
+class _PluginActor(Actor):
+    """Drives one activity plug-in at its sampling interval."""
+
+    def __init__(self, machine, plugin):
+        self.machine = machine
+        self.plugin = plugin
+
+    def start(self, scheduler: Scheduler) -> None:
+        interval = self.plugin.interval_cycles * self.machine.config.cluster_period
+        scheduler.schedule(interval, self, PRIO_PLUGIN)
+
+    def notify(self, scheduler, time, arg):
+        if self.machine.halted:
+            return
+        self.plugin.sample(self.machine, time)
+        interval = self.plugin.interval_cycles * self.machine.config.cluster_period
+        scheduler.schedule(interval, self, PRIO_PLUGIN)
+
+
+@dataclass
+class CycleResult:
+    """Outcome of a cycle-accurate run."""
+
+    cycles: int
+    time_ps: int
+    instructions: int
+    output: str
+    memory: Dict[int, int]
+    global_regs: List[int]
+    stats: Stats
+    program: Program
+
+    def read_global(self, name: str, **kw):
+        return self.program.read_global(name, self.memory, **kw)
+
+    @property
+    def instruction_counts(self) -> Dict[str, int]:
+        return self.stats.group("instructions")
+
+
+class Machine:
+    """All cycle-accurate components wired to one functional model."""
+
+    def __init__(self, program: Program, config: Optional[XMTConfig] = None,
+                 plugins=(), trace=None):
+        self.program = program
+        self.config = config or fpga64()
+        self.config.validate()
+        cfg = self.config
+
+        self.scheduler = Scheduler()
+        self.memory = Memory(program.data_image)
+        self.global_regs: List[int] = [0] * NUM_GLOBAL_REGS
+        for index, value in program.greg_init.items():
+            self.global_regs[index] = value
+        self.stats = Stats()
+        self.output: List[str] = []
+        self.trace = trace
+        self.halted = False
+        self.halt_time = 0
+        self.parallel_active = False
+        self.last_progress = 0
+        self._inbox_seq = 0
+        #: phase sampling (Section III-F): set by SampledSimulator
+        self.sampler = None
+        self.sampler_exec = None
+
+        # components
+        self.master = MasterTCU(self)
+        self.clusters = [Cluster(self, i) for i in range(cfg.n_clusters)]
+        self.tcus = [tcu for cluster in self.clusters for tcu in cluster.tcus]
+        self.cache_modules = [CacheModule(self, i) for i in range(cfg.n_cache_modules)]
+        self.cache_bank = CacheBank(self, self.cache_modules)
+        self.dram_ports = [DRAMPort(self, i) for i in range(cfg.n_dram_ports)]
+        #: count of packages sitting in send ports / module out-queues;
+        #: lets the ICN skip its tick entirely during quiet cycles
+        self.icn_pending = 0
+        self.icn = (AsyncInterconnect(self) if cfg.icn_style == "async"
+                    else Interconnect(self))
+        self.ps_unit = PrefixSumUnit(self)
+        self.spawn_unit = SpawnUnit(self)
+        self.send_ports = [c.send_queue for c in self.clusters] + [self.master.send_queue]
+
+        self.master.core.pc = program.entry
+        self.master.core.write(REG_SP, cfg.stack_top)
+
+        # clock domains (components iterate in priority order within a tick)
+        self.domains: Dict[str, ClockDomain] = {}
+        self._build_domains()
+
+        # plug-ins
+        self.activity_plugins = []
+        self.filter_plugins = []
+        self.filter_hook = None
+        for plugin in plugins:
+            self.add_plugin(plugin)
+
+        self._watchdog = _Watchdog(self, cfg.watchdog_cycles * cfg.cluster_period)
+        self._started = False
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_domains(self) -> None:
+        cfg = self.config
+        cluster_components = ([self.master] + self.clusters
+                              + [self.spawn_unit, self.ps_unit])
+        groups = [
+            ("clusters", cfg.cluster_period, PRIO_CLUSTERS, cluster_components),
+            ("cache", cfg.cache_period, PRIO_CACHE, [self.cache_bank]),
+            ("dram", cfg.dram_period, PRIO_DRAM, list(self.dram_ports)),
+        ]
+        if cfg.icn_style == "async":
+            # an asynchronous network has no clock of its own: it reacts
+            # whenever producers do, so it polls at the cluster rate and
+            # is immune to any "icn" domain retiming
+            cluster_components.append(self.icn)
+        else:
+            groups.insert(1, ("icn", cfg.icn_period, PRIO_ICN, [self.icn]))
+        merge = getattr(cfg, "merge_clock_domains", True)
+        domain_of_period: Dict[int, ClockDomain] = {}
+        for name, period, priority, components in groups:
+            if merge and period in domain_of_period:
+                domain = domain_of_period[period]
+            else:
+                domain = ClockDomain(name, period, priority)
+                if merge:
+                    domain_of_period[period] = domain
+            for comp in components:
+                domain.add(comp)
+                comp.domain = domain
+            self.domains[name] = domain
+        # cache modules live behind the bank macro-actor but still need
+        # their domain for latency conversion
+        for module in self.cache_modules:
+            module.domain = self.domains["cache"]
+
+    def add_plugin(self, plugin) -> None:
+        """Register an activity or filter plug-in (Section III-B)."""
+        if hasattr(plugin, "sample"):
+            self.activity_plugins.append(plugin)
+        if hasattr(plugin, "on_access"):
+            self.filter_plugins.append(plugin)
+            self.filter_hook = self._dispatch_filter
+
+    def _dispatch_filter(self, pkg) -> None:
+        for plugin in self.filter_plugins:
+            plugin.on_access(pkg)
+
+    # -- component callbacks --------------------------------------------------------
+
+    def note_progress(self) -> None:
+        self.last_progress = self.scheduler.now
+
+    def count_instruction(self, ins) -> None:
+        stats = self.stats.counters
+        stats[f"instructions.{ins.op}"] += 1
+        stats[f"instr_class.{ins.fu}"] += 1
+
+    def emit_output(self, text: str) -> None:
+        self.output.append(text)
+
+    def deliver_to_tcu(self, tcu_id: int, time: int, pkg) -> None:
+        target = self.master if tcu_id < 0 else self.tcus[tcu_id]
+        target.deliver(time, pkg)
+
+    def deliver_response(self, now: int, pkg) -> None:
+        """ICN return network hands a response to its destination."""
+        if pkg.tcu_id < 0:
+            self.master.deliver(now, pkg)
+            return
+        if pkg.kind == "ro_fill":
+            self.clusters[pkg.cluster_id].ro_cache.fill(pkg.addr)
+        self.tcus[pkg.tcu_id].deliver(now, pkg)
+        if self.trace is not None:
+            self.trace.on_response(self, pkg, now)
+
+    def dram_request(self, module, line: int, addr: int) -> None:
+        port = self.dram_ports[line % len(self.dram_ports)]
+        port.request(module, line, writeback=False)
+
+    def dram_writeback(self, module, line: int) -> None:
+        port = self.dram_ports[line % len(self.dram_ports)]
+        port.request(module, line, writeback=True)
+
+    # -- spawn/join orchestration -------------------------------------------------------
+
+    def enter_parallel(self) -> None:
+        self.parallel_active = True
+
+    def release_tcus(self, region, master_regs) -> None:
+        for tcu in self.tcus:
+            tcu.inbox.clear()
+            tcu.start_region(region, master_regs)
+
+    def finish_spawn(self, resume_time: int, region) -> None:
+        """All TCUs parked: end parallel mode, resume the Master."""
+        self.parallel_active = False
+        for cluster in self.clusters:
+            cluster.invalidate_caches()
+        self.master.cache.invalidate()
+        self.master.deliver(resume_time, ("resume", region.join_index + 1))
+        self.stats.inc("spawn.joined")
+        if self.sampler is not None:
+            self.sampler.end_measure(region.spawn_index, resume_time,
+                                     self.config.cluster_period)
+
+    def halt(self, now: int) -> None:
+        self.halted = True
+        self.halt_time = now
+        self.scheduler.stop()
+
+    # -- DVFS hooks used by activity plug-ins --------------------------------------------
+
+    def set_domain_scale(self, name: str, scale: float) -> None:
+        """Scale a clock domain's frequency (1.0 = nominal)."""
+        if name == "icn" and self.config.icn_style == "async":
+            return  # no ICN clock to scale; that is the point of async
+        base = {
+            "clusters": self.config.cluster_period,
+            "icn": self.config.icn_period,
+            "cache": self.config.cache_period,
+            "dram": self.config.dram_period,
+        }[name]
+        self.domains[name].set_frequency_scale(base, scale)
+
+    # -- running ---------------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        started = set()
+        for domain in self.domains.values():
+            if id(domain) not in started:
+                domain.start(self.scheduler)
+                started.add(id(domain))
+        self._watchdog.start(self.scheduler)
+        for plugin in self.activity_plugins:
+            _PluginActor(self, plugin).start(self.scheduler)
+
+    def run(self, max_cycles: Optional[int] = None,
+            allow_timeout: bool = False) -> CycleResult:
+        self.start()
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        deadline = None if limit is None else limit * self.config.cluster_period
+        self.scheduler.run(until=deadline)
+        if not self.halted:
+            if not allow_timeout:
+                raise SimulationError(
+                    f"simulation exceeded {limit} cycles without halting")
+            self.halt_time = self.scheduler.now
+        for plugin in self.activity_plugins:
+            finish = getattr(plugin, "finish", None)
+            if finish is not None:
+                finish(self)
+        for plugin in self.filter_plugins:
+            finish = getattr(plugin, "finish", None)
+            if finish is not None:
+                finish(self)
+        cycles = self.halt_time // self.config.cluster_period
+        self.stats.counters["cycles"] = cycles
+        return CycleResult(
+            cycles=cycles,
+            time_ps=self.halt_time,
+            instructions=self.stats.instruction_total(),
+            output="".join(self.output),
+            memory=self.memory.words,
+            global_regs=list(self.global_regs),
+            stats=self.stats,
+            program=self.program,
+        )
+
+
+class Simulator:
+    """User-facing facade: cycle-accurate simulation of a program.
+
+    >>> sim = Simulator(program, fpga64())
+    >>> result = sim.run()
+    >>> result.cycles, result.output
+    """
+
+    def __init__(self, program: Program, config: Optional[XMTConfig] = None,
+                 plugins=(), trace=None):
+        self.machine = Machine(program, config, plugins=plugins, trace=trace)
+
+    @property
+    def config(self) -> XMTConfig:
+        return self.machine.config
+
+    @property
+    def stats(self) -> Stats:
+        return self.machine.stats
+
+    def run(self, max_cycles: Optional[int] = None,
+            allow_timeout: bool = False) -> CycleResult:
+        return self.machine.run(max_cycles=max_cycles, allow_timeout=allow_timeout)

@@ -1,0 +1,157 @@
+"""Filter and activity plug-ins (Section III-B).
+
+Two plug-in interfaces, exactly as in XMTSim:
+
+- **Filter plug-ins** post-process the instruction stream / memory
+  traffic: they see every package that commits at a cache module and
+  report at end of simulation.  The built-in
+  :class:`HotMemoryFilter` reproduces the paper's default plug-in that
+  "creates a list of most frequently accessed locations in the XMT
+  shared memory space", which lets a programmer find the assembly (and,
+  through the compiler, XMTC) lines causing memory bottlenecks.
+
+- **Activity plug-ins** are sampled at a regular interval of simulated
+  time; they can read the instruction/activity counters and *change the
+  frequencies of the clock domains* or enable/disable them -- the
+  mechanism that makes XMTSim "the only publicly available many-core
+  simulator that allows evaluation of mechanisms such as dynamic power
+  and thermal management".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.stats import IntervalSeries, diff_snapshots
+
+
+class ActivityPlugin:
+    """Base class: override :meth:`sample` (and optionally :meth:`finish`)."""
+
+    #: sampling interval in cluster-domain cycles
+    interval_cycles: int = 10_000
+
+    def __init__(self, interval_cycles: int = 10_000):
+        self.interval_cycles = interval_cycles
+
+    def sample(self, machine, time: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finish(self, machine) -> None:
+        pass
+
+
+class ActivityRecorder(ActivityPlugin):
+    """Records counter snapshots over simulated time.
+
+    The recorded :class:`~repro.sim.stats.IntervalSeries` is the
+    "execution profile of XMTC programs over simulated time, showing
+    memory and computation intensive phases" that feeds the power model.
+    """
+
+    def __init__(self, interval_cycles: int = 10_000,
+                 keys: Optional[List[str]] = None):
+        super().__init__(interval_cycles)
+        self.series = IntervalSeries()
+        self.keys = keys
+
+    def sample(self, machine, time: int) -> None:
+        snap = machine.stats.snapshot()
+        if self.keys is not None:
+            snap = {k: v for k, v in snap.items()
+                    if any(k.startswith(p) for p in self.keys)}
+        self.series.record(time, snap)
+
+    def finish(self, machine) -> None:
+        self.sample(machine, machine.scheduler.now)
+
+
+class FrequencyController(ActivityPlugin):
+    """Programmable DVFS: calls a policy on each sample.
+
+    ``policy(machine, time, activity_delta) -> dict domain -> scale``;
+    returned scales are applied with
+    :meth:`~repro.sim.machine.Machine.set_domain_scale`.
+    """
+
+    def __init__(self, policy: Callable, interval_cycles: int = 10_000):
+        super().__init__(interval_cycles)
+        self.policy = policy
+        self._prev: Dict[str, int] = {}
+        self.decisions: List[Tuple[int, Dict[str, float]]] = []
+
+    def sample(self, machine, time: int) -> None:
+        snap = machine.stats.snapshot()
+        delta = diff_snapshots(self._prev, snap)
+        self._prev = snap
+        scales = self.policy(machine, time, delta) or {}
+        for domain, scale in scales.items():
+            machine.set_domain_scale(domain, scale)
+        if scales:
+            self.decisions.append((time, dict(scales)))
+
+
+class HotMemoryFilter:
+    """Built-in filter plug-in: most frequently accessed memory words.
+
+    The paper's default plug-in: it finds the memory bottleneck
+    addresses, names the globals they belong to, and -- through the
+    compiler's source-line markers -- refers them "back to the
+    corresponding XMTC lines of code" (Section III-B).
+    """
+
+    def __init__(self, top: int = 10):
+        self.top = top
+        self.counts: Dict[int, int] = {}
+        #: XMTC source line -> memory accesses issued by it
+        self.line_counts: Dict[int, int] = {}
+
+    def on_access(self, pkg) -> None:
+        self.counts[pkg.addr] = self.counts.get(pkg.addr, 0) + 1
+        if pkg.src_line:
+            self.line_counts[pkg.src_line] = \
+                self.line_counts.get(pkg.src_line, 0) + 1
+
+    def hottest(self) -> List[Tuple[int, int]]:
+        """``[(address, accesses)]`` sorted by access count, descending."""
+        ranked = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[: self.top]
+
+    def hottest_lines(self) -> List[Tuple[int, int]]:
+        """``[(xmtc_line, accesses)]`` sorted by access count."""
+        ranked = sorted(self.line_counts.items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        return ranked[: self.top]
+
+    def report(self, program=None, source: str = None) -> str:
+        lines = ["hottest shared-memory locations:"]
+        for addr, count in self.hottest():
+            name = ""
+            if program is not None:
+                for sym in program.globals_table.values():
+                    if sym.addr <= addr < sym.addr + 4 * sym.n_words:
+                        name = f"  ({sym.name}[{(addr - sym.addr) // 4}])"
+                        break
+            lines.append(f"  0x{addr:08x}: {count}{name}")
+        if self.line_counts:
+            src_lines = source.splitlines() if source else None
+            lines.append("hottest XMTC source lines:")
+            for line_no, count in self.hottest_lines():
+                text = ""
+                if src_lines and 1 <= line_no <= len(src_lines):
+                    text = f"  | {src_lines[line_no - 1].strip()}"
+                lines.append(f"  line {line_no}: {count} accesses{text}")
+        return "\n".join(lines)
+
+    def finish(self, machine) -> None:
+        pass
+
+
+class InstructionHistogramFilter:
+    """Filter plug-in: classify committed memory packages by kind."""
+
+    def __init__(self):
+        self.by_kind: Dict[str, int] = {}
+
+    def on_access(self, pkg) -> None:
+        self.by_kind[pkg.kind] = self.by_kind.get(pkg.kind, 0) + 1

@@ -1,0 +1,103 @@
+"""Instruction and activity counters (Section III-B).
+
+"XMTSim features built-in counters that keep record of the executed
+instructions and the activity of the cycle-accurate components."  The
+:class:`Stats` object is shared by every component of a machine; filter
+plug-ins post-process the instruction statistics at end of simulation
+and activity plug-ins sample the counters at runtime.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping
+
+
+class Stats:
+    """Hierarchical dot-separated counters, e.g. ``cache.hit``.
+
+    Counters are plain integers; a snapshot is a dict copy, so activity
+    plug-ins can difference successive snapshots to get per-interval
+    activity (the input of the power model).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+
+    def inc(self, key: str, amount: int = 1) -> None:
+        self.counters[key] += amount
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self.counters.get(key, default)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+    def group(self, prefix: str) -> Dict[str, int]:
+        """All counters under ``prefix.`` with the prefix stripped."""
+        cut = len(prefix) + 1
+        return {
+            key[cut:]: value
+            for key, value in self.counters.items()
+            if key.startswith(prefix + ".")
+        }
+
+    def total(self, prefix: str) -> int:
+        return sum(self.group(prefix).values())
+
+    def merge_instruction_counts(self, counts: Mapping[str, int]) -> None:
+        for op, n in counts.items():
+            self.counters[f"instructions.{op}"] += n
+
+    def instruction_total(self) -> int:
+        return self.total("instructions")
+
+    def report(self, prefixes: Iterable[str] = ()) -> str:
+        """Human-readable end-of-simulation dump."""
+        keys = sorted(self.counters)
+        if prefixes:
+            keys = [k for k in keys if any(k.startswith(p) for p in prefixes)]
+        width = max((len(k) for k in keys), default=0)
+        return "\n".join(f"{k:<{width}}  {self.counters[k]}" for k in keys)
+
+
+def diff_snapshots(before: Mapping[str, int], after: Mapping[str, int]) -> Dict[str, int]:
+    """Per-interval activity: ``after - before`` on every counter."""
+    out: Dict[str, int] = {}
+    for key, value in after.items():
+        delta = value - before.get(key, 0)
+        if delta:
+            out[key] = delta
+    return out
+
+
+class IntervalSeries:
+    """A recorded time series of counter snapshots (activity profiles).
+
+    Activity plug-ins use this to generate "execution profiles of XMTC
+    programs over simulated time, showing memory and computation
+    intensive phases, power, etc." (Section III-B).
+    """
+
+    def __init__(self) -> None:
+        self.times: List[int] = []
+        self.snapshots: List[Dict[str, int]] = []
+
+    def record(self, time: int, snapshot: Dict[str, int]) -> None:
+        self.times.append(time)
+        self.snapshots.append(snapshot)
+
+    def deltas(self) -> List[Dict[str, int]]:
+        out = []
+        prev: Dict[str, int] = {}
+        for snap in self.snapshots:
+            out.append(diff_snapshots(prev, snap))
+            prev = snap
+        return out
+
+    def series(self, key: str) -> List[int]:
+        """Per-interval deltas of a single counter."""
+        return [d.get(key, 0) for d in self.deltas()]
+
+    def __len__(self) -> int:
+        return len(self.times)

@@ -1,0 +1,684 @@
+"""Thread Control Units (TCUs) and the shared processor core logic.
+
+TCUs are the "lightweight cores" of Fig. 1: in-order, one instruction
+per cycle, with private ALU/shift/branch units, a register scoreboard
+(stall-on-use for loads), a prefetch buffer, and non-blocking-store
+tracking.  Multiply/divide and floating point are *shared* per cluster,
+so TCUs arbitrate for them (structural stalls).  Memory instructions
+become :class:`~repro.sim.packages.Package` objects that travel through
+the cluster send port, the ICN and a shared-cache module, and expire
+when the response returns to the commit stage -- the package life cycle
+of Section III-A.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import instructions as I
+from repro.isa.registers import REG_ZERO
+from repro.isa.semantics import (
+    BRANCH_CONDS,
+    TrapError,
+    eval_binop,
+    format_print,
+    to_signed,
+    to_unsigned,
+    UNOPS,
+)
+from repro.sim import packages as P
+from repro.sim.functional import CoreState, SimulationError
+
+
+class ProcessorBase:
+    """Issue/commit logic shared by the TCUs and the Master TCU."""
+
+    #: stats key prefix ("tcu" or "master")
+    kind = "tcu"
+
+    def __init__(self, machine, tcu_id: int):
+        self.machine = machine
+        self.tcu_id = tcu_id
+        self.core = CoreState()
+        self.active = False
+        self.pending_regs: set = set()
+        self.outstanding_loads = 0
+        self.outstanding_stores = 0
+        self.wait_store_ack = False
+        self.stall_until = -1
+        self.inbox: List[Tuple[int, int, object]] = []
+        self._retry: Optional[Tuple[P.Package, I.Instruction]] = None
+        self.instructions_issued = 0
+        self._build_handlers()
+
+    # -- delivery -------------------------------------------------------------
+
+    def deliver(self, time: int, item: object) -> None:
+        machine = self.machine
+        machine._inbox_seq += 1
+        heapq.heappush(self.inbox, (time, machine._inbox_seq, item))
+
+    def _drain_inbox(self, now: int) -> None:
+        inbox = self.inbox
+        while inbox and inbox[0][0] <= now:
+            _, _, item = heapq.heappop(inbox)
+            self._process_delivery(item)
+
+    def _process_delivery(self, item: object) -> None:
+        core = self.core
+        if isinstance(item, tuple):
+            tag = item[0]
+            if tag == "reg":  # shared-FU completion
+                _, rd, value = item
+                core.write(rd, value)
+                self.pending_regs.discard(rd)
+            elif tag == "resume":  # master resumes after join
+                self._resume(item[1])
+            else:  # pragma: no cover
+                raise AssertionError(f"unknown delivery {item!r}")
+            return
+        pkg: P.Package = item
+        kind = pkg.kind
+        if kind in (P.LOAD, P.RO_FILL, P.PSM):
+            core.write(pkg.rd, pkg.reply)
+            self.pending_regs.discard(pkg.rd)
+            self.outstanding_loads -= 1
+            self._on_load_reply(pkg)
+        elif kind in (P.PS, P.PS_GET, P.GETVT):
+            core.write(pkg.rd, pkg.reply)
+            self.pending_regs.discard(pkg.rd)
+        elif kind == P.PS_SET:
+            pass  # no reply value; the write completed at the PS unit
+        elif kind in (P.STORE, P.STORE_NB):
+            self.outstanding_stores -= 1
+            if kind == P.STORE:
+                self.wait_store_ack = False
+        elif kind == P.PREFETCH:
+            self._on_prefetch_fill(pkg)
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected package {pkg!r}")
+
+    def _on_load_reply(self, pkg: P.Package) -> None:
+        pass
+
+    def _on_prefetch_fill(self, pkg: P.Package) -> None:
+        pass
+
+    def _resume(self, pc: int) -> None:  # master only
+        raise AssertionError("resume delivered to a TCU")
+
+    # -- helpers used by dispatch ----------------------------------------------
+
+    def _stat(self, key: str, n: int = 1) -> None:
+        self.machine.stats.inc(f"{self.kind}.{key}", n)
+
+    def _sources_ready(self, ins: I.Instruction) -> bool:
+        pending = self.pending_regs
+        if not pending:
+            return True
+        for r in ins.reads():
+            if r in pending:
+                return False
+        rd = ins.writes()
+        return rd is None or rd not in pending
+
+    def _period(self) -> int:
+        return self.domain_period()
+
+    def domain_period(self) -> int:
+        raise NotImplementedError
+
+    def _trap(self, ins: I.Instruction, message: str) -> SimulationError:
+        return SimulationError(
+            f"trap at text index {ins.index} (asm line {ins.line}, {ins.op}) "
+            f"on {self.kind} {self.tcu_id}: {message}")
+
+    # -- memory-path hooks (differ between TCU and Master) ------------------------
+
+    def _push_package(self, now: int, pkg: P.Package) -> bool:
+        raise NotImplementedError
+
+    def _try_local_load(self, now: int, ins: I.Load, addr: int) -> bool:
+        """Service a load locally (prefetch buffer / master cache).
+        Returns True if handled."""
+        return False
+
+    def _store_blocks(self, ins: I.Store) -> bool:
+        return not ins.nonblocking
+
+    # -- the issue slot ---------------------------------------------------------
+
+    def _check_fetch(self, pc: int) -> I.Instruction:
+        raise NotImplementedError
+
+    def _issue(self, now: int) -> None:
+        """Try to issue one instruction this cycle."""
+        core = self.core
+        if self._retry is not None:
+            pkg, ins = self._retry
+            if not self._push_package(now, pkg):
+                self._stat("stall.send_queue")
+                return
+            self._retry = None
+            self._apply_mem_issue(now, pkg, ins)
+            return
+
+        ins = self._check_fetch(core.pc)
+        if not self._sources_ready(ins):
+            self._stat("stall.memory")
+            return
+        self._dispatch(now, ins)
+
+    def _count_issue(self, ins: I.Instruction) -> None:
+        self.instructions_issued += 1
+        self.machine.count_instruction(ins)
+        self.machine.note_progress()
+        if self.machine.trace is not None:
+            self.machine.trace.on_issue(self, ins)
+
+    # -- dispatch ------------------------------------------------------------------
+    #
+    # Issue dispatch goes through a per-instance table of bound methods
+    # keyed on the instruction's concrete class: the issue slot is the
+    # simulator's hottest code, and the table replaces a long isinstance
+    # chain (respecting subclass overrides of the _issue_* hooks).
+
+    #: instruction class -> handler method name
+    _HANDLER_NAMES = {
+        I.ALUOp: "_h_aluop",
+        I.ALUImm: "_h_aluimm",
+        I.LoadImm: "_h_loadimm",
+        I.UnaryOp: "_h_unary",
+        I.Branch: "_h_branch",
+        I.Jump: "_h_jump",
+        I.JumpReg: "_h_jumpreg",
+        I.Load: "_issue_mem",
+        I.Store: "_issue_mem",
+        I.Psm: "_issue_mem",
+        I.Prefetch: "_issue_mem",
+        I.Ps: "_h_ps",
+        I.GetVT: "_issue_getvt",
+        I.ChkID: "_issue_chkid",
+        I.GetTCU: "_issue_gettcu",
+        I.Spawn: "_issue_spawn",
+        I.Halt: "_issue_halt",
+        I.Fence: "_h_fence",
+        I.Print: "_h_print",
+        I.Nop: "_h_nop",
+        I.Join: "_h_join",
+    }
+
+    def _build_handlers(self) -> None:
+        self._handlers = {cls: getattr(self, name)
+                          for cls, name in self._HANDLER_NAMES.items()}
+
+    def _dispatch(self, now: int, ins: I.Instruction) -> None:
+        handler = self._handlers.get(type(ins))
+        if handler is None:  # pragma: no cover - assembler prevents this
+            raise self._trap(ins, "unhandled instruction kind")
+        handler(now, ins)
+
+    def _alu_tail(self, now: int, ins: I.Instruction) -> None:
+        self.core.pc += 1
+        cfg = self.machine.config
+        if cfg.alu_latency > 1:
+            self.stall_until = now + (cfg.alu_latency - 1) * self._period()
+
+    def _shared_fu(self, now: int, ins, value_fn) -> None:
+        cfg = self.machine.config
+        latency = cfg.mdu_latency if ins.fu == I.FU_MDU else cfg.fpu_latency
+        if not self._try_issue_fu(ins.fu, now, latency):
+            self._stat("stall.fu")
+            return
+        self._count_issue(ins)
+        try:
+            value = value_fn()
+        except TrapError as exc:
+            raise self._trap(ins, str(exc)) from None
+        if ins.rd != REG_ZERO:
+            self.pending_regs.add(ins.rd)
+        self.deliver(now + latency * self._period(), ("reg", ins.rd, value))
+        self.core.pc += 1
+
+    def _h_aluop(self, now: int, ins: I.ALUOp) -> None:
+        core = self.core
+        if ins._fu != I.FU_ALU:
+            self._shared_fu(now, ins, lambda: eval_binop(
+                ins.op, core.read(ins.rs), core.read(ins.rt)))
+            return
+        self._count_issue(ins)
+        try:
+            core.write(ins.rd,
+                       eval_binop(ins.op, core.read(ins.rs), core.read(ins.rt)))
+        except TrapError as exc:
+            raise self._trap(ins, str(exc)) from None
+        self._alu_tail(now, ins)
+
+    def _h_unary(self, now: int, ins: I.UnaryOp) -> None:
+        core = self.core
+        if ins._fu != I.FU_ALU:
+            self._shared_fu(now, ins, lambda: UNOPS[ins.op](core.read(ins.rs)))
+            return
+        self._count_issue(ins)
+        try:
+            core.write(ins.rd, UNOPS[ins.op](core.read(ins.rs)))
+        except TrapError as exc:
+            raise self._trap(ins, str(exc)) from None
+        self._alu_tail(now, ins)
+
+    def _h_aluimm(self, now: int, ins: I.ALUImm) -> None:
+        core = self.core
+        self._count_issue(ins)
+        try:
+            core.write(ins.rd, eval_binop(ins.op, core.read(ins.rs), ins.imm))
+        except TrapError as exc:
+            raise self._trap(ins, str(exc)) from None
+        self._alu_tail(now, ins)
+
+    def _h_loadimm(self, now: int, ins: I.LoadImm) -> None:
+        self._count_issue(ins)
+        self.core.write(ins.rd, ins.imm)
+        self._alu_tail(now, ins)
+
+    def _h_branch(self, now: int, ins: I.Branch) -> None:
+        core = self.core
+        self._count_issue(ins)
+        a = core.read(ins.rs)
+        b = core.read(ins.rt) if ins.rt >= 0 else 0
+        if BRANCH_CONDS[ins.op](a, b):
+            core.pc = ins.target
+        else:
+            core.pc += 1
+        cfg = self.machine.config
+        if cfg.branch_latency > 1:
+            self.stall_until = now + (cfg.branch_latency - 1) * self._period()
+
+    def _h_jump(self, now: int, ins: I.Jump) -> None:
+        core = self.core
+        self._count_issue(ins)
+        if ins.op == "jal":
+            core.write(31, to_unsigned(core.pc + 1))
+        core.pc = ins.target
+
+    def _h_jumpreg(self, now: int, ins: I.JumpReg) -> None:
+        self._count_issue(ins)
+        self.core.pc = to_unsigned(self.core.read(ins.rs))
+
+    def _h_ps(self, now: int, ins: I.Ps) -> None:
+        core = self.core
+        self._count_issue(ins)
+        kind = {"ps": P.PS, "get": P.PS_GET, "set": P.PS_SET}[ins.mode]
+        pkg = P.Package(kind, self.tcu_id, self.cluster_id(),
+                        addr=ins.greg, value=core.read(ins.rd),
+                        rd=ins.rd, issue_time=now)
+        self.machine.ps_unit.in_queue.push(now, pkg)
+        if ins.mode != "set" and ins.rd != REG_ZERO:
+            self.pending_regs.add(ins.rd)
+        core.pc += 1
+
+    def _h_fence(self, now: int, ins: I.Fence) -> None:
+        if self.outstanding_loads or self.outstanding_stores:
+            self._stat("stall.fence")
+            return
+        self._count_issue(ins)
+        self._on_fence(now)
+        self.core.pc += 1
+
+    def _h_print(self, now: int, ins: I.Print) -> None:
+        core = self.core
+        self._count_issue(ins)
+        machine = self.machine
+        fmt = machine.program.strings[ins.fmt_id]
+        try:
+            machine.emit_output(
+                format_print(fmt, [core.read(r) for r in ins.regs]))
+        except TrapError as exc:
+            raise self._trap(ins, str(exc)) from None
+        core.pc += 1
+
+    def _h_nop(self, now: int, ins: I.Nop) -> None:
+        self._count_issue(ins)
+        self._alu_tail(now, ins)
+
+    def _h_join(self, now: int, ins: I.Join) -> None:
+        raise self._trap(ins, "join executed directly")
+
+    # -- memory instructions --------------------------------------------------------
+
+    def _issue_mem(self, now: int, ins: I.MemAccess) -> None:
+        core = self.core
+        addr = to_unsigned(core.read(ins.base) + ins.offset)
+        if isinstance(ins, I.Load):
+            if self._try_local_load(now, ins, addr):
+                self._count_issue(ins)
+                core.pc += 1
+                return
+            pkg = P.Package(P.RO_FILL if ins.readonly else P.LOAD, self.tcu_id,
+                            self.cluster_id(), addr=addr, rd=ins.rd, issue_time=now)
+        elif isinstance(ins, I.Store):
+            kind = P.STORE_NB if not self._store_blocks(ins) else P.STORE
+            pkg = P.Package(kind, self.tcu_id, self.cluster_id(), addr=addr,
+                            value=core.read(ins.rt), issue_time=now)
+        elif isinstance(ins, I.Psm):
+            pkg = P.Package(P.PSM, self.tcu_id, self.cluster_id(), addr=addr,
+                            value=core.read(ins.rd), rd=ins.rd, issue_time=now)
+        elif isinstance(ins, I.Prefetch):
+            if not self._want_prefetch(addr):
+                self._count_issue(ins)
+                core.pc += 1
+                return
+            pkg = P.Package(P.PREFETCH, self.tcu_id, self.cluster_id(), addr=addr,
+                            issue_time=now)
+        else:  # pragma: no cover
+            raise self._trap(ins, "unhandled memory instruction")
+        pkg.src_line = ins.src_line
+        if not self._push_package(now, pkg):
+            self._retry = (pkg, ins)
+            self._stat("stall.send_queue")
+            return
+        self._apply_mem_issue(now, pkg, ins)
+
+    def _apply_mem_issue(self, now: int, pkg: P.Package, ins: I.MemAccess) -> None:
+        """Bookkeeping once the package is accepted by the send port."""
+        self._count_issue(ins)
+        kind = pkg.kind
+        if kind in (P.LOAD, P.RO_FILL, P.PSM):
+            if pkg.rd != REG_ZERO:
+                self.pending_regs.add(pkg.rd)
+            self.outstanding_loads += 1
+        elif kind == P.STORE:
+            self.outstanding_stores += 1
+            self.wait_store_ack = True
+            self._on_store_issued(pkg)
+        elif kind == P.STORE_NB:
+            self.outstanding_stores += 1
+            self._on_store_issued(pkg)
+        elif kind == P.PREFETCH:
+            self._note_prefetch_sent(pkg)
+        if kind == P.PSM:
+            self._on_psm_issued(pkg)
+        self.core.pc += 1
+
+    def _want_prefetch(self, addr: int) -> bool:
+        return False
+
+    def _note_prefetch_sent(self, pkg: P.Package) -> None:
+        pass
+
+    def _on_fence(self, now: int) -> None:
+        pass
+
+    def _on_store_issued(self, pkg: P.Package) -> None:
+        pass
+
+    def _on_psm_issued(self, pkg: P.Package) -> None:
+        pass
+
+    # -- hooks the subclasses specialize ------------------------------------------------
+
+    def cluster_id(self) -> int:
+        raise NotImplementedError
+
+    def _try_issue_fu(self, fu: str, now: int, latency: int) -> bool:
+        raise NotImplementedError
+
+    def _issue_getvt(self, now: int, ins: I.GetVT) -> None:
+        raise self._trap(ins, "getvt outside parallel mode")
+
+    def _issue_chkid(self, now: int, ins: I.ChkID) -> None:
+        raise self._trap(ins, "chkid outside parallel mode")
+
+    def _issue_gettcu(self, now: int, ins) -> None:
+        raise self._trap(ins, "gettcu outside parallel mode")
+
+    def _issue_spawn(self, now: int, ins: I.Spawn) -> None:
+        raise self._trap(ins, "spawn is a Master-only instruction")
+
+    def _issue_halt(self, now: int, ins: I.Halt) -> None:
+        raise self._trap(ins, "halt is a Master-only instruction")
+
+
+class TCU(ProcessorBase):
+    """One Thread Control Unit inside a cluster."""
+
+    kind = "tcu"
+
+    # park/drain states
+    RUNNING = 0
+    DRAINING = 1
+    PARKED = 2
+
+    def __init__(self, machine, cluster, tcu_id: int, local_id: int):
+        super().__init__(machine, tcu_id)
+        self.cluster = cluster
+        self.local_id = local_id
+        self.park_state = TCU.PARKED
+        self.region = None
+        cfg = machine.config
+        self._blocking_loads = cfg.tcu_blocking_loads
+        #: set while a blocking load/psm reply is outstanding
+        self.wait_load = False
+        self._pf_capacity = cfg.prefetch_buffer_size
+        self._pf_lru = cfg.prefetch_policy == "lru"
+        self.prefetch_buffer: "OrderedDict[int, int]" = OrderedDict()
+        self._pf_pending: set = set()
+        #: loads waiting on an in-flight prefetch: addr -> [dest regs]
+        self._pf_waiters: Dict[int, List[int]] = {}
+        #: in-flight prefetches superseded by this TCU's own store;
+        #: their fills must not enter the buffer
+        self._pf_cancelled: set = set()
+        #: memory-model flush point: prefetches issued before the last
+        #: fence must not land in the buffer (Fig. 7's staleness hazard)
+        self.last_fence_time = -1
+
+    def domain_period(self) -> int:
+        return self.cluster.domain.period
+
+    def cluster_id(self) -> int:
+        return self.cluster.cluster_id
+
+    def _try_issue_fu(self, fu: str, now: int, latency: int) -> bool:
+        return self.cluster.try_issue_fu(fu, now, latency)
+
+    def _push_package(self, now: int, pkg: P.Package) -> bool:
+        if self.cluster.send_queue.push(now, pkg):
+            self.machine.icn_pending += 1
+            return True
+        return False
+
+    # -- region / virtual-thread life cycle -----------------------------------------
+
+    def start_region(self, region, master_regs: List[int]) -> None:
+        """Broadcast arrival: copy master registers, reset local state."""
+        self.region = region
+        self.core.regs[:] = master_regs
+        self.core.regs[REG_ZERO] = 0
+        self.core.pc = region.start
+        self.active = True
+        self.park_state = TCU.RUNNING
+        self.wait_load = False
+        self.prefetch_buffer.clear()
+        self._pf_pending.clear()
+        self._pf_waiters.clear()
+        self._pf_cancelled.clear()
+
+    def _apply_mem_issue(self, now, pkg, ins) -> None:
+        super()._apply_mem_issue(now, pkg, ins)
+        if self._blocking_loads and pkg.kind in (P.LOAD, P.RO_FILL, P.PSM):
+            # lightweight in-order core: stall until the reply returns
+            self.wait_load = True
+
+    def end_region(self) -> None:
+        self.region = None
+        self.active = False
+        self.park_state = TCU.PARKED
+
+    def _issue_getvt(self, now: int, ins: I.GetVT) -> None:
+        self._count_issue(ins)
+        pkg = P.Package(P.GETVT, self.tcu_id, self.cluster_id(), rd=ins.rd,
+                        issue_time=now)
+        self.machine.spawn_unit.in_queue.push(now, pkg)
+        if ins.rd != REG_ZERO:
+            self.pending_regs.add(ins.rd)
+        self.core.pc += 1
+
+    def _issue_gettcu(self, now: int, ins) -> None:
+        self._count_issue(ins)
+        self.core.write(ins.rd, self.tcu_id)
+        self.core.pc += 1
+
+    def _issue_chkid(self, now: int, ins: I.ChkID) -> None:
+        self._count_issue(ins)
+        vt = to_signed(self.core.read(ins.rs))
+        if vt > self.machine.spawn_unit.high:
+            # drain outstanding memory operations, then park (the memory
+            # model orders all operations before the end of the spawn)
+            self.park_state = TCU.DRAINING
+            return
+        self.core.pc += 1
+
+    # -- prefetch buffer ------------------------------------------------------------------
+
+    def _want_prefetch(self, addr: int) -> bool:
+        if self._pf_capacity <= 0:
+            return False
+        if addr in self.prefetch_buffer:
+            if self._pf_lru:
+                self.prefetch_buffer.move_to_end(addr)
+            return False
+        return addr not in self._pf_pending
+
+    def _note_prefetch_sent(self, pkg: P.Package) -> None:
+        self._pf_pending.add(pkg.addr)
+
+    def _on_prefetch_fill(self, pkg: P.Package) -> None:
+        self._pf_pending.discard(pkg.addr)
+        if pkg.issue_time <= self.last_fence_time:
+            return  # issued before the last fence: possibly stale, drop
+        # loads that matched the in-flight prefetch complete now (they
+        # preceded any cancelling store in program order)
+        for rd in self._pf_waiters.pop(pkg.addr, ()):
+            self.core.write(rd, pkg.reply)
+            self.pending_regs.discard(rd)
+            self.outstanding_loads -= 1
+            self.wait_load = False
+            self._stat("prefetch.late_hit")
+        if pkg.addr in self._pf_cancelled:
+            # superseded by this TCU's own store while in flight
+            self._pf_cancelled.discard(pkg.addr)
+            return
+        buffer = self.prefetch_buffer
+        if pkg.addr in buffer:
+            buffer[pkg.addr] = pkg.reply
+            return
+        if len(buffer) >= self._pf_capacity:
+            buffer.popitem(last=False)  # FIFO/LRU eviction point
+        buffer[pkg.addr] = pkg.reply
+
+    def _on_fence(self, now: int) -> None:
+        """Fences flush the prefetch buffer: a value prefetched before
+        the synchronization point must not satisfy a later load."""
+        self.last_fence_time = now
+        self.prefetch_buffer.clear()
+        self._pf_pending.clear()
+        self._pf_cancelled.clear()
+
+    def _on_store_issued(self, pkg: P.Package) -> None:
+        # a TCU's own store updates its prefetch buffer (same-thread
+        # store-to-load forwarding through the buffer stays consistent)
+        # and supersedes any still-in-flight prefetch of that word
+        if pkg.addr in self.prefetch_buffer:
+            self.prefetch_buffer[pkg.addr] = pkg.value
+        if pkg.addr in self._pf_pending:
+            self._pf_pending.discard(pkg.addr)
+            self._pf_cancelled.add(pkg.addr)
+
+    def _on_psm_issued(self, pkg: P.Package) -> None:
+        # the read-modify-write happens at the cache; the local copy is
+        # unknowable, so drop it
+        self.prefetch_buffer.pop(pkg.addr, None)
+        if pkg.addr in self._pf_pending:
+            self._pf_pending.discard(pkg.addr)
+            self._pf_cancelled.add(pkg.addr)
+
+    def _try_local_load(self, now: int, ins: I.Load, addr: int) -> bool:
+        if ins.readonly:
+            ro = self.cluster.ro_cache
+            if ro.lookup(addr):
+                # tags-only: values it may serve are spawn-invariant
+                value = self.machine.memory.load(addr)
+                if ins.rd != REG_ZERO:
+                    self.pending_regs.add(ins.rd)
+                    self.deliver(now + ro.hit_latency * self._period(),
+                                 ("reg", ins.rd, value))
+                return True
+            return False
+        buffer = self.prefetch_buffer
+        if addr in buffer:
+            if self._pf_lru:
+                buffer.move_to_end(addr)
+            self.core.write(ins.rd, buffer[addr])
+            self._stat("prefetch.hit")
+            return True
+        if addr in self._pf_pending:
+            # the prefetch is in flight: wait for it instead of sending
+            # a duplicate request (the pending entry acts as an MSHR)
+            if ins.rd != REG_ZERO:
+                self.pending_regs.add(ins.rd)
+            self._pf_waiters.setdefault(addr, []).append(ins.rd)
+            self.outstanding_loads += 1
+            if self._blocking_loads:
+                self.wait_load = True
+            self._stat("prefetch.pending_hit")
+            return True
+        return False
+
+    def _on_load_reply(self, pkg: P.Package) -> None:
+        self.wait_load = False
+        # same-TCU store-to-load consistency: a returning load does not
+        # touch the prefetch buffer; RO fills were installed by the
+        # machine on the way in
+
+    # -- the clock edge --------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        now = self.machine.scheduler.now
+        if self.inbox:
+            self._drain_inbox(now)
+        if self.park_state == TCU.PARKED:
+            return
+        if self.park_state == TCU.DRAINING:
+            if (not self.outstanding_loads and not self.outstanding_stores
+                    and not self.pending_regs):
+                self.park_state = TCU.PARKED
+                self.active = False
+                self.machine.spawn_unit.tcu_parked()
+            else:
+                self._stat("stall.drain")
+            return
+        if self.wait_store_ack:
+            self._stat("stall.store_ack")
+            return
+        if self.wait_load:
+            self._stat("stall.memory")
+            return
+        if self.stall_until > now:
+            self._stat("stall.latency")
+            return
+        if self.region is not None and self._retry is None:
+            pc = self.core.pc
+            if not self.region.contains(pc):
+                if not self.machine.program.parallel_calls:
+                    raise SimulationError(
+                        f"TCU {self.tcu_id}: control left the spawn region "
+                        f"to text index {pc} (basic-block layout bug? "
+                        "paper Fig. 9)")
+                if not 0 <= pc < len(self.machine.program.instructions):
+                    raise SimulationError(
+                        f"TCU {self.tcu_id}: PC out of range: {pc}")
+        self._issue(now)
+
+    def _check_fetch(self, pc: int) -> I.Instruction:
+        return self.machine.program.instructions[pc]

@@ -1,0 +1,5 @@
+"""Programmer's-workflow conveniences tying the compiler to the simulator."""
+
+from repro.toolchain.driver import RunOutcome, compile_and_run, run_functional
+
+__all__ = ["RunOutcome", "compile_and_run", "run_functional"]

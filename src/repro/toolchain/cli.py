@@ -1,0 +1,225 @@
+"""Command-line entry points: ``xmtcc`` (compiler) and ``xmtsim``
+(simulator) -- the two tools of the paper's title, as executables.
+
+    xmtcc program.c -o program.s [-O2] [--cluster 4] [--no-prefetch] ...
+    xmtsim program.s [--config fpga64] [--mode cycle|functional]
+           [--set A 1,2,3] [--print-global B] [--stats] [--trace ...]
+
+``xmtsim`` accepts either assembly (``.s``) or XMTC source (anything
+else), compiling the latter on the fly, so the two-step and one-step
+workflows both work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.sim.config import XMTConfig, chip1024, fpga64, tiny
+from repro.sim.functional import FunctionalSimulator, SimulationError
+from repro.sim.machine import Simulator
+from repro.sim.trace import Trace
+from repro.xmtc.compiler import CompileOptions, compile_to_asm
+from repro.xmtc.errors import CompileError
+
+_CONFIGS = {"fpga64": fpga64, "chip1024": chip1024, "tiny": tiny}
+
+
+def _compile_options(args) -> CompileOptions:
+    return CompileOptions(
+        opt_level=args.opt_level,
+        cluster_factor=args.cluster,
+        outline=not args.no_outline,
+        memory_fences=not args.no_fences,
+        nonblocking_stores=not args.no_nonblocking,
+        prefetch=not args.no_prefetch,
+        ro_cache=args.ro_cache,
+        parallel_calls=args.parallel_calls,
+    )
+
+
+def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-O", dest="opt_level", type=int, default=2,
+                        choices=(0, 1, 2), help="optimization level")
+    parser.add_argument("--cluster", type=int, default=1, metavar="K",
+                        help="virtual-thread clustering factor")
+    parser.add_argument("--no-outline", action="store_true",
+                        help="skip the outlining pre-pass")
+    parser.add_argument("--no-fences", action="store_true",
+                        help="UNSAFE: skip memory-model fences")
+    parser.add_argument("--no-nonblocking", action="store_true",
+                        help="keep parallel stores blocking")
+    parser.add_argument("--no-prefetch", action="store_true",
+                        help="skip prefetch insertion")
+    parser.add_argument("--ro-cache", action="store_true",
+                        help="route provably read-only loads through the "
+                             "cluster read-only caches")
+    parser.add_argument("--parallel-calls", action="store_true",
+                        help="enable function calls (and atomic malloc) "
+                             "inside spawn blocks via per-TCU stacks")
+
+
+def xmtcc_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="xmtcc", description="XMTC optimizing compiler")
+    parser.add_argument("source", help="XMTC source file")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output assembly file (default: stdout)")
+    _add_compile_flags(parser)
+    parser.add_argument("--dump-ir", action="store_true",
+                        help="dump the optimized IR to stderr")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.source) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"xmtcc: {exc}", file=sys.stderr)
+        return 2
+    options = _compile_options(args)
+    options.keep_intermediates = args.dump_ir
+    try:
+        result = compile_to_asm(source, options)
+    except CompileError as exc:
+        print(f"xmtcc: error: {exc}", file=sys.stderr)
+        return 1
+    if args.dump_ir:
+        print(result.ir.dump(), file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(result.asm_text)
+    else:
+        sys.stdout.write(result.asm_text)
+    return 0
+
+
+def _parse_values(text: str):
+    out = []
+    for token in text.split(","):
+        token = token.strip()
+        out.append(float(token) if "." in token else int(token, 0))
+    return out
+
+
+def xmtsim_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="xmtsim", description="cycle-accurate XMT simulator")
+    parser.add_argument("program",
+                        help="assembly (.s/.asm) or XMTC source file")
+    parser.add_argument("--config", default="fpga64",
+                        choices=sorted(_CONFIGS),
+                        help="machine configuration")
+    parser.add_argument("--config-file", default=None, metavar="PATH",
+                        help="JSON configuration file (fields of XMTConfig; "
+                             "optional 'base' key names a built-in config); "
+                             "overrides --config")
+    parser.add_argument("--mode", default="cycle",
+                        choices=("cycle", "functional", "sampled"),
+                        help="simulation mode ('sampled' = phase sampling: "
+                             "cycle-accurate warm-up per spawn site, "
+                             "functional fast-forward thereafter)")
+    parser.add_argument("--max-cycles", type=int, default=None)
+    parser.add_argument("--set", nargs=2, action="append", default=[],
+                        metavar=("GLOBAL", "VALUES"),
+                        help="write comma-separated values into a global "
+                             "before the run (repeatable)")
+    parser.add_argument("--print-global", action="append", default=[],
+                        metavar="GLOBAL",
+                        help="print a global after the run (repeatable)")
+    parser.add_argument("--stats", action="store_true",
+                        help="dump simulation statistics")
+    parser.add_argument("--trace", default=None,
+                        choices=("functional", "cycle"),
+                        help="print an execution trace")
+    parser.add_argument("--trace-limit", type=int, default=200)
+    _add_compile_flags(parser)
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.program) as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"xmtsim: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.program.endswith((".s", ".asm")):
+            program: Program = assemble(text)
+            program.parallel_calls = args.parallel_calls
+        else:
+            from repro.xmtc.compiler import compile_source
+
+            program = compile_source(text, _compile_options(args))
+    except CompileError as exc:
+        print(f"xmtsim: compile error: {exc}", file=sys.stderr)
+        return 1
+
+    for name, values in args.set:
+        try:
+            program.write_global(name, _parse_values(values))
+        except KeyError:
+            print(f"xmtsim: no such global {name!r}", file=sys.stderr)
+            return 2
+
+    if args.config_file:
+        from repro.sim.config import from_file
+
+        try:
+            machine_config = from_file(args.config_file)
+        except (OSError, ValueError) as exc:
+            print(f"xmtsim: bad configuration file: {exc}", file=sys.stderr)
+            return 2
+    else:
+        machine_config = _CONFIGS[args.config]()
+    config_label = args.config_file or args.config
+
+    trace = None
+    if args.trace:
+        trace = Trace(level=args.trace, limit=args.trace_limit,
+                      sink=lambda line: print(line, file=sys.stderr))
+
+    try:
+        if args.mode == "functional":
+            result = FunctionalSimulator(program).run()
+            sys.stdout.write(result.output)
+            print(f"[functional] {result.instructions} instructions",
+                  file=sys.stderr)
+            memory = result.memory
+        elif args.mode == "sampled":
+            from repro.sim.sampling import PhaseSampler, SampledSimulator
+
+            sampler = PhaseSampler()
+            sim = SampledSimulator(program, machine_config,
+                                   sampler=sampler, trace=trace)
+            result = sim.run(max_cycles=args.max_cycles)
+            sys.stdout.write(result.output)
+            print(f"[{config_label}, sampled] ~{result.cycles} cycles "
+                  f"(estimated)", file=sys.stderr)
+            print(sampler.report(), file=sys.stderr)
+            memory = result.memory
+            if args.stats:
+                print(result.stats.report(), file=sys.stderr)
+        else:
+            sim = Simulator(program, machine_config, trace=trace)
+            result = sim.run(max_cycles=args.max_cycles)
+            sys.stdout.write(result.output)
+            print(f"[{config_label}] {result.cycles} cycles, "
+                  f"{result.instructions} instructions", file=sys.stderr)
+            memory = result.memory
+            if args.stats:
+                print(result.stats.report(), file=sys.stderr)
+    except SimulationError as exc:
+        print(f"xmtsim: runtime error: {exc}", file=sys.stderr)
+        return 1
+
+    for name in args.print_global:
+        try:
+            values = program.read_global(name, memory)
+        except KeyError:
+            print(f"xmtsim: no such global {name!r}", file=sys.stderr)
+            return 2
+        print(f"{name} = {values}")
+    return 0

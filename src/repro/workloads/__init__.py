@@ -1,0 +1,14 @@
+"""XMTC workload library: the programs used by the examples, tests and
+benchmark harnesses.
+
+- :mod:`repro.workloads.programs` -- PRAM-style XMTC kernels (array
+  compaction, prefix sum, BFS, connectivity, matrix multiply, FFT);
+- :mod:`repro.workloads.microbench` -- the Table I microbenchmark
+  generators ({serial, parallel} x {memory, computation} intensive);
+- :mod:`repro.workloads.graphs` -- CSR graph builders and reference
+  implementations for checking simulated results.
+"""
+
+from repro.workloads import graphs, microbench, programs
+
+__all__ = ["graphs", "microbench", "programs"]

@@ -1,0 +1,77 @@
+"""Graph builders (CSR) and host-side reference implementations.
+
+The BFS / connectivity workloads mirror the paper's Section II-B
+evaluation family ("parallel graph algorithms derived from PRAM theory").
+Graphs are generated deterministically from a seed; references are
+computed with networkx so simulated results can be checked exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+
+def random_graph(n: int, avg_degree: float, seed: int = 1) -> nx.Graph:
+    """Erdos-Renyi-ish undirected graph, connected-ish, deterministic."""
+    rng = random.Random(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    m = int(n * avg_degree / 2)
+    for _ in range(m):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    # chain a spanning path through part of the nodes so BFS has depth
+    for i in range(0, n - 1, max(1, n // 8)):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def to_csr(g: nx.Graph) -> Tuple[List[int], List[int]]:
+    """Undirected CSR: every edge appears in both adjacency lists."""
+    n = g.number_of_nodes()
+    row_ptr = [0] * (n + 1)
+    adj: List[List[int]] = [sorted(g.neighbors(u)) for u in range(n)]
+    col: List[int] = []
+    for u in range(n):
+        row_ptr[u + 1] = row_ptr[u] + len(adj[u])
+        col.extend(adj[u])
+    return row_ptr, col
+
+
+def to_edge_list(g: nx.Graph) -> Tuple[List[int], List[int]]:
+    us, vs = [], []
+    for u, v in sorted(g.edges()):
+        us.append(u)
+        vs.append(v)
+    return us, vs
+
+
+def reference_bfs_levels(g: nx.Graph, src: int = 0) -> List[int]:
+    levels = {src: 0}
+    frontier = [src]
+    depth = 0
+    while frontier:
+        depth += 1
+        nxt = []
+        for u in frontier:
+            for v in g.neighbors(u):
+                if v not in levels:
+                    levels[v] = depth
+                    nxt.append(v)
+        frontier = nxt
+    return [levels.get(v, -1) for v in range(g.number_of_nodes())]
+
+
+def reference_components(g: nx.Graph) -> List[int]:
+    """Per-vertex canonical component label (min vertex id in component)."""
+    label = list(range(g.number_of_nodes()))
+    for comp in nx.connected_components(g):
+        rep = min(comp)
+        for v in comp:
+            label[v] = rep
+    return label

@@ -1,0 +1,103 @@
+"""Table I microbenchmark generators.
+
+"The simulated configuration was a 1024-TCU XMT and for measuring the
+speed, we simulated various handwritten microbenchmarks.  Each benchmark
+is serial or parallel, and computation or memory intensive."  These
+builders regenerate that 2x2 design; the Table I harness measures the
+host-side simulation throughput (instructions/sec and cycles/sec) over
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+Inputs = Dict[str, object]
+
+
+def parallel_memory(n_threads: int, accesses_per_thread: int,
+                    array_words: int = 4096) -> Tuple[str, Inputs]:
+    """Each virtual thread streams loads+stores over a hashed slice of a
+    big shared array: ICN/cache traffic dominates."""
+    return f"""
+int DATA[{array_words}];
+int main() {{
+    spawn(0, {n_threads - 1}) {{
+        int idx = ($ * 769) % {array_words};
+        for (int k = 0; k < {accesses_per_thread}; k++) {{
+            int v = DATA[idx];
+            DATA[idx] = v + 1;
+            idx = idx + 97;
+            if (idx >= {array_words}) idx = idx - {array_words};
+        }}
+    }}
+    return 0;
+}}
+""", {}
+
+
+def parallel_compute(n_threads: int, iterations: int) -> Tuple[str, Inputs]:
+    """Register-resident integer ALU work per virtual thread (adds,
+    shifts, xors -- deliberately no multiply: the shared per-cluster MDU
+    would serialize the cluster and turn this into an MDU benchmark)."""
+    return f"""
+int RESULT[{n_threads}];
+int main() {{
+    spawn(0, {n_threads - 1}) {{
+        int a = $ + 1;
+        int b = 17;
+        for (int k = 0; k < {iterations}; k++) {{
+            a = (a << 1) + b;
+            b = b ^ (a >> 3);
+            a = a + b + k;
+        }}
+        RESULT[$] = a;
+    }}
+    return 0;
+}}
+""", {}
+
+
+def serial_memory(accesses: int, array_words: int = 4096) -> Tuple[str, Inputs]:
+    return f"""
+int DATA[{array_words}];
+int main() {{
+    int idx = 3;
+    for (int k = 0; k < {accesses}; k++) {{
+        int v = DATA[idx];
+        DATA[idx] = v + 1;
+        idx = idx + 97;
+        if (idx >= {array_words}) idx = idx - {array_words};
+    }}
+    return 0;
+}}
+""", {}
+
+
+def serial_compute(iterations: int) -> Tuple[str, Inputs]:
+    return f"""
+int RESULT[1];
+int main() {{
+    int a = 1;
+    int b = 17;
+    for (int k = 0; k < {iterations}; k++) {{
+        a = (a << 1) + b;
+        b = b ^ (a >> 3);
+        a = a + b + k;
+    }}
+    RESULT[0] = a;
+    return 0;
+}}
+""", {}
+
+
+#: the paper's 2x2 benchmark grid, scaled for a tractable host runtime
+def table1_grid(scale: int = 1):
+    """Yield (name, source, inputs) for the four Table I groups."""
+    yield ("parallel_memory",
+           *parallel_memory(n_threads=512 * scale, accesses_per_thread=16,
+                            array_words=16384))
+    yield ("parallel_compute",
+           *parallel_compute(n_threads=512 * scale, iterations=40))
+    yield ("serial_memory", *serial_memory(accesses=1200 * scale))
+    yield ("serial_compute", *serial_compute(iterations=1500 * scale))

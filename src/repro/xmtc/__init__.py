@@ -1,0 +1,23 @@
+"""The XMTC optimizing compiler (Section IV of the paper).
+
+Pipeline, mirroring the paper's three passes:
+
+- **pre-pass** (CIL equivalent): :mod:`repro.xmtc.outline` -- nested-spawn
+  serialization, virtual-thread clustering, and outlining of spawn blocks
+  into new functions with by-value/by-reference capture (Fig. 8);
+- **core-pass** (GCC equivalent): :mod:`repro.xmtc.parser` /
+  :mod:`repro.xmtc.semantic` / :mod:`repro.xmtc.lowering` /
+  :mod:`repro.xmtc.optimizer` / :mod:`repro.xmtc.regalloc` /
+  :mod:`repro.xmtc.codegen`;
+- **post-pass** (SableCC equivalent): :mod:`repro.xmtc.postpass` --
+  verifies XMT layout semantics on the produced assembly and relocates
+  misplaced basic blocks into their spawn-join region (Fig. 9).
+
+Use :func:`repro.xmtc.compiler.compile_source` (or the top-level
+:func:`repro.compile_xmtc`).
+"""
+
+from repro.xmtc.compiler import CompileOptions, compile_source, compile_to_asm
+from repro.xmtc.errors import CompileError
+
+__all__ = ["CompileOptions", "compile_source", "compile_to_asm", "CompileError"]

@@ -1,0 +1,356 @@
+"""XMTC abstract syntax tree.
+
+Every node carries a source position; expression nodes gain a ``type``
+annotation during semantic analysis.  The parallel constructs are
+:class:`SpawnStmt` (the paper's ``spawn(low, high) { ... }``),
+:class:`Dollar` (the ``$`` virtual-thread ID), and the prefix-sum
+statements :class:`PsStmt` / :class:`PsmStmt`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.xmtc.types import Type
+
+
+class Node:
+    __slots__ = ("line", "col")
+
+    def __init__(self, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+
+    def pos(self):
+        return (self.line, self.col)
+
+
+# --------------------------------------------------------------------------- expressions
+
+class Expr(Node):
+    __slots__ = ("type",)
+
+    def __init__(self, line=0, col=0):
+        super().__init__(line, col)
+        self.type: Optional[Type] = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line=0, col=0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line=0, col=0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class StrLit(Expr):
+    """Only legal as the first argument of ``printf``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, line=0, col=0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class VarRef(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, line=0, col=0):
+        super().__init__(line, col)
+        self.name = name
+        self.symbol = None  # resolved by semantic analysis
+
+
+class Dollar(Expr):
+    """``$`` -- the unique virtual-thread identifier inside a spawn."""
+
+    __slots__ = ()
+
+
+class Unary(Expr):
+    """Unary operators: ``- ! ~ * &`` plus casts via :class:`Cast`."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.op = op
+        self.operand = operand
+
+
+class IncDec(Expr):
+    __slots__ = ("op", "is_prefix", "target")
+
+    def __init__(self, op: str, is_prefix: bool, target: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.op = op  # "++" or "--"
+        self.is_prefix = is_prefix
+        self.target = target
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Expr):
+    """``target op= value``; ``op`` is ``=`` or a compound operator."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op: str, target: Expr, value: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Cond(Expr):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expr, then: Expr, els: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class Call(Expr):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Expr], line=0, col=0):
+        super().__init__(line, col)
+        self.name = name
+        self.args = args
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.base = base
+        self.index = index
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "operand")
+
+    def __init__(self, target_type: Type, operand: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.target_type = target_type
+        self.operand = operand
+
+
+# --------------------------------------------------------------------------- statements
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: List[Stmt], line=0, col=0):
+        super().__init__(line, col)
+        self.stmts = stmts
+
+
+class VarDecl(Node):
+    __slots__ = ("name", "var_type", "init", "volatile", "symbol")
+
+    def __init__(self, name: str, var_type: Type, init: Optional[Expr],
+                 volatile: bool = False, line=0, col=0):
+        super().__init__(line, col)
+        self.name = name
+        self.var_type = var_type
+        self.init = init
+        self.volatile = volatile
+        self.symbol = None
+
+
+class DeclStmt(Stmt):
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: List[VarDecl], line=0, col=0):
+        super().__init__(line, col)
+        self.decls = decls
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.expr = expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expr, then: Stmt, els: Optional[Stmt], line=0, col=0):
+        super().__init__(line, col)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line=0, col=0):
+        super().__init__(line, col)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body: Stmt, cond: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "update", "body")
+
+    def __init__(self, init: Optional[Stmt], cond: Optional[Expr],
+                 update: Optional[Expr], body: Stmt, line=0, col=0):
+        super().__init__(line, col)
+        self.init = init       # DeclStmt or ExprStmt or None
+        self.cond = cond
+        self.update = update
+        self.body = body
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line=0, col=0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class SpawnStmt(Stmt):
+    """``spawn(low, high) { body }`` -- (high-low+1) virtual threads."""
+
+    __slots__ = ("low", "high", "body")
+
+    def __init__(self, low: Expr, high: Expr, body: Block, line=0, col=0):
+        super().__init__(line, col)
+        self.low = low
+        self.high = high
+        self.body = body
+
+
+class PsStmt(Stmt):
+    """``ps(inc, base)`` -- hardware prefix-sum on a psBaseReg global."""
+
+    __slots__ = ("inc", "base_name", "base_symbol")
+
+    def __init__(self, inc: Expr, base_name: str, line=0, col=0):
+        super().__init__(line, col)
+        self.inc = inc          # int lvalue; receives the old base value
+        self.base_name = base_name
+        self.base_symbol = None
+
+
+class PsmStmt(Stmt):
+    """``psm(inc, target)`` -- prefix-sum to an arbitrary memory word."""
+
+    __slots__ = ("inc", "target")
+
+    def __init__(self, inc: Expr, target: Expr, line=0, col=0):
+        super().__init__(line, col)
+        self.inc = inc
+        self.target = target    # int lvalue in memory
+
+
+class PrintfStmt(Stmt):
+    __slots__ = ("fmt", "args")
+
+    def __init__(self, fmt: str, args: List[Expr], line=0, col=0):
+        super().__init__(line, col)
+        self.fmt = fmt
+        self.args = args
+
+
+class Empty(Stmt):
+    __slots__ = ()
+
+
+# --------------------------------------------------------------------------- top level
+
+class Param(Node):
+    __slots__ = ("name", "param_type", "symbol")
+
+    def __init__(self, name: str, param_type: Type, line=0, col=0):
+        super().__init__(line, col)
+        self.name = name
+        self.param_type = param_type
+        self.symbol = None
+
+
+class FuncDef(Node):
+    __slots__ = ("name", "return_type", "params", "body", "is_outlined",
+                 "capture_origins")
+
+    def __init__(self, name: str, return_type: Type, params: List[Param],
+                 body: Block, line=0, col=0):
+        super().__init__(line, col)
+        self.name = name
+        self.return_type = return_type
+        self.params = params
+        self.body = body
+        #: set by the outliner: this function wraps exactly one spawn
+        self.is_outlined = False
+        #: outliner metadata: param name -> origin global symbol name
+        #: (when the binding is unique), for prefetch/ro-cache analyses
+        self.capture_origins = {}
+
+
+class GlobalVar(Node):
+    __slots__ = ("name", "var_type", "init", "volatile", "ps_base_reg", "symbol")
+
+    def __init__(self, name: str, var_type: Type, init, volatile: bool = False,
+                 ps_base_reg: bool = False, line=0, col=0):
+        super().__init__(line, col)
+        self.name = name
+        self.var_type = var_type
+        self.init = init  # scalar Expr, list of Exprs for arrays, or None
+        self.volatile = volatile
+        self.ps_base_reg = ps_base_reg
+        self.symbol = None
+
+
+class TranslationUnit(Node):
+    __slots__ = ("globals", "functions")
+
+    def __init__(self, globals_: List[GlobalVar], functions: List[FuncDef]):
+        super().__init__()
+        self.globals = globals_
+        self.functions = functions

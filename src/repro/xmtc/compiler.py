@@ -1,0 +1,130 @@
+"""The XMTC compiler driver: source text -> optimized XMT executable.
+
+"Our compiler translates XMTC code to an optimized XMT executable.  The
+compiler consists of three consecutive passes: the pre-pass performs
+source-to-source (XMTC-to-XMTC) transformations ..., the core-pass
+performs the bulk of the compilation ..., and the post-pass ... takes
+the assembly produced by the core-pass, verifies that it complies with
+XMT semantics and links it with external data inputs." (Section IV)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.xmtc import parser as xparser
+from repro.xmtc.errors import CompileError
+from repro.xmtc.lowering import lower
+from repro.xmtc.optimizer import OptimizerOptions, optimize_unit
+from repro.xmtc.outline import cluster_spawns, outline_spawns, serialize_nested_spawns
+from repro.xmtc.postpass import run_postpass
+from repro.xmtc.semantic import analyze
+from repro.xmtc.codegen import generate
+
+
+@dataclass
+class CompileOptions:
+    """Compiler configuration (the paper's pass/optimization switches)."""
+
+    #: -O level: 0 = straight translation, 1 = scalar opts, 2 = +CSE
+    opt_level: int = 2
+    #: virtual-thread clustering factor (1 = off) -- Section IV-C
+    cluster_factor: int = 1
+    #: outlining of spawn blocks (pre-pass, Fig. 8).  Disabling it is
+    #: supported for A/B experiments; spawn statements are then lowered
+    #: in place (our nested-IR core pass stays correct either way --
+    #: unlike GCC's, which is exactly why the real toolchain outlines).
+    outline: bool = True
+    #: memory-model fences before prefix-sums (Section IV-A);
+    #: UNSAFE to disable except for the fence-cost ablation
+    memory_fences: bool = True
+    #: non-blocking store conversion (Section IV-C)
+    nonblocking_stores: bool = True
+    #: prefetch insertion into TCU prefetch buffers (Section IV-C, [8])
+    prefetch: bool = True
+    prefetch_degree: int = 4
+    #: read-only-cache routing for provably constant global loads
+    ro_cache: bool = False
+    #: parallel-calls extension (paper Section IV-E's roadmap): allow
+    #: function calls (and atomic malloc) inside spawn blocks; each TCU
+    #: gets a private stack in shared memory and fetches callee code
+    #: outside the broadcast region (the future instruction-cache XMT)
+    parallel_calls: bool = False
+    #: keep the intermediate products on the result for inspection
+    keep_intermediates: bool = False
+
+
+@dataclass
+class CompileResult:
+    program: Program
+    asm_text: str
+    optimizer_report: dict = field(default_factory=dict)
+    postpass_report: object = None
+    ast: object = None
+    ir: object = None
+
+
+def compile_to_asm(source: str, options: Optional[CompileOptions] = None
+                   ) -> CompileResult:
+    """Compile XMTC source to verified assembly text (no assembly step)."""
+    options = options or CompileOptions()
+
+    # ---- pre-pass (CIL equivalent): source-to-source ---------------------
+    unit = xparser.parse(source)
+    serialize_nested_spawns(unit)
+    if options.cluster_factor > 1:
+        cluster_spawns(unit, options.cluster_factor)
+    if options.outline:
+        outline_spawns(unit)
+
+    # ---- core pass (GCC equivalent) ---------------------------------------
+    analyze(unit, allow_parallel_calls=options.parallel_calls)
+    ir_unit = lower(unit)
+    opt = OptimizerOptions(
+        opt_level=options.opt_level,
+        memory_fences=options.memory_fences,
+        nonblocking_stores=options.nonblocking_stores,
+        prefetch=options.prefetch,
+        prefetch_degree=options.prefetch_degree,
+        ro_cache=options.ro_cache,
+    )
+    report = optimize_unit(ir_unit, opt)
+    asm_text = generate(ir_unit)
+
+    # ---- post-pass (SableCC equivalent) -------------------------------------
+    asm_text, pp_report = run_postpass(asm_text,
+                                       parallel_calls=options.parallel_calls)
+
+    result = CompileResult(program=None, asm_text=asm_text,
+                           optimizer_report=report, postpass_report=pp_report)
+    if options.keep_intermediates:
+        result.ast = unit
+        result.ir = ir_unit
+    return result
+
+
+def compile_source(source: str, options: Optional[CompileOptions] = None,
+                   **option_overrides) -> Program:
+    """Compile XMTC source all the way to a loadable :class:`Program`."""
+    if options is None:
+        options = CompileOptions(**option_overrides)
+    elif option_overrides:
+        raise TypeError("pass either options or keyword overrides, not both")
+    result = compile_to_asm(source, options)
+    program = assemble(result.asm_text)
+    program.parallel_calls = options.parallel_calls
+    result.program = program
+    return program
+
+
+def compile_full(source: str, options: Optional[CompileOptions] = None
+                 ) -> CompileResult:
+    """Like :func:`compile_source` but returns the whole
+    :class:`CompileResult` (assembly text, reports, program)."""
+    result = compile_to_asm(source, options)
+    result.program = assemble(result.asm_text)
+    result.program.parallel_calls = (options or CompileOptions()).parallel_calls
+    return result

@@ -1,0 +1,37 @@
+"""Compiler diagnostics with source positions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CompileError(Exception):
+    """An XMTC front-end / back-end diagnostic.
+
+    Carries the 1-based source line and column of the offending token
+    when known, so tests (and users) can assert on locations.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 col: Optional[int] = None):
+        self.message = message
+        self.line = line
+        self.col = col
+        where = ""
+        if line is not None:
+            where = f"line {line}"
+            if col is not None:
+                where += f":{col}"
+            where = f" ({where})"
+        super().__init__(f"{message}{where}")
+
+
+class RegisterSpillError(CompileError):
+    """Raised when virtual-thread code needs more registers than exist.
+
+    The paper, Section IV-D: "Because parallel stack allocation is not
+    yet publicly supported, virtual threads can only use registers or
+    global memory for intermediate results.  For that reason, the
+    compiler checks if the available registers suffice and produces a
+    register spill error otherwise."
+    """

@@ -1,0 +1,198 @@
+"""XMTC lexer.
+
+XMTC is "a modest single-program multiple-data (SPMD) parallel extension
+of C" (Section II-A): C tokens plus the ``spawn`` keyword, the ``$``
+virtual-thread-ID token, the ``ps``/``psm`` prefix-sum builtins and the
+``psBaseReg`` storage class for the global prefix-sum registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.xmtc.errors import CompileError
+
+KEYWORDS = {
+    "int", "float", "void", "if", "else", "while", "for", "do", "return",
+    "break", "continue", "spawn", "volatile", "psBaseReg", "const",
+}
+
+# multi-character operators, longest first
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", "$",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'ident' | 'keyword' | 'int' | 'float' | 'string' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize XMTC source; raises :class:`CompileError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> CompileError:
+        return CompileError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col
+            i += 2
+            col += 2
+            while i < n and not (source[i] == "*" and i + 1 < n and source[i + 1] == "/"):
+                if source[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
+            if i >= n:
+                raise CompileError("unterminated comment", start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+                col += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_col = col
+            is_float = False
+            if ch == "0" and i + 1 < n and source[i + 1] in "xX":
+                i += 2
+                col += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                    col += 1
+                tokens.append(Token("int", source[start:i], line, start_col))
+                continue
+            while i < n and source[i].isdigit():
+                i += 1
+                col += 1
+            if i < n and source[i] == ".":
+                is_float = True
+                i += 1
+                col += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+                    col += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                col += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                    col += 1
+                if i >= n or not source[i].isdigit():
+                    raise error("malformed float exponent")
+                while i < n and source[i].isdigit():
+                    i += 1
+                    col += 1
+            if i < n and source[i] in "fF":
+                is_float = True
+                i += 1
+                col += 1
+            tokens.append(Token("float" if is_float else "int",
+                                source[start:i], line, start_col))
+            continue
+        # string literals (printf formats)
+        if ch == '"':
+            start_col = col
+            i += 1
+            col += 1
+            out = []
+            while i < n and source[i] != '"':
+                c = source[i]
+                if c == "\n":
+                    raise error("newline in string literal")
+                if c == "\\":
+                    if i + 1 >= n:
+                        raise error("dangling escape")
+                    esc = source[i + 1]
+                    mapped = {"n": "\n", "t": "\t", "\\": "\\", '"': '"',
+                              "0": "\0", "%": "%"}.get(esc)
+                    if mapped is None:
+                        raise error(f"unknown escape \\{esc}")
+                    out.append(mapped)
+                    i += 2
+                    col += 2
+                    continue
+                out.append(c)
+                i += 1
+                col += 1
+            if i >= n:
+                raise error("unterminated string literal")
+            i += 1
+            col += 1
+            tokens.append(Token("string", "".join(out), line, start_col))
+            continue
+        # character literals -> int tokens
+        if ch == "'":
+            start_col = col
+            if i + 2 < n and source[i + 1] != "\\" and source[i + 2] == "'":
+                tokens.append(Token("int", str(ord(source[i + 1])), line, start_col))
+                i += 3
+                col += 3
+                continue
+            if i + 3 < n and source[i + 1] == "\\" and source[i + 3] == "'":
+                esc = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'"}.get(
+                    source[i + 2])
+                if esc is None:
+                    raise error(f"unknown escape \\{source[i + 2]}")
+                tokens.append(Token("int", str(ord(esc)), line, start_col))
+                i += 4
+                col += 4
+                continue
+            raise error("malformed character literal")
+        # operators / punctuation
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,721 @@
+"""AST -> three-address IR lowering.
+
+Storage assignment per symbol:
+
+- global scalars/arrays -> data section (``La`` + ``Load``/``Store``);
+- ``psBaseReg`` globals -> global prefix-sum registers (``PsIR``);
+- serial locals: plain scalars -> temps; address-taken / volatile
+  scalars and arrays -> frame slots (master stack, shared memory);
+- spawn-local scalars -> temps only (no parallel stack; the semantic
+  pass already rejected everything that would need memory).
+
+``$`` lowers to a dedicated temp pinned to the virtual-thread-ID
+register.  A captured serial frame slot *can* be accessed from inside a
+spawn body: the master's ``$sp`` is broadcast with the rest of the
+register file and the master stack lives in shared memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.isa.registers import REG_VT
+from repro.isa.semantics import f32_to_bits, to_unsigned
+from repro.xmtc import ast_nodes as A
+from repro.xmtc import ir as IR
+from repro.xmtc.errors import CompileError
+from repro.xmtc.semantic import Symbol, _fold_const
+from repro.xmtc.types import Array, FLOAT, INT, Pointer, Type
+
+_INT_BIN = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+            "&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra"}
+_FLOAT_BIN = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+_INT_CMP = {"==": "seq", "!=": "sne", "<": "slt", "<=": "sle",
+            ">": "sgt", ">=": "sge"}
+_CMP_TO_JUMP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+                ">": "gt", ">=": "ge"}
+_NEGATE_JUMP = {"eq": "ne", "ne": "eq", "lt": "ge", "le": "gt",
+                "gt": "le", "ge": "lt"}
+
+# lvalue categories
+_LV_TEMP = "temp"
+_LV_MEM = "mem"
+_LV_GREG = "greg"
+
+
+class _FuncLowerer:
+    def __init__(self, unit_lowerer: "Lowerer", func: A.FuncDef):
+        self.u = unit_lowerer
+        self.func = func
+        self.ir = IR.IRFunc(func.name, is_outlined=func.is_outlined)
+        self.storage: Dict[int, Tuple[str, object]] = {}
+        self.out: List[IR.IRInstr] = self.ir.body
+        self.break_labels: List[str] = []
+        self.continue_labels: List[str] = []
+        self.dollar: Optional[IR.Temp] = None
+        self.in_spawn = False
+
+    # -- helpers -----------------------------------------------------------------
+
+    def temp(self, hint: str = "", is_float: bool = False) -> IR.Temp:
+        return self.ir.new_temp(hint, is_float)
+
+    def emit(self, instr: IR.IRInstr) -> IR.IRInstr:
+        self.out.append(instr)
+        return instr
+
+    def error(self, msg: str, node: A.Node) -> CompileError:
+        return CompileError(msg, node.line, node.col)
+
+    def _materialize(self, op: IR.Operand, hint: str = "v") -> IR.Temp:
+        if isinstance(op, IR.Temp):
+            return op
+        t = self.temp(hint)
+        self.emit(IR.Mov(t, op))
+        return t
+
+    # -- entry -------------------------------------------------------------------------
+
+    def run(self) -> IR.IRFunc:
+        for param in self.func.params:
+            sym = param.symbol
+            t = self.temp(param.name)
+            self.ir.params.append(t)
+            if sym.addr_taken or sym.volatile:
+                offset = self.ir.alloc_frame(4, sym.name)
+                self.storage[sym.uid] = (_LV_MEM, offset)
+                addr = self.temp("pa")
+                self.emit(IR.FrameAddr(addr, offset, param.line))
+                self.emit(IR.Store(t, addr, volatile=sym.volatile, line=param.line))
+            else:
+                self.storage[sym.uid] = (_LV_TEMP, t)
+        self.stmt(self.func.body)
+        # implicit return
+        if not (self.out and isinstance(self.out[-1], IR.Ret)):
+            if self.func.return_type.is_void():
+                self.emit(IR.Ret(None))
+            elif self.func.name == "main":
+                self.emit(IR.Ret(IR.Const(0)))
+            else:
+                self.emit(IR.Ret(IR.Const(0)))
+        return self.ir
+
+    # -- symbol storage -----------------------------------------------------------------
+
+    def _symbol_storage(self, sym: Symbol, node: A.Node):
+        cached = self.storage.get(sym.uid)
+        if cached is not None:
+            return cached
+        if sym.is_global:
+            if sym.ps_base_reg:
+                entry = (_LV_GREG, sym.greg_index)
+            else:
+                entry = ("global", sym.name)
+        else:
+            # local declared but not yet lowered (decl statements create
+            # storage eagerly; anything else is a compiler bug)
+            raise self.error(f"internal: no storage for '{sym.name}'", node)
+        self.storage[sym.uid] = entry
+        return entry
+
+    def _declare_local(self, decl: A.VarDecl) -> None:
+        sym = decl.symbol
+        if sym.type.is_array():
+            offset = self.ir.alloc_frame(sym.type.sizeof(), sym.name)
+            self.storage[sym.uid] = (_LV_MEM, offset)
+        elif sym.addr_taken or sym.volatile:
+            offset = self.ir.alloc_frame(4, sym.name)
+            self.storage[sym.uid] = (_LV_MEM, offset)
+        else:
+            t = self.temp(sym.name, is_float=sym.type.is_float())
+            self.storage[sym.uid] = (_LV_TEMP, t)
+        if decl.init is not None:
+            value = self.rvalue(decl.init)
+            self._store_symbol(sym, value, decl)
+
+    def _store_symbol(self, sym: Symbol, value: IR.Operand, node: A.Node) -> None:
+        kind, where = self.storage[sym.uid]
+        if kind == _LV_TEMP:
+            self.emit(IR.Mov(where, value, node.line))
+        elif kind == _LV_MEM:
+            addr = self.temp("fa")
+            self.emit(IR.FrameAddr(addr, where, node.line))
+            self.emit(IR.Store(value, addr, volatile=sym.volatile, line=node.line))
+        elif kind == _LV_GREG:
+            t = self._materialize(value)
+            self.emit(IR.PsIR(t, where, "set", node.line))
+        else:  # global
+            addr = self.temp("ga")
+            self.emit(IR.La(addr, where, node.line))
+            self.emit(IR.Store(value, addr, volatile=sym.volatile,
+                               origin=self._origin_of(sym), line=node.line))
+
+    # -- lvalues --------------------------------------------------------------------------
+    #
+    # An lvalue lowers to one of:
+    #   (_LV_TEMP, Temp, sym)           register-resident scalar
+    #   (_LV_MEM, addr_temp, sym|None)  memory word
+    #   (_LV_GREG, index, sym)          psBaseReg global
+
+    def lvalue(self, expr: A.Expr):
+        if isinstance(expr, A.VarRef):
+            sym = expr.symbol
+            kind, where = self._symbol_storage(sym, expr)
+            if kind == _LV_TEMP:
+                return (_LV_TEMP, where, sym)
+            if kind == _LV_MEM:
+                addr = self.temp("fa")
+                self.emit(IR.FrameAddr(addr, where, expr.line))
+                return (_LV_MEM, addr, sym)
+            if kind == _LV_GREG:
+                return (_LV_GREG, where, sym)
+            addr = self.temp("ga")
+            self.emit(IR.La(addr, where, expr.line))
+            return (_LV_MEM, addr, sym)
+        if isinstance(expr, A.Index):
+            addr = self._index_addr(expr)
+            return (_LV_MEM, addr, self._root_symbol(expr))
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            ptr = self._materialize(self.rvalue(expr.operand), "pt")
+            return (_LV_MEM, ptr, self._root_symbol(expr))
+        raise self.error("expression is not an lvalue", expr)
+
+    def _root_symbol(self, expr: A.Expr) -> Optional[Symbol]:
+        node = expr
+        while True:
+            if isinstance(node, A.Index):
+                node = node.base
+            elif isinstance(node, A.Unary) and node.op == "*":
+                node = node.operand
+            elif isinstance(node, A.Cast):
+                node = node.operand
+            else:
+                break
+        return node.symbol if isinstance(node, A.VarRef) else None
+
+    @staticmethod
+    def _origin_of(sym: Optional[Symbol]) -> Optional[str]:
+        """Alias class of a memory access for the prefetch/RO analyses.
+
+        ``g:<name>`` -- a global object accessed directly; ``l:<name>``
+        -- a frame-resident local; ``None`` -- through a pointer
+        (unknown target).
+        """
+        if sym is None or sym.type.is_pointer():
+            return None
+        return ("g:" if sym.is_global else "l:") + sym.name
+
+    def read_lvalue(self, lv, node: A.Node) -> IR.Operand:
+        kind, where, sym = lv
+        if kind == _LV_TEMP:
+            return where
+        if kind == _LV_GREG:
+            t = self.temp("g")
+            self.emit(IR.PsIR(t, where, "get", node.line))
+            return t
+        dst = self.temp("m")
+        volatile = bool(sym and sym.volatile)
+        self.emit(IR.Load(dst, where, volatile=volatile,
+                          origin=self._origin_of(sym), line=node.line))
+        return dst
+
+    def write_lvalue(self, lv, value: IR.Operand, node: A.Node) -> None:
+        kind, where, sym = lv
+        if kind == _LV_TEMP:
+            self.emit(IR.Mov(where, value, node.line))
+            return
+        if kind == _LV_GREG:
+            t = self._materialize(value)
+            self.emit(IR.PsIR(t, where, "set", node.line))
+            return
+        volatile = bool(sym and sym.volatile)
+        self.emit(IR.Store(value, where, volatile=volatile,
+                           origin=self._origin_of(sym), line=node.line))
+
+    def _index_addr(self, expr: A.Index) -> IR.Temp:
+        base_t = expr.base.type
+        assert base_t is not None
+        decayed = base_t.decay()
+        elem_size = decayed.base.sizeof() if decayed.is_pointer() else 4
+        base = self._materialize(self.rvalue(expr.base), "ab")
+        index = self.rvalue(expr.index)
+        addr = self.temp("ax")
+        if isinstance(index, IR.Const):
+            self.emit(IR.Bin(addr, "add", base,
+                             IR.Const(index.value * elem_size), expr.line))
+            return addr
+        scaled = self.temp("as")
+        if elem_size == 4:
+            self.emit(IR.Bin(scaled, "sll", index, IR.Const(2), expr.line))
+        else:
+            self.emit(IR.Bin(scaled, "mul", index, IR.Const(elem_size), expr.line))
+        self.emit(IR.Bin(addr, "add", base, scaled, expr.line))
+        return addr
+
+    # -- rvalues ---------------------------------------------------------------------------
+
+    def rvalue(self, expr: A.Expr) -> IR.Operand:
+        if isinstance(expr, A.IntLit):
+            return IR.Const(to_unsigned(expr.value))
+        if isinstance(expr, A.FloatLit):
+            return IR.Const(f32_to_bits(expr.value))
+        if isinstance(expr, A.Dollar):
+            if self.dollar is None:
+                raise self.error("'$' outside spawn", expr)
+            return self.dollar
+        if isinstance(expr, A.VarRef):
+            sym = expr.symbol
+            if sym.type.is_array():
+                # array decays to its address
+                kind, where = self._symbol_storage(sym, expr)
+                addr = self.temp("aa")
+                if kind == _LV_MEM:
+                    self.emit(IR.FrameAddr(addr, where, expr.line))
+                else:
+                    self.emit(IR.La(addr, where, expr.line))
+                return addr
+            return self.read_lvalue(self.lvalue(expr), expr)
+        if isinstance(expr, A.Index):
+            if expr.type is not None and expr.type.is_array():
+                return self._index_addr(expr)  # partial multi-dim index
+            return self.read_lvalue(self.lvalue(expr), expr)
+        if isinstance(expr, A.Unary):
+            return self._rvalue_unary(expr)
+        if isinstance(expr, A.IncDec):
+            return self._rvalue_incdec(expr)
+        if isinstance(expr, A.Binary):
+            return self._rvalue_binary(expr)
+        if isinstance(expr, A.Assign):
+            return self._rvalue_assign(expr)
+        if isinstance(expr, A.Cond):
+            return self._rvalue_cond(expr)
+        if isinstance(expr, A.Call):
+            return self._rvalue_call(expr)
+        if isinstance(expr, A.Cast):
+            return self._rvalue_cast(expr)
+        raise self.error(f"cannot lower {type(expr).__name__}", expr)
+
+    def _rvalue_unary(self, expr: A.Unary) -> IR.Operand:
+        op = expr.op
+        if op == "&":
+            operand = expr.operand
+            if isinstance(operand, A.VarRef) and operand.symbol.type.is_array():
+                return self.rvalue(operand)  # &array == array address
+            lv = self.lvalue(operand)
+            if lv[0] != _LV_MEM:
+                raise self.error("cannot take the address of a register value",
+                                 expr)
+            return lv[1]
+        if op == "*":
+            if expr.type is not None and expr.type.is_array():
+                return self._materialize(self.rvalue(expr.operand), "pt")
+            return self.read_lvalue(self.lvalue(expr), expr)
+        a = self.rvalue(expr.operand)
+        if op == "-":
+            dst = self.temp("neg", is_float=expr.type.is_float())
+            self.emit(IR.Un(dst, "fneg" if expr.type.is_float() else "neg",
+                            a, expr.line))
+            return dst
+        if op == "~":
+            dst = self.temp("not")
+            self.emit(IR.Un(dst, "not", a, expr.line))
+            return dst
+        if op == "!":
+            dst = self.temp("lnot")
+            if expr.operand.type.is_float():
+                zero = IR.Const(0)
+                self.emit(IR.Bin(dst, "feq", self._materialize(a), zero, expr.line))
+            else:
+                self.emit(IR.Bin(dst, "seq", a, IR.Const(0), expr.line))
+            return dst
+        raise self.error(f"unknown unary {op!r}", expr)
+
+    def _scale_for(self, t: Type) -> int:
+        if t.is_pointer():
+            return t.base.sizeof() if isinstance(t, Pointer) else 4
+        return 1
+
+    def _rvalue_incdec(self, expr: A.IncDec) -> IR.Operand:
+        lv = self.lvalue(expr.target)
+        # the old value must be a *copy*: for a register-resident
+        # variable read_lvalue returns the variable's own temp, which
+        # the increment below overwrites
+        current = self.read_lvalue(lv, expr)
+        old = self.temp("od", is_float=expr.target.type.is_float())
+        self.emit(IR.Mov(old, current, expr.line))
+        step = self._scale_for(expr.target.type)
+        is_float = expr.target.type.is_float()
+        new = self.temp("nw", is_float=is_float)
+        if is_float:
+            one = IR.Const(f32_to_bits(1.0))
+            self.emit(IR.Bin(new, "fadd" if expr.op == "++" else "fsub",
+                             old, one, expr.line))
+        else:
+            delta = step if expr.op == "++" else -step
+            self.emit(IR.Bin(new, "add", old, IR.Const(to_unsigned(delta)),
+                             expr.line))
+        self.write_lvalue(lv, new, expr)
+        return new if expr.is_prefix else old
+
+    def _rvalue_binary(self, expr: A.Binary) -> IR.Operand:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._rvalue_shortcircuit(expr)
+        lt = expr.left.type.decay()
+        rt = expr.right.type.decay()
+        a = self.rvalue(expr.left)
+        # pointer arithmetic scaling
+        if op in ("+", "-") and lt.is_pointer() and rt.is_int():
+            b = self.rvalue(expr.right)
+            scale = lt.base.sizeof()
+            if scale != 1:
+                if isinstance(b, IR.Const):
+                    b = IR.Const(b.value * scale)
+                else:
+                    sc = self.temp("sc")
+                    self.emit(IR.Bin(sc, "mul", b, IR.Const(scale), expr.line))
+                    b = sc
+            dst = self.temp("p")
+            self.emit(IR.Bin(dst, _INT_BIN[op], a, b, expr.line))
+            return dst
+        if op == "+" and lt.is_int() and rt.is_pointer():
+            b = self.rvalue(expr.right)
+            scale = rt.base.sizeof()
+            if scale != 1:
+                if isinstance(a, IR.Const):
+                    a = IR.Const(a.value * scale)
+                else:
+                    sc = self.temp("sc")
+                    self.emit(IR.Bin(sc, "mul", a, IR.Const(scale), expr.line))
+                    a = sc
+            dst = self.temp("p")
+            self.emit(IR.Bin(dst, "add", a, b, expr.line))
+            return dst
+        if op == "-" and lt.is_pointer() and rt.is_pointer():
+            b = self.rvalue(expr.right)
+            diff = self.temp("pd")
+            self.emit(IR.Bin(diff, "sub", a, b, expr.line))
+            scale = lt.base.sizeof()
+            if scale != 1:
+                dst = self.temp("pe")
+                self.emit(IR.Bin(dst, "div", diff, IR.Const(scale), expr.line))
+                return dst
+            return diff
+        b = self.rvalue(expr.right)
+        if op in _INT_CMP:
+            dst = self.temp("c")
+            if lt.is_float() or rt.is_float():
+                self._float_compare(dst, op, a, b, expr)
+            else:
+                self.emit(IR.Bin(dst, _INT_CMP[op], a, b, expr.line))
+            return dst
+        is_float = expr.type.is_float()
+        table = _FLOAT_BIN if is_float else _INT_BIN
+        if op not in table:
+            raise self.error(f"operator {op!r} not valid here", expr)
+        dst = self.temp("b", is_float=is_float)
+        self.emit(IR.Bin(dst, table[op], a, b, expr.line))
+        return dst
+
+    def _float_compare(self, dst: IR.Temp, op: str, a: IR.Operand,
+                       b: IR.Operand, node: A.Node) -> None:
+        if op == "==":
+            self.emit(IR.Bin(dst, "feq", a, b, node.line))
+        elif op == "!=":
+            t = self.temp("fc")
+            self.emit(IR.Bin(t, "feq", a, b, node.line))
+            self.emit(IR.Bin(dst, "seq", t, IR.Const(0), node.line))
+        elif op == "<":
+            self.emit(IR.Bin(dst, "flt", a, b, node.line))
+        elif op == "<=":
+            self.emit(IR.Bin(dst, "fle", a, b, node.line))
+        elif op == ">":
+            self.emit(IR.Bin(dst, "flt", b, a, node.line))
+        elif op == ">=":
+            self.emit(IR.Bin(dst, "fle", b, a, node.line))
+
+    def _rvalue_shortcircuit(self, expr: A.Binary) -> IR.Operand:
+        dst = self.temp("sc")
+        l_true = self.ir.new_label("sct")
+        l_false = self.ir.new_label("scf")
+        l_end = self.ir.new_label("sce")
+        self.cond(expr, l_true, l_false)
+        self.emit(IR.Label(l_true))
+        self.emit(IR.Mov(dst, IR.Const(1)))
+        self.emit(IR.Jump(l_end))
+        self.emit(IR.Label(l_false))
+        self.emit(IR.Mov(dst, IR.Const(0)))
+        self.emit(IR.Label(l_end))
+        return dst
+
+    def _rvalue_assign(self, expr: A.Assign) -> IR.Operand:
+        if expr.op == "=":
+            value = self.rvalue(expr.value)
+            lv = self.lvalue(expr.target)
+            self.write_lvalue(lv, value, expr)
+            return value
+        # compound: evaluate address once
+        lv = self.lvalue(expr.target)
+        current = self._materialize(self.read_lvalue(lv, expr), "cv")
+        rhs = self.rvalue(expr.value)
+        binop = expr.op[:-1]
+        tt = expr.target.type
+        if tt.is_pointer() and binop in ("+", "-"):
+            scale = tt.base.sizeof()
+            if scale != 1:
+                if isinstance(rhs, IR.Const):
+                    rhs = IR.Const(rhs.value * scale)
+                else:
+                    sc = self.temp("sc")
+                    self.emit(IR.Bin(sc, "mul", rhs, IR.Const(scale), expr.line))
+                    rhs = sc
+            op_name = _INT_BIN[binop]
+        elif tt.is_float():
+            op_name = _FLOAT_BIN.get(binop)
+            if op_name is None:
+                raise self.error(f"'{expr.op}' invalid on float", expr)
+            if expr.value.type.is_int():
+                conv = self.temp("cf", is_float=True)
+                self.emit(IR.Un(conv, "itof", rhs, expr.line))
+                rhs = conv
+        else:
+            op_name = _INT_BIN[binop]
+            if expr.value.type.is_float():
+                conv = self.temp("ci")
+                self.emit(IR.Un(conv, "ftoi", rhs, expr.line))
+                rhs = conv
+        result = self.temp("cr", is_float=tt.is_float())
+        self.emit(IR.Bin(result, op_name, current, rhs, expr.line))
+        self.write_lvalue(lv, result, expr)
+        return result
+
+    def _rvalue_cond(self, expr: A.Cond) -> IR.Operand:
+        dst = self.temp("sel", is_float=bool(expr.type and expr.type.is_float()))
+        l_true = self.ir.new_label("ct")
+        l_false = self.ir.new_label("cf")
+        l_end = self.ir.new_label("ce")
+        self.cond(expr.cond, l_true, l_false)
+        self.emit(IR.Label(l_true))
+        self.emit(IR.Mov(dst, self.rvalue(expr.then)))
+        self.emit(IR.Jump(l_end))
+        self.emit(IR.Label(l_false))
+        self.emit(IR.Mov(dst, self.rvalue(expr.els)))
+        self.emit(IR.Label(l_end))
+        return dst
+
+    def _rvalue_call(self, expr: A.Call) -> IR.Operand:
+        args = [self.rvalue(a) for a in expr.args]
+        self.ir.has_calls = True
+        if len(args) > 4:
+            self.ir.max_outgoing_stack_args = max(
+                self.ir.max_outgoing_stack_args, len(args) - 4)
+        if expr.type is not None and not expr.type.is_void():
+            dst = self.temp("rv", is_float=expr.type.is_float())
+        else:
+            dst = None
+        self.emit(IR.Call(dst, expr.name, args, expr.line))
+        return dst if dst is not None else IR.Const(0)
+
+    def _rvalue_cast(self, expr: A.Cast) -> IR.Operand:
+        src = self.rvalue(expr.operand)
+        have = expr.operand.type.decay()
+        want = expr.target_type
+        if have.is_int() and want.is_float():
+            dst = self.temp("fc", is_float=True)
+            self.emit(IR.Un(dst, "itof", src, expr.line))
+            return dst
+        if have.is_float() and want.is_int():
+            dst = self.temp("ic")
+            self.emit(IR.Un(dst, "ftoi", src, expr.line))
+            return dst
+        return src  # int<->pointer and no-op casts
+
+    # -- conditions (jump-generating) --------------------------------------------------------
+
+    def cond(self, expr: A.Expr, l_true: str, l_false: str) -> None:
+        if isinstance(expr, A.Binary) and expr.op == "&&":
+            l_mid = self.ir.new_label("and")
+            self.cond(expr.left, l_mid, l_false)
+            self.emit(IR.Label(l_mid))
+            self.cond(expr.right, l_true, l_false)
+            return
+        if isinstance(expr, A.Binary) and expr.op == "||":
+            l_mid = self.ir.new_label("or")
+            self.cond(expr.left, l_true, l_mid)
+            self.emit(IR.Label(l_mid))
+            self.cond(expr.right, l_true, l_false)
+            return
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            self.cond(expr.operand, l_false, l_true)
+            return
+        if (isinstance(expr, A.Binary) and expr.op in _CMP_TO_JUMP
+                and not expr.left.type.is_float()
+                and not expr.right.type.is_float()):
+            a = self.rvalue(expr.left)
+            b = self.rvalue(expr.right)
+            self.emit(IR.CondJump(_CMP_TO_JUMP[expr.op], a, b, l_true, expr.line))
+            self.emit(IR.Jump(l_false))
+            return
+        value = self.rvalue(expr)
+        if expr.type is not None and expr.type.is_float():
+            t = self.temp("fz")
+            self.emit(IR.Bin(t, "feq", self._materialize(value),
+                             IR.Const(0), expr.line))
+            self.emit(IR.CondJump("eq", t, IR.Const(0), l_true, expr.line))
+        else:
+            self.emit(IR.CondJump("ne", value, IR.Const(0), l_true, expr.line))
+        self.emit(IR.Jump(l_false))
+
+    # -- statements ------------------------------------------------------------------------------
+
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Block):
+            for child in s.stmts:
+                self.stmt(child)
+        elif isinstance(s, A.DeclStmt):
+            for decl in s.decls:
+                self._declare_local(decl)
+        elif isinstance(s, A.ExprStmt):
+            self.rvalue(s.expr)
+        elif isinstance(s, A.If):
+            l_then = self.ir.new_label("then")
+            l_end = self.ir.new_label("endif")
+            l_else = self.ir.new_label("else") if s.els is not None else l_end
+            self.cond(s.cond, l_then, l_else)
+            self.emit(IR.Label(l_then))
+            self.stmt(s.then)
+            if s.els is not None:
+                self.emit(IR.Jump(l_end))
+                self.emit(IR.Label(l_else))
+                self.stmt(s.els)
+            self.emit(IR.Label(l_end))
+        elif isinstance(s, A.While):
+            l_cond = self.ir.new_label("wc")
+            l_body = self.ir.new_label("wb")
+            l_end = self.ir.new_label("we")
+            self.emit(IR.Label(l_cond))
+            self.cond(s.cond, l_body, l_end)
+            self.emit(IR.Label(l_body))
+            self.break_labels.append(l_end)
+            self.continue_labels.append(l_cond)
+            self.stmt(s.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            self.emit(IR.Jump(l_cond))
+            self.emit(IR.Label(l_end))
+        elif isinstance(s, A.DoWhile):
+            l_body = self.ir.new_label("db")
+            l_cond = self.ir.new_label("dc")
+            l_end = self.ir.new_label("de")
+            self.emit(IR.Label(l_body))
+            self.break_labels.append(l_end)
+            self.continue_labels.append(l_cond)
+            self.stmt(s.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            self.emit(IR.Label(l_cond))
+            self.cond(s.cond, l_body, l_end)
+            self.emit(IR.Label(l_end))
+        elif isinstance(s, A.For):
+            l_cond = self.ir.new_label("fc")
+            l_body = self.ir.new_label("fb")
+            l_cont = self.ir.new_label("fu")
+            l_end = self.ir.new_label("fe")
+            if s.init is not None:
+                self.stmt(s.init)
+            self.emit(IR.Label(l_cond))
+            if s.cond is not None:
+                self.cond(s.cond, l_body, l_end)
+            self.emit(IR.Label(l_body))
+            self.break_labels.append(l_end)
+            self.continue_labels.append(l_cont)
+            self.stmt(s.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            self.emit(IR.Label(l_cont))
+            if s.update is not None:
+                self.rvalue(s.update)
+            self.emit(IR.Jump(l_cond))
+            self.emit(IR.Label(l_end))
+        elif isinstance(s, A.Break):
+            self.emit(IR.Jump(self.break_labels[-1], s.line))
+        elif isinstance(s, A.Continue):
+            self.emit(IR.Jump(self.continue_labels[-1], s.line))
+        elif isinstance(s, A.Return):
+            value = self.rvalue(s.value) if s.value is not None else None
+            self.emit(IR.Ret(value, s.line))
+        elif isinstance(s, A.SpawnStmt):
+            self._lower_spawn(s)
+        elif isinstance(s, A.PsStmt):
+            self._lower_ps(s)
+        elif isinstance(s, A.PsmStmt):
+            self._lower_psm(s)
+        elif isinstance(s, A.PrintfStmt):
+            args = [self.rvalue(a) for a in s.args]
+            self.emit(IR.PrintIR(s.fmt, args, s.line))
+        elif isinstance(s, A.Empty):
+            pass
+        else:  # pragma: no cover
+            raise self.error(f"cannot lower {type(s).__name__}", s)
+
+    def _lower_spawn(self, s: A.SpawnStmt) -> None:
+        low = self.rvalue(s.low)
+        high = self.rvalue(s.high)
+        dollar = self.ir.new_temp("vt", pinned=REG_VT)
+        outer_out = self.out
+        body: List[IR.IRInstr] = []
+        self.out = body
+        prev_dollar, prev_in = self.dollar, self.in_spawn
+        self.dollar, self.in_spawn = dollar, True
+        self.stmt(s.body)
+        self.dollar, self.in_spawn = prev_dollar, prev_in
+        self.out = outer_out
+        self.emit(IR.SpawnIR(low, high, body, dollar, s.line))
+
+    def _lower_ps(self, s: A.PsStmt) -> None:
+        lv = self.lvalue(s.inc)
+        greg = s.base_symbol.greg_index
+        if lv[0] == _LV_TEMP:
+            self.emit(IR.PsIR(lv[1], greg, "ps", s.line))
+            return
+        t = self._materialize(self.read_lvalue(lv, s), "ps")
+        self.emit(IR.PsIR(t, greg, "ps", s.line))
+        self.write_lvalue(lv, t, s)
+
+    def _lower_psm(self, s: A.PsmStmt) -> None:
+        inc_lv = self.lvalue(s.inc)
+        target_lv = self.lvalue(s.target)
+        if target_lv[0] != _LV_MEM:
+            raise self.error("psm target must be a memory location", s.target)
+        addr = target_lv[1]
+        if inc_lv[0] == _LV_TEMP:
+            self.emit(IR.PsmIR(inc_lv[1], addr, s.line))
+            return
+        t = self._materialize(self.read_lvalue(inc_lv, s), "pm")
+        self.emit(IR.PsmIR(t, addr, s.line))
+        self.write_lvalue(inc_lv, t, s)
+
+
+class Lowerer:
+    def __init__(self, unit: A.TranslationUnit):
+        self.unit = unit
+
+    def run(self) -> IR.IRUnit:
+        ir_unit = IR.IRUnit()
+        for gvar in self.unit.globals:
+            if gvar.ps_base_reg:
+                init = 0
+                if gvar.init is not None and not isinstance(gvar.init, list):
+                    value = _fold_const(gvar.init)
+                    init = to_unsigned(int(value or 0))
+                ir_unit.greg_map[gvar.name] = (gvar.symbol.greg_index, init)
+            else:
+                ir_unit.globals[gvar.name] = gvar
+        for func in self.unit.functions:
+            ir_unit.functions.append(_FuncLowerer(self, func).run())
+        return ir_unit
+
+
+def lower(unit: A.TranslationUnit) -> IR.IRUnit:
+    """Lower an analyzed AST to IR."""
+    return Lowerer(unit).run()

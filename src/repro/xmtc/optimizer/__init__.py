@@ -1,0 +1,13 @@
+"""The optimization passes of the core compiler pass.
+
+All passes respect the XMTC memory model (Section IV-A): memory
+operations are never moved across prefix-sum instructions, volatile
+accesses are never touched, and a :class:`~repro.xmtc.ir.SpawnIR`
+boundary is an optimization barrier (the body is optimized as its own
+region, mirroring what outlining + no-inlining achieves in the real
+toolchain).
+"""
+
+from repro.xmtc.optimizer.driver import OptimizerOptions, optimize_unit
+
+__all__ = ["OptimizerOptions", "optimize_unit"]

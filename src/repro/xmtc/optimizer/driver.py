@@ -1,0 +1,80 @@
+"""Optimization pipeline driver.
+
+Pass ordering (per function):
+
+1. constant folding / algebraic simplification / strength reduction
+2. copy & constant propagation (block local)
+3. common-subexpression & redundant-load elimination (block local)
+4. another folding round (propagation exposes constants)
+5. dead-code elimination (global liveness)
+6. XMT-specific: non-blocking stores, prefetch insertion, (optional)
+   read-only-cache routing
+7. memory-model fences before prefix-sums (always last so nothing can
+   be scheduled across them afterwards)
+
+``opt_level`` 0 skips 1-6 entirely (fences still apply -- they are a
+correctness matter, though they can be disabled for the fence-cost
+ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmtc import ir as IR
+from repro.xmtc.optimizer import (
+    constant_folding,
+    copy_propagation,
+    cse,
+    dead_code,
+    fences,
+    nonblocking,
+    prefetch,
+    rocache,
+)
+
+
+@dataclass
+class OptimizerOptions:
+    opt_level: int = 2
+    #: insert memory fences before prefix-sum operations (Section IV-A);
+    #: disabling this is UNSAFE and exists only for the ablation bench
+    memory_fences: bool = True
+    #: convert eligible parallel stores to non-blocking (Section IV-C)
+    nonblocking_stores: bool = True
+    #: insert prefetches into TCU prefetch buffers (Section IV-C / [8])
+    prefetch: bool = True
+    #: max prefetches kept in flight per basic block
+    prefetch_degree: int = 4
+    #: route provably read-only global loads through the cluster RO cache
+    ro_cache: bool = False
+
+
+def optimize_unit(unit: IR.IRUnit, options: OptimizerOptions) -> dict:
+    """Run the pipeline; returns a small report of what each pass did."""
+    report = {"nonblocking_stores": 0, "ro_loads": 0}
+    for func in unit.functions:
+        if options.opt_level >= 1:
+            constant_folding.run(func)
+            copy_propagation.run(func)
+        if options.opt_level >= 2:
+            # two rounds: the first CSE turns redundant address
+            # computations into copies; propagation then canonicalizes
+            # load addresses so the second round dedupes the loads too
+            cse.run(func)
+            copy_propagation.run(func)
+            cse.run(func)
+            copy_propagation.run(func)
+            constant_folding.run(func)
+        if options.opt_level >= 1:
+            dead_code.run(func)
+        if options.nonblocking_stores and options.opt_level >= 1:
+            report["nonblocking_stores"] += nonblocking.run(func)
+        if options.prefetch and options.opt_level >= 1:
+            prefetch.run(func, options.prefetch_degree)
+    if options.ro_cache and options.opt_level >= 1:
+        report["ro_loads"] = rocache.run(unit)
+    if options.memory_fences:
+        for func in unit.functions:
+            fences.run(func)
+    return report

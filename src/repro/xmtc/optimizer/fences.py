@@ -1,0 +1,48 @@
+"""Memory-model fence insertion (Section IV-A).
+
+"The compiler enforces the second rule by (a) issuing a memory fence
+operation before each prefix-sum operation to wait until all pending
+writes complete, and by (b) not moving memory operations across
+prefix-sum instructions.  The current implementation does not take into
+account the base of prefix-sum operations and may be overly conservative
+in some cases."
+
+Rule (b) is enforced inside the copy-propagation/CSE passes (prefix-sums
+kill the memory tables); this pass implements rule (a).  It is exactly
+as conservative as the paper's implementation: every ``ps``/``psm`` gets
+a fence, regardless of base.  The ablation benchmark
+(``benchmarks/test_bench_fences.py``) measures what that conservatism
+costs and what eliding fences would buy -- the "future research" the
+paper mentions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmtc import ir as IR
+
+
+def insert_fences_region(instrs: List[IR.IRInstr]) -> List[IR.IRInstr]:
+    out: List[IR.IRInstr] = []
+    last_was_fence = False
+    for ins in instrs:
+        if isinstance(ins, IR.SpawnIR):
+            ins.body = insert_fences_region(ins.body)
+            out.append(ins)
+            last_was_fence = False
+            continue
+        if isinstance(ins, IR.PsmIR) or (
+                isinstance(ins, IR.PsIR) and ins.mode == "ps"):
+            if not last_was_fence:
+                out.append(IR.FenceIR(ins.line))
+            out.append(ins)
+            last_was_fence = False
+            continue
+        out.append(ins)
+        last_was_fence = isinstance(ins, IR.FenceIR)
+    return out
+
+
+def run(func: IR.IRFunc) -> None:
+    func.body = insert_fences_region(func.body)

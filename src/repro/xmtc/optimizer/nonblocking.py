@@ -1,0 +1,31 @@
+"""Non-blocking store conversion (Section IV-C).
+
+"Currently the XMT compiler includes support for automatically replacing
+eligible writes with non-blocking stores."  A store in parallel code is
+eligible unless it is volatile: same-TCU same-address ordering is
+preserved by the hardware's static routing (memory-model rule 1), and
+cross-thread ordering is only promised around prefix-sums, where the
+compiler-inserted fence drains the pending non-blocking stores.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmtc import ir as IR
+
+
+def convert_region(instrs: List[IR.IRInstr], in_parallel: bool) -> int:
+    converted = 0
+    for ins in instrs:
+        if isinstance(ins, IR.SpawnIR):
+            converted += convert_region(ins.body, True)
+        elif isinstance(ins, IR.Store) and in_parallel and not ins.volatile:
+            if not ins.nonblocking:
+                ins.nonblocking = True
+                converted += 1
+    return converted
+
+
+def run(func: IR.IRFunc) -> int:
+    return convert_region(func.body, False)

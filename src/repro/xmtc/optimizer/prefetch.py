@@ -1,0 +1,127 @@
+"""Resource-aware prefetch insertion (Section IV-C, design space of [8]).
+
+"The XMT compiler prefetching mechanism was designed to match the
+characteristics of a lightweight, highly parallel many-core
+architecture" -- TCU prefetch buffers are tiny, so the pass bounds how
+many prefetches it keeps in flight (``degree``), and the shared cache is
+far (~30 cycles), so the win comes from issuing several prefetches
+back-to-back before the first consuming load.
+
+Mechanism, per basic block of a spawn body:
+
+1. find *eligible* loads: non-volatile, non-read-only-cache loads whose
+   address is computed by a *pure* chain (arith/moves/addresses) rooted
+   in block-external values;
+2. hoist those address chains to the top of the block (dependency
+   order preserved; only singly-defined temps move);
+3. issue a ``pref`` for each hoisted address right after the chains --
+   the loads stay where they were and hit the prefetch buffer.
+
+Value staleness is the hardware's problem and is handled there exactly
+as the memory model requires: a TCU's own stores update its buffer, and
+fences (inserted before every prefix-sum) flush it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.xmtc import ir as IR
+from repro.xmtc.optimizer.cfg import split_blocks
+
+_PURE_ADDR = (IR.Bin, IR.Un, IR.Mov, IR.La, IR.FrameAddr)
+
+
+def _block_prefetch(instrs: List[IR.IRInstr], start: int, end: int,
+                    degree: int) -> Optional[List[IR.IRInstr]]:
+    """Rewrite one block; returns the new block body or None (no change)."""
+    block = instrs[start:end]
+    # map: temp id -> position of its (unique) definition in this block
+    def_pos: Dict[int, int] = {}
+    multiply_defined: Set[int] = set()
+    for i, ins in enumerate(block):
+        for d in ins.defs():
+            if d.id in def_pos:
+                multiply_defined.add(d.id)
+            def_pos[d.id] = i
+
+    def pure_chain(temp: IR.Temp, barrier: int) -> Optional[Set[int]]:
+        """Positions of the pure instruction chain computing ``temp``
+        strictly before ``barrier``; None if impure/unavailable."""
+        if temp.id in multiply_defined:
+            return None
+        pos = def_pos.get(temp.id)
+        if pos is None:
+            return set()  # defined outside the block: already available
+        if pos >= barrier:
+            return None
+        ins = block[pos]
+        if not isinstance(ins, _PURE_ADDR):
+            return None
+        chain = {pos}
+        for used in ins.uses():
+            sub = pure_chain(used, pos)
+            if sub is None:
+                return None
+            chain |= sub
+        return chain
+
+    def chain_safe(chain: Set[int], moved: Set[int]) -> bool:
+        """Hoisting must not move a redefinition above an earlier use of
+        the same temp (e.g. ``x = *p; p = p + 4; y = *p``)."""
+        for pos in chain:
+            for d in block[pos].defs():
+                for j in range(pos):
+                    if j in chain or j in moved:
+                        continue
+                    if d in block[j].uses():
+                        return False
+        return True
+
+    moved: Set[int] = set()
+    prefs: List[IR.Pref] = []
+    for i, ins in enumerate(block):
+        if len(prefs) >= degree:
+            break
+        if not isinstance(ins, IR.Load) or ins.volatile or ins.readonly:
+            continue
+        chain = pure_chain(ins.addr, i)
+        if chain is None or not chain_safe(chain, moved):
+            continue
+        moved |= chain
+        prefs.append(IR.Pref(ins.addr, ins.line))
+    if not prefs:
+        return None
+    hoisted = [block[pos] for pos in sorted(moved)]
+    rest = [ins for pos, ins in enumerate(block) if pos not in moved]
+    # keep any leading label at the very front
+    head: List[IR.IRInstr] = []
+    while rest and isinstance(rest[0], IR.Label):
+        head.append(rest.pop(0))
+    return head + hoisted + list(prefs) + rest
+
+
+def prefetch_region(instrs: List[IR.IRInstr], degree: int,
+                    in_parallel: bool) -> List[IR.IRInstr]:
+    out: List[IR.IRInstr] = []
+    for ins in instrs:
+        if isinstance(ins, IR.SpawnIR):
+            ins.body = _prefetch_body(ins.body, degree)
+        out.append(ins)
+    return out
+
+
+def _prefetch_body(body: List[IR.IRInstr], degree: int) -> List[IR.IRInstr]:
+    blocks, _ = split_blocks(body)
+    pieces: List[IR.IRInstr] = []
+    for block in blocks:
+        rewritten = _block_prefetch(body, block.start, block.end, degree)
+        if rewritten is None:
+            pieces.extend(body[block.start:block.end])
+        else:
+            pieces.extend(rewritten)
+    return pieces
+
+
+def run(func: IR.IRFunc, degree: int = 4) -> None:
+    func.body = prefetch_region(func.body, degree, False)

@@ -1,0 +1,57 @@
+"""Read-only-cache load routing.
+
+"Support for automatically taking advantage of the read-only caches is
+planned for future revisions of the compiler.  In the meantime,
+programmers can explicitly load data into the read-only caches if
+needed" (Section IV-C).  We implement that planned revision as an
+opt-in pass (``ro_cache=True``): a load inside a spawn body is routed
+through the cluster read-only cache (``lwro``) when its target is a
+directly-accessed global object that no store or ``psm`` anywhere in the
+program may write -- checked with the lowering-provided alias classes
+(``g:<name>`` / ``l:<name>`` / unknown-pointer).  A single
+unknown-target store in parallel code disables the pass (sound default;
+the paper's "programmers can explicitly..." escape hatch remains the
+``volatile``-free direct-global idiom).
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.xmtc import ir as IR
+
+
+def _written_origins(unit: IR.IRUnit) -> Tuple[Set[str], bool]:
+    written: Set[str] = set()
+    unknown_parallel_store = False
+    for func in unit.functions:
+        for ins in IR.walk_instrs(func.body):
+            if isinstance(ins, (IR.Store, IR.PsmIR)):
+                origin = getattr(ins, "origin", None)
+                if origin is not None:
+                    written.add(origin)
+                else:
+                    unknown_parallel_store = True
+    return written, unknown_parallel_store
+
+
+def run(unit: IR.IRUnit) -> int:
+    """Convert eligible spawn-body loads to read-only-cache loads.
+    Returns the number of converted loads."""
+    written, unknown = _written_origins(unit)
+    if unknown:
+        return 0
+    converted = 0
+    for func in unit.functions:
+        for ins in IR.walk_instrs(func.body):
+            if isinstance(ins, IR.SpawnIR):
+                for body_ins in IR.walk_instrs(ins.body):
+                    if (isinstance(body_ins, IR.Load)
+                            and not body_ins.volatile
+                            and not body_ins.readonly
+                            and body_ins.origin is not None
+                            and body_ins.origin.startswith("g:")
+                            and body_ins.origin not in written):
+                        body_ins.readonly = True
+                        converted += 1
+    return converted

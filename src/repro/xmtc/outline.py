@@ -1,0 +1,540 @@
+"""The compiler pre-pass (the paper's CIL-based source-to-source stage).
+
+Three AST-level transformations, in the order the driver applies them:
+
+1. **Nested-spawn serialization** -- the current XMT release serializes
+   inner spawns (Section IV-E); an inner ``spawn(l,h){B}`` becomes a
+   serial ``for`` loop over the inner thread IDs.
+
+2. **Virtual-thread clustering** (optional, Section IV-C) -- coarsens a
+   spawn by a factor ``c``: ``spawn(l,h){B}`` becomes a spawn of
+   ``ceil(n/c)`` longer virtual threads, each iterating ``c`` original
+   thread bodies in a loop.  This reduces scheduling overhead and
+   enables loop prefetching / value reuse across the grouped threads.
+
+3. **Outlining** (Fig. 8) -- "Outlining places each spawn statement in a
+   new function and replaces it by a call to this new function. ...  We
+   detect which of these variables are accessed in the parallel code and
+   whether they might be written to.  Then, we pass them as arguments to
+   the outlined function by value or by reference."  This prevents
+   illegal dataflow (e.g. code motion across spawn boundaries) without
+   disabling optimization, because the core pass does not optimize
+   inter-procedurally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.xmtc import ast_nodes as A
+from repro.xmtc.errors import CompileError
+from repro.xmtc.types import Array, INT, Pointer, Type
+
+
+# --------------------------------------------------------------------------- AST helpers
+
+def _int(value: int, node: A.Node) -> A.IntLit:
+    return A.IntLit(value, node.line, node.col)
+
+
+def _var(name: str, node: A.Node) -> A.VarRef:
+    return A.VarRef(name, node.line, node.col)
+
+
+def _assign(name: str, value: A.Expr, node: A.Node) -> A.ExprStmt:
+    return A.ExprStmt(A.Assign("=", _var(name, node), value, node.line, node.col),
+                      node.line, node.col)
+
+
+def _decl(name: str, type_: Type, init: Optional[A.Expr], node: A.Node) -> A.DeclStmt:
+    return A.DeclStmt([A.VarDecl(name, type_, init, False, node.line, node.col)],
+                      node.line, node.col)
+
+
+def _binary(op: str, left: A.Expr, right: A.Expr, node: A.Node) -> A.Binary:
+    return A.Binary(op, left, right, node.line, node.col)
+
+
+# --------------------------------------------------------------------------- generic walkers
+
+def _map_stmt(stmt: A.Stmt, fn) -> A.Stmt:
+    """Rebuild a statement with ``fn`` applied to each child statement."""
+    if isinstance(stmt, A.Block):
+        stmt.stmts = [fn(s) for s in stmt.stmts]
+    elif isinstance(stmt, A.If):
+        stmt.then = fn(stmt.then)
+        if stmt.els is not None:
+            stmt.els = fn(stmt.els)
+    elif isinstance(stmt, A.While):
+        stmt.body = fn(stmt.body)
+    elif isinstance(stmt, A.DoWhile):
+        stmt.body = fn(stmt.body)
+    elif isinstance(stmt, A.For):
+        if stmt.init is not None:
+            stmt.init = fn(stmt.init)
+        stmt.body = fn(stmt.body)
+    elif isinstance(stmt, A.SpawnStmt):
+        stmt.body = fn(stmt.body)
+    return stmt
+
+
+def _walk_exprs(stmt: A.Stmt, fn) -> None:
+    """Apply ``fn`` (in place, returning a replacement) to every
+    expression hanging off ``stmt`` (non-recursive into sub-statements)."""
+    if isinstance(stmt, A.ExprStmt):
+        stmt.expr = fn(stmt.expr)
+    elif isinstance(stmt, A.DeclStmt):
+        for decl in stmt.decls:
+            if decl.init is not None:
+                decl.init = fn(decl.init)
+    elif isinstance(stmt, A.If):
+        stmt.cond = fn(stmt.cond)
+    elif isinstance(stmt, (A.While, A.DoWhile)):
+        stmt.cond = fn(stmt.cond)
+    elif isinstance(stmt, A.For):
+        if stmt.cond is not None:
+            stmt.cond = fn(stmt.cond)
+        if stmt.update is not None:
+            stmt.update = fn(stmt.update)
+    elif isinstance(stmt, A.Return):
+        if stmt.value is not None:
+            stmt.value = fn(stmt.value)
+    elif isinstance(stmt, A.SpawnStmt):
+        stmt.low = fn(stmt.low)
+        stmt.high = fn(stmt.high)
+    elif isinstance(stmt, A.PsStmt):
+        stmt.inc = fn(stmt.inc)
+    elif isinstance(stmt, A.PsmStmt):
+        stmt.inc = fn(stmt.inc)
+        stmt.target = fn(stmt.target)
+    elif isinstance(stmt, A.PrintfStmt):
+        stmt.args = [fn(a) for a in stmt.args]
+
+
+def _map_expr_tree(expr: A.Expr, fn) -> A.Expr:
+    """Bottom-up expression rewrite."""
+    if isinstance(expr, A.Unary):
+        expr.operand = _map_expr_tree(expr.operand, fn)
+    elif isinstance(expr, A.IncDec):
+        expr.target = _map_expr_tree(expr.target, fn)
+    elif isinstance(expr, A.Binary):
+        expr.left = _map_expr_tree(expr.left, fn)
+        expr.right = _map_expr_tree(expr.right, fn)
+    elif isinstance(expr, A.Assign):
+        expr.target = _map_expr_tree(expr.target, fn)
+        expr.value = _map_expr_tree(expr.value, fn)
+    elif isinstance(expr, A.Cond):
+        expr.cond = _map_expr_tree(expr.cond, fn)
+        expr.then = _map_expr_tree(expr.then, fn)
+        expr.els = _map_expr_tree(expr.els, fn)
+    elif isinstance(expr, A.Call):
+        expr.args = [_map_expr_tree(a, fn) for a in expr.args]
+    elif isinstance(expr, A.Index):
+        expr.base = _map_expr_tree(expr.base, fn)
+        expr.index = _map_expr_tree(expr.index, fn)
+    elif isinstance(expr, A.Cast):
+        expr.operand = _map_expr_tree(expr.operand, fn)
+    return fn(expr)
+
+
+def _substitute_dollar(stmt: A.Stmt, replacement_name: str) -> A.Stmt:
+    """Replace every ``$`` under ``stmt`` with a variable reference."""
+
+    def on_expr(expr: A.Expr) -> A.Expr:
+        if isinstance(expr, A.Dollar):
+            return _var(replacement_name, expr)
+        return expr
+
+    def on_stmt(s: A.Stmt) -> A.Stmt:
+        _walk_exprs(s, lambda e: _map_expr_tree(e, on_expr))
+        return _map_stmt(s, on_stmt)
+
+    return on_stmt(stmt)
+
+
+# --------------------------------------------------------------------------- 1. nested-spawn serialization
+
+class _SerializeNested:
+    def __init__(self):
+        self.counter = 0
+
+    def run(self, unit: A.TranslationUnit) -> None:
+        for func in unit.functions:
+            func.body = self._stmt(func.body, in_spawn=False)
+
+    def _stmt(self, stmt: A.Stmt, in_spawn: bool) -> A.Stmt:
+        if isinstance(stmt, A.SpawnStmt):
+            # transform the body first (handles deeper nesting)
+            stmt.body = self._stmt(stmt.body, in_spawn=True)
+            if not in_spawn:
+                return stmt
+            return self._serialize(stmt)
+        return _map_stmt(stmt, lambda s: self._stmt(s, in_spawn))
+
+    def _serialize(self, spawn: A.SpawnStmt) -> A.Stmt:
+        """``spawn(l,h){B}`` (nested) -> serial loop over inner IDs."""
+        self.counter += 1
+        k = self.counter
+        lo, hi, idx = f"__nest_lo{k}", f"__nest_hi{k}", f"__nest_i{k}"
+        body = _substitute_dollar(spawn.body, idx)
+        loop = A.For(
+            init=_assign(idx, _var(lo, spawn), spawn),
+            cond=_binary("<=", _var(idx, spawn), _var(hi, spawn), spawn),
+            update=A.Assign("+=", _var(idx, spawn), _int(1, spawn),
+                            spawn.line, spawn.col),
+            body=body,
+            line=spawn.line, col=spawn.col)
+        return A.Block([
+            _decl(lo, INT, spawn.low, spawn),
+            _decl(hi, INT, spawn.high, spawn),
+            _decl(idx, INT, None, spawn),
+            loop,
+        ], spawn.line, spawn.col)
+
+
+def serialize_nested_spawns(unit: A.TranslationUnit) -> A.TranslationUnit:
+    _SerializeNested().run(unit)
+    return unit
+
+
+# --------------------------------------------------------------------------- 2. thread clustering
+
+class _Cluster:
+    def __init__(self, factor: int):
+        if factor < 1:
+            raise CompileError(f"clustering factor must be >= 1, got {factor}")
+        self.factor = factor
+        self.counter = 0
+
+    def run(self, unit: A.TranslationUnit) -> None:
+        if self.factor == 1:
+            return
+        for func in unit.functions:
+            func.body = self._stmt(func.body)
+
+    def _stmt(self, stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.SpawnStmt):
+            return self._cluster(stmt)
+        return _map_stmt(stmt, self._stmt)
+
+    def _cluster(self, spawn: A.SpawnStmt) -> A.Stmt:
+        self.counter += 1
+        k = self.counter
+        c = self.factor
+        lo, hi = f"__cl_lo{k}", f"__cl_hi{k}"
+        n, kk, vid = f"__cl_n{k}", f"__cl_k{k}", f"__cl_id{k}"
+        body = _substitute_dollar(spawn.body, vid)
+        # __cl_id = __cl_lo + $*c + __cl_k
+        id_expr = _binary(
+            "+", _var(lo, spawn),
+            _binary("+", _binary("*", A.Dollar(spawn.line, spawn.col),
+                                 _int(c, spawn), spawn),
+                    _var(kk, spawn), spawn), spawn)
+        inner_loop = A.For(
+            init=_assign(kk, _int(0, spawn), spawn),
+            cond=_binary("<", _var(kk, spawn), _int(c, spawn), spawn),
+            update=A.Assign("+=", _var(kk, spawn), _int(1, spawn),
+                            spawn.line, spawn.col),
+            body=A.Block([
+                _decl(vid, INT, id_expr, spawn),
+                A.If(_binary("<=", _var(vid, spawn), _var(hi, spawn), spawn),
+                     body, None, spawn.line, spawn.col),
+            ], spawn.line, spawn.col),
+            line=spawn.line, col=spawn.col)
+        # spawn(0, (n + c - 1)/c - 1)
+        groups = _binary(
+            "-", _binary("/", _binary("+", _var(n, spawn),
+                                      _int(c - 1, spawn), spawn),
+                         _int(c, spawn), spawn),
+            _int(1, spawn), spawn)
+        new_spawn = A.SpawnStmt(
+            _int(0, spawn), groups,
+            A.Block([_decl(kk, INT, None, spawn), inner_loop],
+                    spawn.line, spawn.col),
+            spawn.line, spawn.col)
+        return A.Block([
+            _decl(lo, INT, spawn.low, spawn),
+            _decl(hi, INT, spawn.high, spawn),
+            _decl(n, INT, _binary("+", _binary("-", _var(hi, spawn),
+                                               _var(lo, spawn), spawn),
+                                  _int(1, spawn), spawn), spawn),
+            A.If(_binary(">", _var(n, spawn), _int(0, spawn), spawn),
+                 new_spawn, None, spawn.line, spawn.col),
+        ], spawn.line, spawn.col)
+
+
+def cluster_spawns(unit: A.TranslationUnit, factor: int) -> A.TranslationUnit:
+    """Apply virtual-thread clustering with the given coarsening factor."""
+    _Cluster(factor).run(unit)
+    return unit
+
+
+# --------------------------------------------------------------------------- 3. outlining
+
+class _CaptureInfo:
+    def __init__(self):
+        self.used: Set[str] = set()       # free variables of the spawn
+        self.written: Set[str] = set()    # ... that may be written
+
+
+class _Outliner:
+    def __init__(self, unit: A.TranslationUnit):
+        self.unit = unit
+        self.counter = 0
+        self.global_names = {g.name for g in unit.globals}
+        self.function_names = {f.name for f in unit.functions}
+        self.new_functions: List[A.FuncDef] = []
+
+    def run(self) -> A.TranslationUnit:
+        for func in list(self.unit.functions):
+            scope: List[Dict[str, Type]] = [
+                {p.name: p.param_type for p in func.params}]
+            func.body = self._stmt(func.body, scope)
+        self.unit.functions.extend(self.new_functions)
+        return self.unit
+
+    # scope is a stack of name->type dicts for the enclosing function
+    def _stmt(self, stmt: A.Stmt, scope: List[Dict[str, Type]]) -> A.Stmt:
+        if isinstance(stmt, A.SpawnStmt):
+            return self._outline(stmt, scope)
+        if isinstance(stmt, A.Block):
+            scope.append({})
+            stmt.stmts = [self._stmt(s, scope) for s in stmt.stmts]
+            scope.pop()
+            return stmt
+        if isinstance(stmt, A.DeclStmt):
+            for decl in stmt.decls:
+                scope[-1][decl.name] = decl.var_type
+            return stmt
+        if isinstance(stmt, A.For):
+            scope.append({})
+            if stmt.init is not None:
+                stmt.init = self._stmt(stmt.init, scope)
+            stmt.body = self._stmt(stmt.body, scope)
+            scope.pop()
+            return stmt
+        return _map_stmt(stmt, lambda s: self._stmt(s, scope))
+
+    def _lookup(self, name: str, scope: List[Dict[str, Type]]) -> Optional[Type]:
+        for frame in reversed(scope):
+            if name in frame:
+                return frame[name]
+        return None
+
+    # -- capture analysis -------------------------------------------------------
+
+    def _analyze(self, spawn: A.SpawnStmt,
+                 scope: List[Dict[str, Type]]) -> _CaptureInfo:
+        info = _CaptureInfo()
+        local_stack: List[Set[str]] = [set()]
+
+        def is_enclosing(name: str) -> bool:
+            if any(name in frame for frame in local_stack):
+                return False
+            return self._lookup(name, scope) is not None
+
+        def expr(e: A.Expr, writing: bool = False) -> None:
+            if isinstance(e, A.VarRef):
+                if is_enclosing(e.name):
+                    info.used.add(e.name)
+                    if writing:
+                        info.written.add(e.name)
+                return
+            if isinstance(e, A.Unary):
+                if e.op == "&":
+                    # address taken: conservatively by-reference
+                    expr(e.operand, writing=True)
+                else:
+                    expr(e.operand)
+                return
+            if isinstance(e, A.IncDec):
+                expr(e.target, writing=True)
+                return
+            if isinstance(e, A.Assign):
+                self._store_root(e.target, expr)
+                expr(e.value)
+                return
+            if isinstance(e, A.Binary):
+                expr(e.left)
+                expr(e.right)
+                return
+            if isinstance(e, A.Cond):
+                expr(e.cond)
+                expr(e.then)
+                expr(e.els)
+                return
+            if isinstance(e, A.Call):
+                for a in e.args:
+                    expr(a)
+                return
+            if isinstance(e, A.Index):
+                expr(e.base)
+                expr(e.index)
+                return
+            if isinstance(e, A.Cast):
+                expr(e.operand)
+                return
+
+        def stmt(s: A.Stmt) -> None:
+            if isinstance(s, A.Block):
+                local_stack.append(set())
+                for child in s.stmts:
+                    stmt(child)
+                local_stack.pop()
+                return
+            if isinstance(s, A.DeclStmt):
+                for decl in s.decls:
+                    if decl.init is not None:
+                        expr(decl.init)
+                    local_stack[-1].add(decl.name)
+                return
+            if isinstance(s, A.For):
+                local_stack.append(set())
+                if s.init is not None:
+                    stmt(s.init)
+                if s.cond is not None:
+                    expr(s.cond)
+                if s.update is not None:
+                    expr(s.update)
+                stmt(s.body)
+                local_stack.pop()
+                return
+            if isinstance(s, A.PsStmt):
+                expr(s.inc, writing=True)
+                return
+            if isinstance(s, A.PsmStmt):
+                expr(s.inc, writing=True)
+                self._store_root(s.target, expr)
+                return
+            _walk_exprs(s, lambda e: (expr(e), e)[1])
+            _map_stmt(s, lambda child: (stmt(child), child)[1])
+
+        # free vars of the bounds are captured too (evaluated inside the
+        # outlined function, as in the paper's Fig. 8c)
+        expr(spawn.low)
+        expr(spawn.high)
+        stmt(spawn.body)
+        return info
+
+    @staticmethod
+    def _store_root(target: A.Expr, expr_fn) -> None:
+        """Visit a store target: the root scalar is written; bases of
+        indexing/deref are only *read* (the pointee is written, which is
+        fine for by-value pointer captures)."""
+        node = target
+        while isinstance(node, (A.Index, A.Cast)) or (
+                isinstance(node, A.Unary) and node.op == "*"):
+            if isinstance(node, A.Index):
+                expr_fn(node.index)
+                node = node.base
+            elif isinstance(node, A.Cast):
+                node = node.operand
+            else:
+                node = node.operand
+        if isinstance(node, A.VarRef):
+            is_scalar_store = node is target
+            expr_fn(node, writing=is_scalar_store)
+        else:
+            expr_fn(node)
+
+    # -- the transformation -------------------------------------------------------
+
+    def _outline(self, spawn: A.SpawnStmt,
+                 scope: List[Dict[str, Type]]) -> A.Stmt:
+        self.counter += 1
+        name = f"__outl_sp_{self.counter}"
+        while name in self.function_names or name in self.global_names:
+            self.counter += 1
+            name = f"__outl_sp_{self.counter}"
+        self.function_names.add(name)
+
+        info = self._analyze(spawn, scope)
+        params: List[A.Param] = []
+        args: List[A.Expr] = []
+        byref: Set[str] = set()
+        origins: Dict[str, str] = {}
+        for var in sorted(info.used):
+            vtype = self._lookup(var, scope)
+            assert vtype is not None
+            if vtype.is_array():
+                # arrays decay to a by-value pointer parameter
+                assert isinstance(vtype, Array)
+                params.append(A.Param(var, Pointer(vtype.elem),
+                                      spawn.line, spawn.col))
+                args.append(_var(var, spawn))
+                origins[var] = var
+            elif var in info.written:
+                params.append(A.Param(var, Pointer(vtype), spawn.line, spawn.col))
+                args.append(A.Unary("&", _var(var, spawn), spawn.line, spawn.col))
+                byref.add(var)
+            else:
+                params.append(A.Param(var, vtype, spawn.line, spawn.col))
+                args.append(_var(var, spawn))
+                if vtype.is_pointer():
+                    origins[var] = var
+
+        body = self._rewrite_byref(spawn, byref)
+
+        from repro.xmtc.types import VOID
+        outlined = A.FuncDef(name, VOID, params,
+                             A.Block([body], spawn.line, spawn.col),
+                             spawn.line, spawn.col)
+        outlined.is_outlined = True
+        outlined.capture_origins = origins
+        self.new_functions.append(outlined)
+
+        call = A.Call(name, args, spawn.line, spawn.col)
+        return A.ExprStmt(call, spawn.line, spawn.col)
+
+    def _rewrite_byref(self, spawn: A.SpawnStmt, byref: Set[str]) -> A.SpawnStmt:
+        """Rewrite accesses to by-reference captures as ``(*name)``."""
+        if not byref:
+            return spawn
+        shadow: List[Set[str]] = [set()]
+
+        def on_expr(e: A.Expr) -> A.Expr:
+            if (isinstance(e, A.VarRef) and e.name in byref
+                    and not any(e.name in s for s in shadow)):
+                return A.Unary("*", A.VarRef(e.name, e.line, e.col),
+                               e.line, e.col)
+            # collapse the pre-pass artifact &(*p) back to p
+            if (isinstance(e, A.Unary) and e.op == "&"
+                    and isinstance(e.operand, A.Unary) and e.operand.op == "*"):
+                return e.operand.operand
+            return e
+
+        def on_stmt(s: A.Stmt) -> A.Stmt:
+            if isinstance(s, A.Block):
+                shadow.append(set())
+                s.stmts = [on_stmt(child) for child in s.stmts]
+                shadow.pop()
+                return s
+            if isinstance(s, A.DeclStmt):
+                for decl in s.decls:
+                    if decl.init is not None:
+                        decl.init = _map_expr_tree(decl.init, on_expr)
+                    shadow[-1].add(decl.name)
+                return s
+            if isinstance(s, A.For):
+                shadow.append(set())
+                if s.init is not None:
+                    s.init = on_stmt(s.init)
+                if s.cond is not None:
+                    s.cond = _map_expr_tree(s.cond, on_expr)
+                if s.update is not None:
+                    s.update = _map_expr_tree(s.update, on_expr)
+                s.body = on_stmt(s.body)
+                shadow.pop()
+                return s
+            _walk_exprs(s, lambda e: _map_expr_tree(e, on_expr))
+            return _map_stmt(s, on_stmt)
+
+        spawn.low = _map_expr_tree(spawn.low, on_expr)
+        spawn.high = _map_expr_tree(spawn.high, on_expr)
+        spawn.body = on_stmt(spawn.body)
+        return spawn
+
+
+def outline_spawns(unit: A.TranslationUnit) -> A.TranslationUnit:
+    """Outline every spawn statement into its own function (Fig. 8)."""
+    return _Outliner(unit).run()

@@ -1,0 +1,239 @@
+"""Linear-scan register allocation.
+
+Serial code gets the full treatment -- caller-saved pool for short
+ranges, callee-saved for values live across calls, frame spill slots on
+overflow.  Spawn bodies are special, per Section IV-D: virtual threads
+"can only use registers or global memory for intermediate results", so
+a body that does not fit in the register file raises
+:class:`~repro.xmtc.errors.RegisterSpillError` instead of spilling.
+
+The spawn-entry broadcast (the paper's fix (b) for the master-register
+dataflow hazard) shows up here as *pinning*: temps computed by the
+master and read inside the body keep their master-assigned registers,
+which the body allocator must not touch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.registers import (
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    REG_A0,
+    REG_V0,
+    REG_VT,
+    reg_name,
+)
+from repro.xmtc import ir as IR
+from repro.xmtc.errors import CompileError, RegisterSpillError
+from repro.xmtc.optimizer.cfg import liveness, spawn_live_ins
+
+#: registers reserved as codegen/spill scratch
+SCRATCH = (24, 25)  # $t8, $t9
+#: caller-saved pool for general allocation ($t0-$t7)
+POOL_CALLER = tuple(r for r in range(8, 16))
+#: callee-saved pool ($s0-$s7)
+POOL_CALLEE = CALLEE_SAVED
+#: extra registers usable inside spawn bodies (no calls there)
+POOL_BODY_EXTRA = (2, 3, 4, 5, 6, 7)  # $v0,$v1,$a0-$a3
+
+REG = "reg"
+SPILL = "spill"
+
+
+class Allocation:
+    """Result for one region: temp id -> ('reg', n) or ('spill', offset)."""
+
+    def __init__(self):
+        self.map: Dict[int, Tuple[str, int]] = {}
+        self.used_callee: Set[int] = set()
+
+    def where(self, temp: IR.Temp) -> Tuple[str, int]:
+        if temp.pinned is not None:
+            return (REG, temp.pinned)
+        return self.map[temp.id]
+
+    def reg_of(self, temp: IR.Temp) -> Optional[int]:
+        kind, n = self.where(temp)
+        return n if kind == REG else None
+
+    def describe(self, temp: IR.Temp) -> str:
+        kind, n = self.where(temp)
+        return reg_name(n) if kind == REG else f"[frame+{n}]"
+
+
+class _Interval:
+    __slots__ = ("temp", "start", "end", "crosses_call")
+
+    def __init__(self, temp: IR.Temp, start: int):
+        self.temp = temp
+        self.start = start
+        self.end = start + 1
+        self.crosses_call = False
+
+
+def _build_intervals(instrs: List[IR.IRInstr], live: List[Set[IR.Temp]]):
+    intervals: Dict[int, _Interval] = {}
+
+    def touch(temp: IR.Temp, pos: int) -> None:
+        if temp.pinned is not None:
+            return
+        iv = intervals.get(temp.id)
+        if iv is None:
+            intervals[temp.id] = iv = _Interval(temp, pos)
+        iv.start = min(iv.start, pos)
+        iv.end = max(iv.end, pos + 1)
+
+    for pos, ins in enumerate(instrs):
+        uses = set(ins.uses())
+        if isinstance(ins, IR.SpawnIR):
+            uses |= spawn_live_ins(ins)
+        for t in uses:
+            touch(t, pos)
+        for t in ins.defs():
+            touch(t, pos)
+        for t in live[pos]:
+            touch(t, pos)
+    # mark call-crossing temps; a spawn whose body calls functions
+    # behaves like a call for its live-ins (callees run on TCUs reading
+    # the broadcast registers, so those values must sit in callee-saved
+    # registers that the callees preserve)
+    for pos, ins in enumerate(instrs):
+        if isinstance(ins, IR.Call) or (
+                isinstance(ins, IR.SpawnIR) and IR.region_has_calls(ins.body)):
+            for iv in intervals.values():
+                if iv.start < pos and iv.end > pos + 1:
+                    iv.crosses_call = True
+                elif iv.start < pos and iv.temp in live[pos]:
+                    iv.crosses_call = True
+                elif isinstance(ins, IR.SpawnIR) and iv.start <= pos \
+                        and iv.temp in spawn_live_ins(ins):
+                    iv.crosses_call = True
+    return intervals
+
+
+def _linear_scan(intervals: List[_Interval], caller_pool: List[int],
+                 callee_pool: List[int], alloc: Allocation,
+                 allow_spill: bool, func: IR.IRFunc,
+                 region_desc: str) -> None:
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    active: List[_Interval] = []
+    free_caller = list(caller_pool)
+    free_callee = list(callee_pool)
+
+    def release(reg: int) -> None:
+        if reg in caller_pool:
+            free_caller.append(reg)
+            free_caller.sort(key=caller_pool.index)
+        elif reg in callee_pool:
+            free_callee.append(reg)
+            free_callee.sort(key=callee_pool.index)
+
+    for iv in intervals:
+        # expire old intervals
+        for old in list(active):
+            if old.end <= iv.start:
+                active.remove(old)
+                kind, n = alloc.map[old.temp.id]
+                if kind == REG:
+                    release(n)
+        reg: Optional[int] = None
+        if iv.crosses_call:
+            if free_callee:
+                reg = free_callee.pop(0)
+        else:
+            if free_caller:
+                reg = free_caller.pop(0)
+            elif free_callee:
+                reg = free_callee.pop(0)
+        if reg is not None:
+            alloc.map[iv.temp.id] = (REG, reg)
+            if reg in POOL_CALLEE:
+                alloc.used_callee.add(reg)
+            active.append(iv)
+            continue
+        if not allow_spill:
+            raise RegisterSpillError(
+                f"register spill in parallel code ({region_desc}): virtual "
+                "threads can only use registers for intermediate results "
+                "(no parallel stack -- paper Section IV-D); simplify the "
+                "spawn body or move data to global memory")
+        # spill heuristic: spill the active interval with the furthest end
+        victim = max(active, key=lambda a: a.end) if active else None
+        if victim is not None and victim.end > iv.end and not victim.temp.is_float:
+            vk, vr = alloc.map[victim.temp.id]
+            offset = func.alloc_frame(4, f"spill_{victim.temp.id}")
+            alloc.map[victim.temp.id] = (SPILL, offset)
+            active.remove(victim)
+            alloc.map[iv.temp.id] = (vk, vr)
+            active.append(iv)
+        else:
+            offset = func.alloc_frame(4, f"spill_{iv.temp.id}")
+            alloc.map[iv.temp.id] = (SPILL, offset)
+
+
+class FuncAllocation:
+    """Allocation for a function: the serial region plus one allocation
+    per spawn body (keyed by the SpawnIR object's id)."""
+
+    def __init__(self, func: IR.IRFunc):
+        self.func = func
+        self.serial = Allocation()
+        self.bodies: Dict[int, Allocation] = {}
+
+    def for_instr_region(self, spawn: Optional[IR.SpawnIR]) -> Allocation:
+        return self.serial if spawn is None else self.bodies[id(spawn)]
+
+
+def allocate(func: IR.IRFunc) -> FuncAllocation:
+    result = FuncAllocation(func)
+
+    # ---- serial region
+    live = liveness(func.body, loop_back=False)
+    intervals = _build_intervals(func.body, live)
+    _linear_scan(list(intervals.values()), list(POOL_CALLER),
+                 list(POOL_CALLEE), result.serial, allow_spill=True,
+                 func=func, region_desc=func.name)
+
+    # ---- each spawn body
+    for ins in func.body:
+        if not isinstance(ins, IR.SpawnIR):
+            continue
+        live_ins = spawn_live_ins(ins)
+        pinned_regs: Set[int] = {REG_VT}
+        for t in live_ins:
+            kind, n = result.serial.where(t)
+            if kind == REG:
+                pinned_regs.add(n)
+            # spilled live-ins are frame-resident: readable from the body
+            # through the broadcast $sp
+        body_alloc = Allocation()
+        # live-ins keep their master registers inside the body
+        for t in live_ins:
+            body_alloc.map[t.id] = result.serial.where(t)
+        body_live = liveness(ins.body, loop_back=True)
+        body_intervals = _build_intervals(ins.body, body_live)
+        for t in live_ins:
+            body_intervals.pop(t.id, None)
+        if IR.region_has_calls(ins.body):
+            # parallel-calls extension: callees clobber caller-saved
+            # registers and $a/$v stage arguments, so the body gets the
+            # serial discipline (t-regs for short ranges, s-regs across
+            # calls) -- still spill-free or error
+            caller_pool = [r for r in POOL_CALLER if r not in pinned_regs]
+            extra_pool = [r for r in POOL_CALLEE if r not in pinned_regs]
+        else:
+            caller_pool = [r for r in POOL_CALLER if r not in pinned_regs]
+            extra_pool = [r for r in list(POOL_BODY_EXTRA) + list(POOL_CALLEE)
+                          if r not in pinned_regs]
+        _linear_scan(list(body_intervals.values()), caller_pool, extra_pool,
+                     body_alloc, allow_spill=False, func=func,
+                     region_desc=f"spawn block in {func.name}")
+        # callee-saved used inside the body must be saved by the enclosing
+        # serial prologue? No: TCU register files are distinct from the
+        # master's; the body clobbers TCU registers only.  The serial
+        # function's own callee-saved discipline is unaffected.
+        body_alloc.used_callee.clear()
+        result.bodies[id(ins)] = body_alloc
+    return result

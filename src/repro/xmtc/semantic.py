@@ -1,0 +1,730 @@
+"""Semantic analysis: scopes, types, lvalues, and the XMTC-specific rules.
+
+Enforced XMT rules beyond standard C checking:
+
+- ``$`` is only meaningful inside a spawn block (type ``int``);
+- ``ps(inc, base)``: ``base`` must be a global declared ``psBaseReg``
+  (the hardware prefix-sum operates over a limited number of global
+  registers -- Section II-A), ``inc`` an ``int`` lvalue;
+- ``psm(inc, target)``: ``target`` may be any ``int`` memory location --
+  but *not* a virtual-thread-local scalar, because parallel code has no
+  stack to spill it to;
+- no function calls inside spawn blocks (the parallel cactus stack is a
+  future feature -- Section IV-E); ``printf`` is the exception, being a
+  hardware-backed builtin;
+- local arrays inside spawn blocks are rejected ("parallel stack
+  allocation is not yet publicly supported", Section IV-D);
+- variables modified by other virtual threads must be declared
+  ``volatile`` to escape register allocation (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.xmtc import ast_nodes as A
+from repro.xmtc.errors import CompileError
+from repro.xmtc.types import Array, FLOAT, INT, Pointer, Type, VOID, common_arith
+
+_MAX_PS_BASE_REGS = 8
+
+
+class Symbol:
+    """A resolved variable."""
+
+    _next_id = 0
+
+    def __init__(self, name: str, type_: Type, *, is_global: bool = False,
+                 is_param: bool = False, volatile: bool = False,
+                 ps_base_reg: bool = False, spawn_local: bool = False):
+        Symbol._next_id += 1
+        self.uid = Symbol._next_id
+        self.name = name
+        self.type = type_
+        self.is_global = is_global
+        self.is_param = is_param
+        self.volatile = volatile
+        self.ps_base_reg = ps_base_reg
+        #: declared inside a spawn block (register-only storage)
+        self.spawn_local = spawn_local
+        self.addr_taken = False
+        self.written = False
+        #: assigned by lowering: global address / ps register index
+        self.greg_index: Optional[int] = None
+
+    def __repr__(self):  # pragma: no cover
+        return f"<sym {self.name}#{self.uid} {self.type!r}>"
+
+
+class FuncSig:
+    def __init__(self, func: A.FuncDef):
+        self.name = func.name
+        self.return_type = func.return_type
+        self.param_types = [p.param_type for p in func.params]
+        self.func = func
+
+
+class Scope:
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, Symbol] = {}
+
+    def declare(self, sym: Symbol, node: A.Node) -> None:
+        if sym.name in self.symbols:
+            raise CompileError(f"redeclaration of '{sym.name}'", node.line, node.col)
+        self.symbols[sym.name] = sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            sym = scope.symbols.get(name)
+            if sym is not None:
+                return sym
+            scope = scope.parent
+        return None
+
+
+def is_lvalue(expr: A.Expr) -> bool:
+    if isinstance(expr, A.VarRef):
+        return True
+    if isinstance(expr, A.Index):
+        return True
+    if isinstance(expr, A.Unary) and expr.op == "*":
+        return True
+    return False
+
+
+class Analyzer:
+    """Single-pass checker/annotator over an (already outlined) AST."""
+
+    def __init__(self, unit: A.TranslationUnit,
+                 allow_parallel_calls: bool = False):
+        self.unit = unit
+        self.global_scope = Scope()
+        self.functions: Dict[str, FuncSig] = {}
+        self.current_func: Optional[A.FuncDef] = None
+        self.spawn_depth = 0
+        self.loop_depth = 0
+        self.ps_base_count = 0
+        #: the parallel-calls extension (per-TCU stacks): permits
+        #: function calls and malloc inside spawn blocks
+        self.allow_parallel_calls = allow_parallel_calls
+
+    # -- entry point -----------------------------------------------------------
+
+    def run(self) -> A.TranslationUnit:
+        for gvar in self.unit.globals:
+            self._declare_global(gvar)
+        for func in self.unit.functions:
+            if func.name in self.functions:
+                raise CompileError(f"redefinition of function '{func.name}'",
+                                   func.line, func.col)
+            if self.global_scope.lookup(func.name) is not None:
+                raise CompileError(
+                    f"'{func.name}' is already a global variable",
+                    func.line, func.col)
+            self.functions[func.name] = FuncSig(func)
+        if "main" not in self.functions:
+            raise CompileError("program has no 'main' function")
+        main = self.functions["main"]
+        if main.param_types:
+            raise CompileError("main must take no parameters",
+                               main.func.line, main.func.col)
+        for func in self.unit.functions:
+            self._check_function(func)
+        return self.unit
+
+    # -- globals ------------------------------------------------------------------
+
+    def _declare_global(self, gvar: A.GlobalVar) -> None:
+        if gvar.var_type.is_void():
+            raise CompileError("global cannot have void type", gvar.line, gvar.col)
+        if gvar.ps_base_reg:
+            if gvar.var_type != INT:
+                raise CompileError("psBaseReg variables must be int",
+                                   gvar.line, gvar.col)
+            if self.ps_base_count >= _MAX_PS_BASE_REGS:
+                raise CompileError(
+                    f"too many psBaseReg globals (hardware has "
+                    f"{_MAX_PS_BASE_REGS} global prefix-sum registers)",
+                    gvar.line, gvar.col)
+        sym = Symbol(gvar.name, gvar.var_type, is_global=True,
+                     volatile=gvar.volatile, ps_base_reg=gvar.ps_base_reg)
+        if gvar.ps_base_reg:
+            sym.greg_index = self.ps_base_count
+            self.ps_base_count += 1
+        self.global_scope.declare(sym, gvar)
+        gvar.symbol = sym
+        self._check_global_init(gvar)
+
+    def _check_global_init(self, gvar: A.GlobalVar) -> None:
+        init = gvar.init
+        if init is None:
+            return
+        if gvar.var_type.is_array():
+            elem = gvar.var_type.element_base()
+            if not isinstance(init, list):
+                raise CompileError("array initializer must be a brace list",
+                                   gvar.line, gvar.col)
+            if len(init) > gvar.var_type.n_words():
+                raise CompileError("too many initializers", gvar.line, gvar.col)
+            for expr in init:
+                self._require_const_scalar(expr, elem)
+        else:
+            if isinstance(init, list):
+                raise CompileError("scalar cannot take a brace initializer",
+                                   gvar.line, gvar.col)
+            self._require_const_scalar(init, gvar.var_type)
+
+    def _require_const_scalar(self, expr: A.Expr, target: Type) -> None:
+        value = _fold_const(expr)
+        if value is None:
+            raise CompileError("global initializers must be constant",
+                               expr.line, expr.col)
+        if target.is_int() and isinstance(value, float):
+            raise CompileError("cannot initialize int with a float constant",
+                               expr.line, expr.col)
+
+    # -- functions ------------------------------------------------------------------
+
+    def _check_function(self, func: A.FuncDef) -> None:
+        self.current_func = func
+        self.spawn_depth = 0
+        self.loop_depth = 0
+        scope = Scope(self.global_scope)
+        for param in func.params:
+            sym = Symbol(param.name, param.param_type, is_param=True)
+            scope.declare(sym, param)
+            param.symbol = sym
+        self._check_block(func.body, Scope(scope))
+        self.current_func = None
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _check_block(self, block: A.Block, scope: Scope) -> None:
+        for stmt in block.stmts:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: A.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, A.Block):
+            self._check_block(stmt, Scope(scope))
+        elif isinstance(stmt, A.DeclStmt):
+            for decl in stmt.decls:
+                self._check_decl(decl, scope)
+        elif isinstance(stmt, A.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, A.If):
+            self._require_scalar(self._check_expr(stmt.cond, scope), stmt.cond)
+            self._check_stmt(stmt.then, Scope(scope))
+            if stmt.els is not None:
+                self._check_stmt(stmt.els, Scope(scope))
+        elif isinstance(stmt, A.While):
+            self._require_scalar(self._check_expr(stmt.cond, scope), stmt.cond)
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, Scope(scope))
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.DoWhile):
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, Scope(scope))
+            self.loop_depth -= 1
+            self._require_scalar(self._check_expr(stmt.cond, scope), stmt.cond)
+        elif isinstance(stmt, A.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._require_scalar(self._check_expr(stmt.cond, inner), stmt.cond)
+            if stmt.update is not None:
+                self._check_expr(stmt.update, inner)
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, Scope(inner))
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.Break):
+            if self.loop_depth == 0:
+                raise CompileError("break outside a loop", stmt.line, stmt.col)
+        elif isinstance(stmt, A.Continue):
+            if self.loop_depth == 0:
+                raise CompileError("continue outside a loop", stmt.line, stmt.col)
+        elif isinstance(stmt, A.Return):
+            self._check_return(stmt, scope)
+        elif isinstance(stmt, A.SpawnStmt):
+            self._check_spawn(stmt, scope)
+        elif isinstance(stmt, A.PsStmt):
+            self._check_ps(stmt, scope)
+        elif isinstance(stmt, A.PsmStmt):
+            self._check_psm(stmt, scope)
+        elif isinstance(stmt, A.PrintfStmt):
+            self._check_printf(stmt, scope)
+        elif isinstance(stmt, A.Empty):
+            pass
+        else:  # pragma: no cover
+            raise CompileError(f"unknown statement {type(stmt).__name__}",
+                               stmt.line, stmt.col)
+
+    def _check_decl(self, decl: A.VarDecl, scope: Scope) -> None:
+        if decl.var_type.is_void():
+            raise CompileError("variable cannot have void type",
+                               decl.line, decl.col)
+        if self.spawn_depth > 0 and decl.var_type.is_array():
+            raise CompileError(
+                "local arrays are not allowed in spawn blocks: parallel "
+                "stack allocation is not supported (use a global array)",
+                decl.line, decl.col)
+        if self.spawn_depth > 0 and decl.volatile:
+            raise CompileError(
+                "volatile spawn-local variables are meaningless: they are "
+                "register-only and invisible to other virtual threads",
+                decl.line, decl.col)
+        sym = Symbol(decl.name, decl.var_type, volatile=decl.volatile,
+                     spawn_local=self.spawn_depth > 0)
+        scope.declare(sym, decl)
+        decl.symbol = sym
+        if decl.init is not None:
+            if decl.var_type.is_array():
+                raise CompileError("local array initializers are not supported",
+                                   decl.line, decl.col)
+            init_type = self._check_expr(decl.init, scope)
+            decl.init = self._coerce(decl.init, init_type, decl.var_type, decl)
+            sym.written = True
+
+    def _check_return(self, stmt: A.Return, scope: Scope) -> None:
+        func = self.current_func
+        assert func is not None
+        if self.spawn_depth > 0:
+            raise CompileError("return is not allowed inside a spawn block",
+                               stmt.line, stmt.col)
+        if func.return_type.is_void():
+            if stmt.value is not None:
+                raise CompileError("void function cannot return a value",
+                                   stmt.line, stmt.col)
+            return
+        if stmt.value is None:
+            raise CompileError(f"'{func.name}' must return a value",
+                               stmt.line, stmt.col)
+        vtype = self._check_expr(stmt.value, scope)
+        stmt.value = self._coerce(stmt.value, vtype, func.return_type, stmt)
+
+    def _check_spawn(self, stmt: A.SpawnStmt, scope: Scope) -> None:
+        low_t = self._check_expr(stmt.low, scope)
+        high_t = self._check_expr(stmt.high, scope)
+        if not low_t.is_int() or not high_t.is_int():
+            raise CompileError("spawn bounds must be int", stmt.line, stmt.col)
+        self.spawn_depth += 1
+        self._check_block(stmt.body, Scope(scope))
+        self.spawn_depth -= 1
+
+    def _check_ps(self, stmt: A.PsStmt, scope: Scope) -> None:
+        inc_t = self._check_expr(stmt.inc, scope)
+        if not inc_t.is_int() or not is_lvalue(stmt.inc):
+            raise CompileError("ps increment must be an int lvalue",
+                               stmt.inc.line, stmt.inc.col)
+        self._mark_written(stmt.inc)
+        sym = scope.lookup(stmt.base_name)
+        if sym is None:
+            raise CompileError(f"undefined variable '{stmt.base_name}'",
+                               stmt.line, stmt.col)
+        if not sym.ps_base_reg:
+            raise CompileError(
+                f"ps base '{stmt.base_name}' must be a psBaseReg global; "
+                "use psm for arbitrary memory locations",
+                stmt.line, stmt.col)
+        stmt.base_symbol = sym
+        sym.written = True
+
+    def _check_psm(self, stmt: A.PsmStmt, scope: Scope) -> None:
+        inc_t = self._check_expr(stmt.inc, scope)
+        if not inc_t.is_int() or not is_lvalue(stmt.inc):
+            raise CompileError("psm increment must be an int lvalue",
+                               stmt.inc.line, stmt.inc.col)
+        self._mark_written(stmt.inc)
+        target_t = self._check_expr(stmt.target, scope)
+        if not target_t.is_int() or not is_lvalue(stmt.target):
+            raise CompileError("psm target must be an int lvalue",
+                               stmt.target.line, stmt.target.col)
+        if isinstance(stmt.target, A.VarRef):
+            sym = stmt.target.symbol
+            if sym.spawn_local:
+                raise CompileError(
+                    "psm target must live in memory; a spawn-local scalar "
+                    "is register-only (no parallel stack)",
+                    stmt.target.line, stmt.target.col)
+            sym.addr_taken = True  # force memory storage
+            sym.written = True
+        else:
+            self._mark_written(stmt.target)
+
+    def _check_printf(self, stmt: A.PrintfStmt, scope: Scope) -> None:
+        specs = _format_specs(stmt.fmt, stmt)
+        if len(specs) != len(stmt.args):
+            raise CompileError(
+                f"printf format expects {len(specs)} arguments, got "
+                f"{len(stmt.args)}", stmt.line, stmt.col)
+        for i, (spec, arg) in enumerate(zip(specs, stmt.args)):
+            atype = self._check_expr(arg, scope)
+            want = FLOAT if spec == "f" else INT
+            stmt.args[i] = self._coerce(arg, atype, want, arg)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _check_expr(self, expr: A.Expr, scope: Scope) -> Type:
+        t = self._infer(expr, scope)
+        expr.type = t
+        return t
+
+    def _infer(self, expr: A.Expr, scope: Scope) -> Type:
+        if isinstance(expr, A.IntLit):
+            return INT
+        if isinstance(expr, A.FloatLit):
+            return FLOAT
+        if isinstance(expr, A.StrLit):
+            raise CompileError("string literals are only allowed in printf",
+                               expr.line, expr.col)
+        if isinstance(expr, A.Dollar):
+            if self.spawn_depth == 0:
+                raise CompileError("'$' is only defined inside a spawn block",
+                                   expr.line, expr.col)
+            return INT
+        if isinstance(expr, A.VarRef):
+            sym = scope.lookup(expr.name)
+            if sym is None:
+                raise CompileError(f"undefined variable '{expr.name}'",
+                                   expr.line, expr.col)
+            expr.symbol = sym
+            return sym.type
+        if isinstance(expr, A.Unary):
+            return self._infer_unary(expr, scope)
+        if isinstance(expr, A.IncDec):
+            t = self._check_expr(expr.target, scope)
+            if not is_lvalue(expr.target):
+                raise CompileError(f"{expr.op} needs an lvalue",
+                                   expr.line, expr.col)
+            if not (t.is_int() or t.is_pointer()):
+                raise CompileError(f"{expr.op} needs int or pointer operand",
+                                   expr.line, expr.col)
+            self._mark_written(expr.target)
+            return t
+        if isinstance(expr, A.Binary):
+            return self._infer_binary(expr, scope)
+        if isinstance(expr, A.Assign):
+            return self._infer_assign(expr, scope)
+        if isinstance(expr, A.Cond):
+            ct = self._check_expr(expr.cond, scope)
+            self._require_scalar(ct, expr.cond)
+            tt = self._check_expr(expr.then, scope)
+            et = self._check_expr(expr.els, scope)
+            if tt.is_arith() and et.is_arith():
+                common = common_arith(tt, et)
+                expr.then = self._coerce(expr.then, tt, common, expr)
+                expr.els = self._coerce(expr.els, et, common, expr)
+                return common
+            if tt.decay() == et.decay():
+                return tt.decay()
+            raise CompileError("incompatible branches in ?:", expr.line, expr.col)
+        if isinstance(expr, A.Call):
+            return self._infer_call(expr, scope)
+        if isinstance(expr, A.Index):
+            bt = self._check_expr(expr.base, scope).decay()
+            it = self._check_expr(expr.index, scope)
+            if not bt.is_pointer():
+                raise CompileError("subscripted value is not an array or pointer",
+                                   expr.line, expr.col)
+            if not it.is_int():
+                raise CompileError("array index must be int", expr.line, expr.col)
+            return bt.base
+        if isinstance(expr, A.Cast):
+            st = self._check_expr(expr.operand, scope).decay()
+            tt = expr.target_type
+            if tt.is_void():
+                return VOID
+            if (st.is_float() and tt.is_pointer()) or (st.is_pointer() and tt.is_float()):
+                raise CompileError("cannot cast between float and pointer",
+                                   expr.line, expr.col)
+            return tt
+        raise CompileError(f"unknown expression {type(expr).__name__}",
+                           expr.line, expr.col)
+
+    def _infer_unary(self, expr: A.Unary, scope: Scope) -> Type:
+        op = expr.op
+        t = self._check_expr(expr.operand, scope)
+        if op == "-":
+            if not t.is_arith():
+                raise CompileError("unary '-' needs an arithmetic operand",
+                                   expr.line, expr.col)
+            return t
+        if op == "!":
+            self._require_scalar(t, expr.operand)
+            return INT
+        if op == "~":
+            if not t.is_int():
+                raise CompileError("'~' needs an int operand", expr.line, expr.col)
+            return INT
+        if op == "*":
+            dt = t.decay()
+            if not dt.is_pointer():
+                raise CompileError("cannot dereference a non-pointer",
+                                   expr.line, expr.col)
+            if dt.base.is_void():
+                raise CompileError("cannot dereference void*", expr.line, expr.col)
+            return dt.base
+        if op == "&":
+            if not is_lvalue(expr.operand):
+                raise CompileError("'&' needs an lvalue", expr.line, expr.col)
+            if isinstance(expr.operand, A.VarRef):
+                sym = expr.operand.symbol
+                if sym.spawn_local:
+                    raise CompileError(
+                        "cannot take the address of a spawn-local variable "
+                        "(register-only; no parallel stack)",
+                        expr.line, expr.col)
+                sym.addr_taken = True
+            return Pointer(t if not t.is_array() else t)
+        raise CompileError(f"unknown unary operator {op!r}", expr.line, expr.col)
+
+    def _infer_binary(self, expr: A.Binary, scope: Scope) -> Type:
+        op = expr.op
+        lt = self._check_expr(expr.left, scope).decay()
+        rt = self._check_expr(expr.right, scope).decay()
+        if op in ("&&", "||"):
+            self._require_scalar(lt, expr.left)
+            self._require_scalar(rt, expr.right)
+            return INT
+        if op in ("%", "<<", ">>", "&", "|", "^"):
+            if not (lt.is_int() and rt.is_int()):
+                raise CompileError(f"'{op}' needs int operands", expr.line, expr.col)
+            return INT
+        if op in ("+", "-"):
+            if lt.is_pointer() and rt.is_int():
+                return lt
+            if op == "+" and lt.is_int() and rt.is_pointer():
+                return rt
+            if op == "-" and lt.is_pointer() and rt.is_pointer():
+                if lt != rt:
+                    raise CompileError("pointer subtraction of different types",
+                                       expr.line, expr.col)
+                return INT
+        if op in ("+", "-", "*", "/"):
+            common = common_arith(lt, rt)
+            if common is None:
+                raise CompileError(f"invalid operands to '{op}' "
+                                   f"({lt!r} and {rt!r})", expr.line, expr.col)
+            expr.left = self._coerce(expr.left, lt, common, expr)
+            expr.right = self._coerce(expr.right, rt, common, expr)
+            return common
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lt.is_pointer() or rt.is_pointer():
+                if lt.is_pointer() and rt.is_pointer():
+                    return INT
+                # pointer vs integer constant (NULL comparisons)
+                other = expr.right if lt.is_pointer() else expr.left
+                if isinstance(other, A.IntLit):
+                    return INT
+                raise CompileError("comparison of pointer and non-pointer",
+                                   expr.line, expr.col)
+            common = common_arith(lt, rt)
+            if common is None:
+                raise CompileError(f"invalid operands to '{op}'",
+                                   expr.line, expr.col)
+            expr.left = self._coerce(expr.left, lt, common, expr)
+            expr.right = self._coerce(expr.right, rt, common, expr)
+            return INT
+        raise CompileError(f"unknown binary operator {op!r}", expr.line, expr.col)
+
+    def _infer_assign(self, expr: A.Assign, scope: Scope) -> Type:
+        tt = self._check_expr(expr.target, scope)
+        if not is_lvalue(expr.target):
+            raise CompileError("assignment target is not an lvalue",
+                               expr.line, expr.col)
+        if tt.is_array():
+            raise CompileError("cannot assign to an array", expr.line, expr.col)
+        vt = self._check_expr(expr.value, scope)
+        self._mark_written(expr.target)
+        if expr.op == "=":
+            expr.value = self._coerce(expr.value, vt, tt, expr)
+            return tt
+        # compound: target op= value behaves as target = target op value
+        binop = expr.op[:-1]
+        if tt.is_pointer():
+            if binop not in ("+", "-") or not vt.is_int():
+                raise CompileError(f"invalid compound assignment '{expr.op}' "
+                                   "on a pointer", expr.line, expr.col)
+            return tt
+        if binop in ("%", "<<", ">>", "&", "|", "^"):
+            if not (tt.is_int() and vt.is_int()):
+                raise CompileError(f"'{expr.op}' needs int operands",
+                                   expr.line, expr.col)
+            return tt
+        if not (tt.is_arith() and vt.is_arith()):
+            raise CompileError(f"invalid operands to '{expr.op}'",
+                               expr.line, expr.col)
+        expr.value = self._coerce(expr.value, vt,
+                                  common_arith(tt, vt) if tt.is_float() or
+                                  vt.is_float() else INT, expr)
+        return tt
+
+    def _infer_call(self, expr: A.Call, scope: Scope) -> Type:
+        if expr.name in ("ps", "psm"):
+            raise CompileError(f"'{expr.name}' is a statement, not an expression",
+                               expr.line, expr.col)
+        if expr.name == "printf":
+            raise CompileError("printf is a statement in XMTC",
+                               expr.line, expr.col)
+        if expr.name == "malloc":
+            return self._infer_malloc(expr, scope)
+        sig = self.functions.get(expr.name)
+        if sig is None:
+            raise CompileError(f"call to undefined function '{expr.name}'",
+                               expr.line, expr.col)
+        if self.spawn_depth > 0 and not self.allow_parallel_calls:
+            raise CompileError(
+                f"function calls are not allowed inside spawn blocks "
+                f"('{expr.name}'); the parallel cactus stack is not "
+                "supported (compile with parallel_calls=True for the "
+                "per-TCU-stack extension)",
+                expr.line, expr.col)
+        if len(expr.args) != len(sig.param_types):
+            raise CompileError(
+                f"'{expr.name}' expects {len(sig.param_types)} arguments, got "
+                f"{len(expr.args)}", expr.line, expr.col)
+        for i, (arg, want) in enumerate(zip(expr.args, sig.param_types)):
+            atype = self._check_expr(arg, scope).decay()
+            if want.is_pointer():
+                if atype != want and not (isinstance(arg, A.IntLit) and arg.value == 0):
+                    raise CompileError(
+                        f"argument {i + 1} of '{expr.name}': expected {want!r}, "
+                        f"got {atype!r}", arg.line, arg.col)
+            else:
+                expr.args[i] = self._coerce(arg, atype, want, arg)
+        return sig.return_type
+
+    def _infer_malloc(self, expr: A.Call, scope: Scope) -> Type:
+        if self.spawn_depth > 0 and not self.allow_parallel_calls:
+            raise CompileError(
+                "malloc is only supported in serial code (dynamic parallel "
+                "memory allocation is future work -- see paper Section "
+                "IV-D; the parallel_calls extension provides an atomic "
+                "psm-based allocator)",
+                expr.line, expr.col)
+        if len(expr.args) != 1:
+            raise CompileError("malloc expects one argument", expr.line, expr.col)
+        atype = self._check_expr(expr.args[0], scope)
+        if not atype.is_int():
+            raise CompileError("malloc size must be int", expr.line, expr.col)
+        return Pointer(INT)
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _require_scalar(self, t: Type, node: A.Node) -> None:
+        if not t.decay().is_scalar():
+            raise CompileError("scalar value required", node.line, node.col)
+
+    def _coerce(self, expr: A.Expr, have: Type, want: Type, node: A.Node) -> A.Expr:
+        have = have.decay()
+        if have == want or want is None:
+            return expr
+        if have.is_arith() and want.is_arith():
+            cast = A.Cast(want, expr, node.line, node.col)
+            cast.type = want
+            return cast
+        if want.is_pointer() and have.is_int() and isinstance(expr, A.IntLit):
+            expr.type = want  # null-pointer constant
+            return expr
+        if want.is_pointer() and have.is_pointer():
+            return expr  # loose pointer compatibility (void* idiom)
+        if want.is_int() and have.is_pointer():
+            cast = A.Cast(INT, expr, node.line, node.col)
+            cast.type = INT
+            return cast
+        raise CompileError(f"cannot convert {have!r} to {want!r}",
+                           node.line, node.col)
+
+    def _mark_written(self, target: A.Expr) -> None:
+        """Mark the root symbol of a store target as written.
+
+        Walks through indexing and dereferences so ``A[i] = x`` marks
+        ``A`` and ``*p = x`` marks ``p``; this feeds the outliner's
+        capture analysis and the prefetch / read-only-cache analyses.
+        """
+        node = target
+        while True:
+            if isinstance(node, A.Index):
+                node = node.base
+            elif isinstance(node, A.Unary) and node.op == "*":
+                node = node.operand
+            elif isinstance(node, A.Cast):
+                node = node.operand
+            else:
+                break
+        if isinstance(node, A.VarRef) and node.symbol is not None:
+            node.symbol.written = True
+        # A *direct* scalar write inside a spawn block to a variable of
+        # the enclosing serial scope can only be observed after the join
+        # if the variable lives in memory -- TCU registers are distinct
+        # from the Master's.  The outliner normally turns these into
+        # by-reference captures; when compiling without outlining we
+        # force the symbol into a frame slot instead.
+        if (isinstance(target, A.VarRef) and target.symbol is not None
+                and self.spawn_depth > 0):
+            sym = target.symbol
+            if not sym.spawn_local and not sym.is_global:
+                sym.addr_taken = True
+
+
+def _fold_const(expr: A.Expr):
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.FloatLit):
+        return expr.value
+    if isinstance(expr, A.Unary) and expr.op == "-":
+        inner = _fold_const(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, A.Binary):
+        a = _fold_const(expr.left)
+        b = _fold_const(expr.right)
+        if a is None or b is None:
+            return None
+        try:
+            if expr.op == "+":
+                return a + b
+            if expr.op == "-":
+                return a - b
+            if expr.op == "*":
+                return a * b
+            if expr.op == "/":
+                return a / b if isinstance(a, float) or isinstance(b, float) else a // b
+        except ZeroDivisionError:
+            return None
+    if isinstance(expr, A.Cast):
+        inner = _fold_const(expr.operand)
+        if inner is None:
+            return None
+        if expr.target_type.is_int():
+            return int(inner)
+        if expr.target_type.is_float():
+            return float(inner)
+    return None
+
+
+def _format_specs(fmt: str, node: A.Node) -> List[str]:
+    specs = []
+    i = 0
+    while i < len(fmt):
+        if fmt[i] == "%":
+            if i + 1 >= len(fmt):
+                raise CompileError("dangling '%' in printf format",
+                                   node.line, node.col)
+            spec = fmt[i + 1]
+            if spec != "%":
+                if spec not in "duxf":
+                    raise CompileError(f"unsupported printf specifier %{spec}",
+                                       node.line, node.col)
+                specs.append(spec)
+            i += 2
+        else:
+            i += 1
+    return specs
+
+
+def analyze(unit: A.TranslationUnit,
+            allow_parallel_calls: bool = False) -> A.TranslationUnit:
+    """Type-check and annotate an AST in place."""
+    return Analyzer(unit, allow_parallel_calls=allow_parallel_calls).run()

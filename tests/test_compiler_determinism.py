@@ -1,0 +1,29 @@
+"""Compiler determinism: identical input -> byte-identical assembly.
+
+Reproducible builds matter for a research toolchain (the same program
+must produce the same simulation numbers run-to-run and build-to-build).
+"""
+
+import pytest
+
+from repro.xmtc.compiler import CompileOptions, compile_to_asm
+from repro.workloads import programs as W
+
+
+@pytest.mark.parametrize("builder,args,opts", [
+    (W.bfs, (64, 3.0), {}),
+    (W.fft, (32,), {}),
+    (W.merge_sort, (64, 8), {"parallel_calls": True}),
+    (W.max_flow, (16, 2.0), {}),
+])
+def test_compile_is_deterministic(builder, args, opts):
+    src, _, _ = builder(*args)
+    a = compile_to_asm(src, CompileOptions(**opts)).asm_text
+    b = compile_to_asm(src, CompileOptions(**opts)).asm_text
+    assert a == b
+
+
+def test_workload_generators_are_deterministic():
+    a = W.bfs(40, 3.0, seed=9)
+    b = W.bfs(40, 3.0, seed=9)
+    assert a == b

@@ -1,0 +1,426 @@
+"""Cycle-accurate machine tests (assembly level)."""
+
+import pytest
+
+from conftest import run_asm_cycle, run_asm_functional
+from repro.isa.assembler import assemble
+from repro.sim.config import tiny, fpga64
+from repro.sim.functional import SimulationError
+from repro.sim.machine import Simulator
+
+
+def test_serial_program_output_and_cycles():
+    _, res = run_asm_cycle(r"""
+        .data
+    L:  .fmt "%d\n"
+        .text
+    main:
+        li   $t0, 6
+        li   $t1, 7
+        mul  $t2, $t0, $t1
+        print L, $t2
+        halt
+    """)
+    assert res.output == "42\n"
+    assert res.cycles > 4  # mul has multi-cycle latency
+    assert res.instructions == 5
+
+
+def test_mdu_latency_visible():
+    """A dependent chain of muls must cost ~mdu_latency each."""
+    src = r"""
+        .text
+    main:
+        li   $t0, 3
+        mul  $t0, $t0, $t0
+        mul  $t0, $t0, $t0
+        mul  $t0, $t0, $t0
+        halt
+    """
+    _, fast = run_asm_cycle(src, tiny(mdu_latency=1))
+    _, slow = run_asm_cycle(src, tiny(mdu_latency=12))
+    assert slow.cycles > fast.cycles + 20
+
+
+def test_load_use_stall():
+    """Back-to-back dependent loads should stall; independent ones less."""
+    dependent = r"""
+        .data
+    A:  .word 0x1000
+        .text
+    main:
+        la   $t0, A
+        lw   $t1, 0($t0)
+        lw   $t2, 0($t1)
+        halt
+    """
+    # make A hold a pointer to itself so the chained load is valid
+    prog = assemble(dependent)
+    prog.write_global("A", [prog.global_addr("A")])
+    res = Simulator(prog, tiny()).run(max_cycles=100000)
+    assert res.cycles > 2 * tiny().dram_latency  # two serialized misses
+
+
+def test_master_cache_hits_speed_up_reruns():
+    src = r"""
+        .data
+    A:  .space 64
+    s:  .word 0
+        .text
+    main:
+        li   $t3, 0
+        li   $t4, 0
+    outer:
+        la   $t0, A
+        li   $t1, 0
+    loop:
+        lw   $t2, 0($t0)
+        add  $t4, $t4, $t2
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        slti $at, $t1, 16
+        bnez $at, loop
+        addi $t3, $t3, 1
+        slti $at, $t3, 4
+        bnez $at, outer
+        la   $t5, s
+        sw   $t4, 0($t5)
+        halt
+    """
+    _, res = run_asm_cycle(src)
+    stats = res.stats
+    assert stats.get("master_cache.hit") > stats.get("master_cache.miss")
+
+
+def test_spawn_join_basic_parallel():
+    prog, res = run_asm_cycle("""
+        .data
+    A:  .space 64
+        .text
+    main:
+        li   $t0, 0
+        li   $t1, 15
+        spawn $t0, $t1
+    vt:
+        getvt $k0
+        chkid $k0
+        la   $t2, A
+        slli $t3, $k0, 2
+        add  $t2, $t2, $t3
+        sw   $k0, 0($t2)
+        j    vt
+        join
+        halt
+    """)
+    assert res.read_global("A") == list(range(16))
+    assert res.stats.get("spawn.count") == 1
+    assert res.stats.get("spawn.joined") == 1
+
+
+def test_more_virtual_threads_than_tcus():
+    """tiny() has 4 TCUs; 64 virtual threads must all run."""
+    prog, res = run_asm_cycle("""
+        .data
+    A:  .space 256
+        .text
+    main:
+        li   $t0, 0
+        li   $t1, 63
+        spawn $t0, $t1
+    vt:
+        getvt $k0
+        chkid $k0
+        la   $t2, A
+        slli $t3, $k0, 2
+        add  $t2, $t2, $t3
+        addi $t4, $k0, 100
+        sw   $t4, 0($t2)
+        j    vt
+        join
+        halt
+    """)
+    assert res.read_global("A") == [100 + i for i in range(64)]
+
+
+def test_ps_combining_counts():
+    """All concurrent ps requests to one base must be granted unique values."""
+    prog, res = run_asm_cycle("""
+        .data
+    A:  .space 256
+        .text
+    main:
+        li   $t0, 0
+        li   $t1, 63
+        spawn $t0, $t1
+    vt:
+        getvt $k0
+        chkid $k0
+        li   $t2, 1
+        ps   $t2, $g0
+        la   $t3, A
+        slli $t4, $t2, 2
+        add  $t3, $t3, $t4
+        li   $t5, 1
+        sw   $t5, 0($t3)
+        j    vt
+        join
+        halt
+    """)
+    # 64 unique slots -> every word written exactly once
+    assert res.read_global("A") == [1] * 64
+    assert res.global_regs[0] == 64
+    assert res.stats.get("psunit.request") == 64
+
+
+def test_sequence_of_spawn_blocks():
+    """Fig. 2b: spawns alternate with serial code; each joins fully."""
+    prog, res = run_asm_cycle("""
+        .data
+    A:  .space 32
+        .text
+    main:
+        li   $t0, 0
+        li   $t1, 7
+        spawn $t0, $t1
+    v1:
+        getvt $k0
+        chkid $k0
+        la   $t2, A
+        slli $t3, $k0, 2
+        add  $t2, $t2, $t3
+        li   $t4, 1
+        sw   $t4, 0($t2)
+        j    v1
+        join
+        li   $t0, 0
+        li   $t1, 7
+        spawn $t0, $t1
+    v2:
+        getvt $k0
+        chkid $k0
+        la   $t2, A
+        slli $t3, $k0, 2
+        add  $t2, $t2, $t3
+        lw   $t4, 0($t2)
+        add  $t4, $t4, $t4
+        sw   $t4, 0($t2)
+        j    v2
+        join
+        halt
+    """)
+    assert res.read_global("A") == [2] * 8
+    assert res.stats.get("spawn.count") == 2
+
+
+def test_empty_spawn_range_joins():
+    _, res = run_asm_cycle("""
+        .data
+    L:  .fmt "ok"
+        .text
+    main:
+        li   $t0, 1
+        li   $t1, 0
+        spawn $t0, $t1
+    vt:
+        getvt $k0
+        chkid $k0
+        j    vt
+        join
+        print L
+        halt
+    """)
+    assert res.output == "ok"
+
+
+def test_psm_atomicity_under_contention():
+    """64 threads psm(+1) the same word: the result must be exactly 64."""
+    prog, res = run_asm_cycle("""
+        .data
+    ctr: .word 0
+        .text
+    main:
+        li   $t0, 0
+        li   $t1, 63
+        spawn $t0, $t1
+    vt:
+        getvt $k0
+        chkid $k0
+        li   $t2, 1
+        la   $t3, ctr
+        psm  $t2, 0($t3)
+        j    vt
+        join
+        halt
+    """)
+    assert res.read_global("ctr") == 64
+    assert res.stats.get("cache.psm") == 64
+
+
+def test_watchdog_detects_deadlock():
+    # a TCU that spins forever without parking
+    prog = assemble("""
+        .text
+    main:
+        li   $t0, 0
+        li   $t1, 0
+        spawn $t0, $t1
+    vt:
+        getvt $k0
+        chkid $k0
+    spin:
+        j    spin
+        j    vt
+        join
+        halt
+    """)
+    sim = Simulator(prog, tiny(watchdog_cycles=2000))
+    # spinning forever issues jumps, which counts as progress -- this is
+    # livelock, caught by max_cycles instead
+    with pytest.raises(SimulationError, match="exceeded"):
+        sim.run(max_cycles=10_000)
+
+
+def test_watchdog_detects_true_deadlock():
+    """A fence that can never complete would hang; the watchdog fires.
+
+    We fabricate one by spawning zero TCél... simpler: master waits on a
+    fence with an outstanding load that never returns is impossible by
+    construction, so instead verify the watchdog mechanism directly via
+    a blocked chkid-free region: not constructible either.  The
+    mechanism itself is exercised through a paused clock domain.
+    """
+    prog = assemble("""
+        .text
+    main:
+        halt
+    """)
+    sim = Simulator(prog, tiny(watchdog_cycles=100))
+    machine = sim.machine
+    machine.domains["clusters"].disable()  # nothing can ever progress
+    with pytest.raises(SimulationError, match="deadlock"):
+        machine.run()
+
+
+def test_max_cycles_allow_timeout():
+    prog = assemble("""
+        .text
+    main:
+    spin:
+        j spin
+        halt
+    """)
+    res = Simulator(prog, tiny()).run(max_cycles=500, allow_timeout=True)
+    assert res.cycles >= 499
+
+
+def test_cycle_stats_present():
+    _, res = run_asm_cycle("""
+        .data
+    A:  .word 1
+        .text
+    main:
+        la  $t0, A
+        lw  $t1, 0($t0)
+        halt
+    """)
+    stats = res.stats
+    assert stats.get("instructions.lw") == 1
+    assert stats.get("cycles") == res.cycles
+    assert stats.instruction_total() == 3
+    assert "instr_class.mem" in stats.counters
+
+
+def test_output_matches_functional_on_serial_code():
+    src = r"""
+        .data
+    L:  .fmt "%d %x %f\n"
+    F:  .float 2.5
+        .text
+    main:
+        li   $t0, -7
+        li   $t1, 0xAB
+        la   $t2, F
+        lw   $t3, 0($t2)
+        print L, $t0, $t1, $t3
+        halt
+    """
+    _, f = run_asm_functional(src)
+    _, c = run_asm_cycle(src)
+    assert f.output == c.output == "-7 ab 2.500000\n"
+
+
+def test_fpga64_config_runs():
+    _, res = run_asm_cycle("""
+        .data
+    A:  .space 512
+        .text
+    main:
+        li   $t0, 0
+        li   $t1, 127
+        spawn $t0, $t1
+    vt:
+        getvt $k0
+        chkid $k0
+        la   $t2, A
+        slli $t3, $k0, 2
+        add  $t2, $t2, $t3
+        sw   $k0, 0($t2)
+        j    vt
+        join
+        halt
+    """, config=fpga64(), max_cycles=500_000)
+    assert res.read_global("A") == list(range(128))
+
+
+def test_icn_and_dram_traffic_counted():
+    _, res = run_asm_cycle("""
+        .data
+    A:  .space 1024
+        .text
+    main:
+        li   $t0, 0
+        li   $t1, 63
+        spawn $t0, $t1
+    vt:
+        getvt $k0
+        chkid $k0
+        la   $t2, A
+        slli $t3, $k0, 4
+        add  $t2, $t2, $t3
+        lw   $t4, 0($t2)
+        j    vt
+        join
+        halt
+    """)
+    stats = res.stats
+    assert stats.get("icn.send") >= 64
+    assert stats.get("icn.return") >= 64
+    assert stats.get("cache.miss") > 0
+    assert stats.get("dram.read") > 0
+
+
+def test_blocking_vs_nonblocking_store_timing():
+    blocking = """
+        .data
+    A:  .space 4096
+        .text
+    main:
+        li   $t0, 0
+        li   $t1, 63
+        spawn $t0, $t1
+    vt:
+        getvt $k0
+        chkid $k0
+        la   $t2, A
+        slli $t3, $k0, 4
+        add  $t2, $t2, $t3
+        sw   $k0, 0($t2)
+        sw   $k0, 4($t2)
+        sw   $k0, 8($t2)
+        j    vt
+        join
+        halt
+    """
+    _, res_b = run_asm_cycle(blocking)
+    _, res_nb = run_asm_cycle(blocking.replace("sw ", "swnb "))
+    assert res_nb.cycles < res_b.cycles  # non-blocking hides latency

@@ -1,0 +1,238 @@
+"""Discrete-event engine tests (Section III-C/III-D mechanics)."""
+
+import pytest
+
+from repro.sim.engine import (
+    Actor,
+    CallbackActor,
+    ClockDomain,
+    ComponentActor,
+    Scheduler,
+    TimedQueue,
+)
+
+
+class Recorder(Actor):
+    def __init__(self, log, tag):
+        self.log = log
+        self.tag = tag
+
+    def notify(self, scheduler, time, arg):
+        self.log.append((time, self.tag, arg))
+
+
+class TestScheduler:
+    def test_time_ordering(self):
+        sched = Scheduler()
+        log = []
+        sched.schedule(30, Recorder(log, "c"))
+        sched.schedule(10, Recorder(log, "a"))
+        sched.schedule(20, Recorder(log, "b"))
+        sched.run()
+        assert [t for t, _, _ in log] == [10, 20, 30]
+        assert [tag for _, tag, _ in log] == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        sched = Scheduler()
+        log = []
+        sched.schedule(5, Recorder(log, "low"), priority=9)
+        sched.schedule(5, Recorder(log, "high"), priority=1)
+        sched.run()
+        assert [tag for _, tag, _ in log] == ["high", "low"]
+
+    def test_fifo_within_same_priority(self):
+        sched = Scheduler()
+        log = []
+        sched.schedule(5, Recorder(log, "first"), priority=3)
+        sched.schedule(5, Recorder(log, "second"), priority=3)
+        sched.run()
+        assert [tag for _, tag, _ in log] == ["first", "second"]
+
+    def test_cancel(self):
+        sched = Scheduler()
+        log = []
+        event = sched.schedule(5, Recorder(log, "x"))
+        sched.cancel(event)
+        sched.run()
+        assert log == []
+
+    def test_stop_event_terminates(self):
+        sched = Scheduler()
+        log = []
+
+        class Chain(Actor):
+            def notify(self, scheduler, time, arg):
+                log.append(time)
+                scheduler.schedule(10, self)
+
+        sched.schedule(0, Chain())
+        sched.stop(35)
+        sched.run()
+        assert log == [0, 10, 20, 30]
+        assert sched.stopped
+
+    def test_run_until(self):
+        sched = Scheduler()
+        log = []
+
+        class Chain(Actor):
+            def notify(self, scheduler, time, arg):
+                log.append(time)
+                scheduler.schedule(10, self)
+
+        sched.schedule(0, Chain())
+        sched.run(until=25)
+        assert log == [0, 10, 20]
+        assert sched.now == 25
+
+    def test_cannot_schedule_into_past(self):
+        sched = Scheduler()
+        with pytest.raises(ValueError):
+            sched.schedule(-1, Recorder([], "x"))
+
+    def test_events_arg_passed(self):
+        sched = Scheduler()
+        log = []
+        sched.schedule(1, Recorder(log, "x"), arg={"k": 1})
+        sched.run()
+        assert log == [(1, "x", {"k": 1})]
+
+    def test_callback_actor(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule(3, CallbackActor(lambda s, t, a: seen.append(t)))
+        sched.run()
+        assert seen == [3]
+
+    def test_events_processed_counter(self):
+        sched = Scheduler()
+        for i in range(5):
+            sched.schedule(i, Recorder([], "x"))
+        sched.run()
+        assert sched.events_processed == 5
+
+
+class Ticker:
+    def __init__(self):
+        self.cycles = []
+
+    def tick(self, cycle):
+        self.cycles.append(cycle)
+
+
+class TestClockDomain:
+    def test_ticks_components_in_order(self):
+        sched = Scheduler()
+        order = []
+
+        class T:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def tick(self, cycle):
+                order.append((cycle, self.tag))
+
+        domain = ClockDomain("d", period=100)
+        domain.add(T("a"))
+        domain.add(T("b"))
+        domain.start(sched)
+        sched.run(until=250)
+        assert order == [(0, "a"), (0, "b"), (1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_frequency_scaling(self):
+        sched = Scheduler()
+        ticker = Ticker()
+        domain = ClockDomain("d", period=100)
+        domain.add(ticker)
+        domain.start(sched)
+        sched.run(until=199)  # cycles at 0, 100
+        domain.set_frequency_scale(100, 0.5)  # period becomes 200
+        sched.run(until=799)
+        # further ticks at 300, 500, 700
+        assert len(ticker.cycles) == 5
+
+    def test_disable_enable(self):
+        sched = Scheduler()
+        ticker = Ticker()
+        domain = ClockDomain("d", period=10)
+        domain.add(ticker)
+        domain.start(sched)
+        sched.run(until=25)
+        domain.disable()
+        sched.run(until=65)
+        assert len(ticker.cycles) == 3  # 0,10,20 then gated
+        domain.enable()
+        sched.run(until=85)
+        assert len(ticker.cycles) > 3
+
+    def test_halt_stops_rescheduling(self):
+        sched = Scheduler()
+        ticker = Ticker()
+        domain = ClockDomain("d", period=10)
+        domain.add(ticker)
+        domain.start(sched)
+        sched.run(until=15)
+        domain.halt(sched)
+        sched.run()
+        assert len(ticker.cycles) == 2
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            ClockDomain("d", period=0)
+
+    def test_on_tick_hook(self):
+        sched = Scheduler()
+        seen = []
+        domain = ClockDomain("d", period=10)
+        domain.on_tick = seen.append
+        domain.start(sched)
+        sched.run(until=25)
+        assert seen == [0, 1, 2]
+
+
+class TestComponentActor:
+    def test_one_event_per_cycle(self):
+        sched = Scheduler()
+        ticker = Ticker()
+        actor = ComponentActor(ticker, period=10)
+        actor.start(sched)
+        sched.run(until=35)
+        assert ticker.cycles == [0, 1, 2, 3]
+        # four notifications = four events processed
+        assert sched.events_processed == 4
+
+
+class TestTimedQueue:
+    def test_not_visible_same_time(self):
+        q = TimedQueue()
+        q.push(100, "a")
+        assert q.pop_ready(100) is None
+        assert q.pop_ready(101) == "a"
+
+    def test_fifo(self):
+        q = TimedQueue()
+        q.push(1, "a")
+        q.push(2, "b")
+        assert q.drain_ready(10) == ["a", "b"]
+
+    def test_capacity_backpressure(self):
+        q = TimedQueue(capacity=2)
+        assert q.push(0, 1)
+        assert q.push(0, 2)
+        assert not q.push(0, 3)
+        assert q.full()
+        q.pop_ready(5)
+        assert q.push(5, 3)
+
+    def test_drain_limit(self):
+        q = TimedQueue()
+        for i in range(5):
+            q.push(0, i)
+        assert q.drain_ready(1, limit=2) == [0, 1]
+        assert len(q) == 3
+
+    def test_peek(self):
+        q = TimedQueue()
+        q.push(0, "x")
+        assert q.peek_ready(1) == "x"
+        assert len(q) == 1

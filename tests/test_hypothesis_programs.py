@@ -1,0 +1,287 @@
+"""Differential testing: random structured XMTC programs vs a Python
+twin executed with C 32-bit semantics.
+
+The generator emits the same program twice -- as XMTC source and as
+Python source (with wrap-around arithmetic helpers) -- runs the XMTC
+through the whole toolchain (pre-pass, optimizer, register allocator,
+post-pass, cycle-accurate simulator) and compares every global against
+the Python run.  This shakes compiler bugs that unit tests of single
+passes cannot see: interactions between CSE and loops, spills inside
+deep expressions, branch layout, pointer-free aliasing, etc.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import run_xmtc_cycle, run_xmtc_functional
+
+WRAP_PRELUDE = """
+def _w(v):
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v & 0x80000000 else v
+
+def _div(a, b):
+    b = b | 1
+    q = abs(a) // abs(b)
+    return _w(-q if (a < 0) != (b < 0) else q)
+
+def _mod(a, b):
+    b = b | 1
+    return _w(a - _div(a, b) * (b))
+
+def _shl(a, b):
+    return _w((a & 0xFFFFFFFF) << (b & 7))
+
+def _shr(a, b):
+    return _w(a >> (b & 7))
+"""
+
+
+class Gen:
+    """Paired XMTC/Python program generator."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self.globals: list = []      # (name, n_words)
+        self.scalars: list = []      # global int scalars
+        self.arrays: list = []       # (name, size)
+        self.xmtc: list = []
+        self.py: list = []
+        self.temp_counter = 0
+
+    # -- expressions -----------------------------------------------------------
+
+    def expr(self, depth: int, idx_var=None) -> tuple:
+        """Returns (xmtc_text, python_text)."""
+        rng = self.rng
+        if depth == 0 or rng.random() < 0.35:
+            choice = rng.random()
+            if choice < 0.4 and self.scalars:
+                name = rng.choice(self.scalars)
+                return name, f"G['{name}']"
+            if choice < 0.6 and self.arrays:
+                name, size = rng.choice(self.arrays)
+                if idx_var is not None and rng.random() < 0.5:
+                    return (f"{name}[{idx_var} % {size}]",
+                            f"A['{name}'][({idx_var}) % {size}]")
+                k = rng.randrange(size)
+                return f"{name}[{k}]", f"A['{name}'][{k}]"
+            value = rng.randint(-30, 30)
+            return str(value), str(value)
+        op = rng.choice(["+", "-", "*", "/", "%", "&", "|", "^",
+                         "<<", ">>", "<", "==", ">"])
+        lx, lp = self.expr(depth - 1, idx_var)
+        rx, rp = self.expr(depth - 1, idx_var)
+        if op in ("/", "%"):
+            fn = "_div" if op == "/" else "_mod"
+            return (f"(({lx}) {op} (({rx}) | 1))", f"{fn}({lp}, {rp})")
+        if op == "<<":
+            return (f"(({lx}) << (({rx}) & 7))", f"_shl({lp}, {rp})")
+        if op == ">>":
+            return (f"(({lx}) >> (({rx}) & 7))", f"_shr({lp}, {rp})")
+        if op in ("<", "==", ">"):
+            return (f"(({lx}) {op} ({rx}))", f"int(({lp}) {op} ({rp}))")
+        return (f"(({lx}) {op} ({rx}))", f"_w(({lp}) {op} ({rp}))")
+
+    # -- statements --------------------------------------------------------------
+
+    def assign(self, indent: str, idx_var=None) -> None:
+        rng = self.rng
+        ex, ep = self.expr(rng.randint(1, 3), idx_var)
+        if self.arrays and rng.random() < 0.5:
+            name, size = rng.choice(self.arrays)
+            if idx_var is not None and rng.random() < 0.5:
+                self.xmtc.append(f"{indent}{name}[{idx_var} % {size}] = {ex};")
+                self.py.append(f"{indent}A['{name}'][({idx_var}) % {size}] = {ep}")
+            else:
+                k = rng.randrange(size)
+                self.xmtc.append(f"{indent}{name}[{k}] = {ex};")
+                self.py.append(f"{indent}A['{name}'][{k}] = {ep}")
+        elif self.scalars:
+            name = rng.choice(self.scalars)
+            if rng.random() < 0.3:
+                self.xmtc.append(f"{indent}{name} += {ex};")
+                self.py.append(f"{indent}G['{name}'] = "
+                               f"_w(G['{name}'] + ({ep}))")
+            else:
+                self.xmtc.append(f"{indent}{name} = {ex};")
+                self.py.append(f"{indent}G['{name}'] = {ep}")
+
+    def stmt(self, depth: int, indent: str, idx_var=None) -> None:
+        rng = self.rng
+        choice = rng.random()
+        if depth == 0 or choice < 0.5:
+            self.assign(indent, idx_var)
+            return
+        if choice < 0.75:
+            cx, cp = self.expr(2, idx_var)
+            self.xmtc.append(f"{indent}if ({cx}) {{")
+            self.py.append(f"{indent}if ({cp}) != 0:")
+            self.stmt(depth - 1, indent + "    ", idx_var)
+            self.xmtc.append(f"{indent}}} else {{")
+            self.py.append(f"{indent}else:")
+            self.stmt(depth - 1, indent + "    ", idx_var)
+            self.xmtc.append(f"{indent}}}")
+            return
+        # bounded for loop with a fresh induction variable
+        self.temp_counter += 1
+        var = f"i{self.temp_counter}"
+        trips = rng.randint(1, 6)
+        self.xmtc.append(
+            f"{indent}for (int {var} = 0; {var} < {trips}; {var}++) {{")
+        self.py.append(f"{indent}for {var} in range({trips}):")
+        self.stmt(depth - 1, indent + "    ", idx_var=var)
+        self.xmtc.append(f"{indent}}}")
+
+    # -- whole program -----------------------------------------------------------
+
+    def build(self) -> tuple:
+        rng = self.rng
+        decls = []
+        py_init = ["G = {}", "A = {}"]
+        for i in range(rng.randint(1, 3)):
+            name = f"g{i}"
+            value = rng.randint(-50, 50)
+            decls.append(f"int {name} = {value};")
+            py_init.append(f"G['{name}'] = {value}")
+            self.scalars.append(name)
+        for i in range(rng.randint(1, 2)):
+            name = f"a{i}"
+            size = rng.randint(2, 6)
+            values = [rng.randint(-9, 9) for _ in range(size)]
+            decls.append(f"int {name}[{size}] = "
+                         "{" + ", ".join(map(str, values)) + "};")
+            py_init.append(f"A['{name}'] = {values!r}")
+            self.arrays.append((name, size))
+        for _ in range(rng.randint(2, 5)):
+            self.stmt(rng.randint(0, 3), "    ")
+
+        xmtc = "\n".join(decls) + "\nint main() {\n" + \
+            "\n".join(self.xmtc) + "\n    return 0;\n}\n"
+        body = "\n".join(self.py) if self.py else "    pass"
+        python = (WRAP_PRELUDE + "\n".join(py_init)
+                  + "\ndef run():\n" + body + "\nrun()\n")
+        return xmtc, python
+
+
+def reference_run(python_src: str):
+    env: dict = {}
+    exec(python_src, env)  # noqa: S102 - test-generated code
+    return env["G"], env["A"]
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_structured_programs(seed):
+    gen = Gen(seed)
+    xmtc_src, python_src = gen.build()
+    want_g, want_a = reference_run(python_src)
+
+    prog, res = run_xmtc_cycle(xmtc_src, max_cycles=20_000_000)
+    for name, want in want_g.items():
+        got = prog.read_global(name, res.memory)
+        assert got == want, (
+            f"scalar {name}: xmtc={got} python={want}\n{xmtc_src}")
+    for name, want in want_a.items():
+        got = prog.read_global(name, res.memory)
+        assert got == want, (
+            f"array {name}: xmtc={got} python={want}\n{xmtc_src}")
+
+
+def gen_float_expr(rng, names, depth):
+    """Random float expression over variables (XMTC and numpy-float32
+    reference share the text; evaluation differs)."""
+    if depth == 0 or rng.random() < 0.4:
+        if names and rng.random() < 0.6:
+            return rng.choice(names)
+        return f"{rng.uniform(-4, 4):.3f}"
+    op = rng.choice(["+", "-", "*", "/"])
+    left = gen_float_expr(rng, names, depth - 1)
+    right = gen_float_expr(rng, names, depth - 1)
+    if op == "/":
+        right = f"(({right}) * ({right}) + 1.0)"  # keep divisors positive
+    return f"(({left}) {op} ({right}))"
+
+
+def eval_float32(expr_text, env):
+    """Evaluate with strict float32 semantics at every step."""
+    import ast
+
+    import numpy as np
+
+    f32 = np.float32
+
+    def go(node):
+        if isinstance(node, ast.Constant):
+            return f32(node.value)
+        if isinstance(node, ast.Name):
+            return env[node.id]
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return f32(-go(node.operand))
+        if isinstance(node, ast.BinOp):
+            a, b = go(node.left), go(node.right)
+            if isinstance(node.op, ast.Add):
+                return f32(a + b)
+            if isinstance(node.op, ast.Sub):
+                return f32(a - b)
+            if isinstance(node.op, ast.Mult):
+                return f32(a * b)
+            if isinstance(node.op, ast.Div):
+                return f32(a / b)
+        raise AssertionError("unexpected float node")
+
+    return go(ast.parse(expr_text, mode="eval").body)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_float_programs_bit_exact(seed):
+    """Property: compiled float arithmetic is bit-exact against a
+    strict-float32 numpy evaluator (the simulator's FPU claim)."""
+    import numpy as np
+
+    from repro.isa.semantics import bits_to_f32
+
+    rng = random.Random(seed)
+    names = [f"f{i}" for i in range(rng.randint(1, 3))]
+    inits = {n: round(rng.uniform(-10, 10), 3) for n in names}
+    exprs = [gen_float_expr(rng, names, rng.randint(1, 3)) for _ in range(3)]
+    decls = "\n".join(f"float {n} = {v};" for n, v in inits.items())
+    results = "\n".join(f"float r{i} = 0.0;" for i in range(len(exprs)))
+    body = "\n".join(f"    r{i} = {e};" for i, e in enumerate(exprs))
+    source = f"{decls}\n{results}\nint main() {{\n{body}\n    return 0;\n}}\n"
+
+    env = {n: np.float32(v) for n, v in inits.items()}
+    expected = [eval_float32(e, env) for e in exprs]
+
+    prog, res = run_xmtc_cycle(source)
+    for i, want in enumerate(expected):
+        raw = prog.read_global(f"r{i}", res.memory, signed=False)
+        got = np.float32(bits_to_f32(raw))
+        same = (got == want) or (got != got and want != want)
+        assert same, f"float mismatch on {exprs[i]}: {got!r} != {want!r}"
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_programs_opt_levels_agree(seed):
+    """-O0 and -O2 must produce identical results on any program."""
+    from conftest import opts
+
+    gen = Gen(seed + 7)
+    xmtc_src, _ = gen.build()
+    prog0, res0 = run_xmtc_functional(xmtc_src, options=opts(opt_level=0))
+    prog2, res2 = run_xmtc_functional(xmtc_src, options=opts(opt_level=2))
+    for name in prog0.globals_table:
+        if name.startswith("__"):
+            continue
+        assert prog0.read_global(name, res0.memory) == \
+            prog2.read_global(name, res2.memory), f"{name}\n{xmtc_src}"

@@ -1,0 +1,201 @@
+"""Cross-mode validation: the cycle-accurate and functional models share
+one functional core, so race-free programs must produce identical
+results in both modes (our stand-in for the paper's FPGA verification).
+Includes hypothesis-driven random-program equivalence tests against a
+Python reference evaluator.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from conftest import run_xmtc_cycle, run_xmtc_functional
+from repro.isa.semantics import to_signed
+from repro.sim.config import tiny
+from repro.workloads import programs as W
+
+
+def agree(source, inputs=None, globals_to_check=(), config=None):
+    prog_f, fres = run_xmtc_functional(source, inputs=inputs)
+    prog_c, cres = run_xmtc_cycle(source, inputs=inputs, config=config)
+    assert fres.output == cres.output
+    for name in globals_to_check:
+        assert prog_f.read_global(name, fres.memory) == \
+            prog_c.read_global(name, cres.memory), name
+    return fres, cres
+
+
+class TestWorkloadsAgree:
+    def test_compaction(self):
+        src, inputs, _ = W.array_compaction(24)
+        f, c = agree(src, inputs)
+        # counts agree even though slot order may differ
+        assert f.output == c.output
+
+    def test_prefix_sum(self):
+        src, inputs, expected = W.prefix_sum(16)
+        agree(src, inputs, globals_to_check=["X"])
+
+    def test_matmul(self):
+        src, inputs, _ = W.matmul(5)
+        agree(src, inputs, globals_to_check=["C"])
+
+    def test_bfs_levels(self):
+        src, inputs, _ = W.bfs(32, 3.0)
+        agree(src, inputs, globals_to_check=["level"])
+
+    def test_serial_variants(self):
+        for builder in (W.array_compaction, W.reduction):
+            src, inputs, _ = builder(20, parallel=False)
+            agree(src, inputs)
+
+    def test_functional_counts_fewer_overheads(self):
+        """Functional mode has no dispatch-loop getvt replays per TCU;
+        its instruction count differs, but results match."""
+        src, inputs, expected = W.reduction(32)
+        f, c = agree(src, inputs, globals_to_check=["total"])
+        assert f.instructions != 0 and c.instructions != 0
+
+
+# --------------------------------------------------------------------------- random expression programs
+
+_INT_BIN = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+            "<", "<=", ">", ">=", "==", "!="]
+
+
+def gen_expr(rng, vars_, depth):
+    if depth == 0 or rng.random() < 0.3:
+        if vars_ and rng.random() < 0.6:
+            return rng.choice(vars_)
+        return str(rng.randint(-40, 40))
+    op = rng.choice(_INT_BIN)
+    left = gen_expr(rng, vars_, depth - 1)
+    right = gen_expr(rng, vars_, depth - 1)
+    if op in ("/", "%"):
+        right = f"({right} | 1)"  # avoid div-by-zero
+    if op in ("<<", ">>"):
+        right = f"({right} & 7)"
+    return f"(({left}) {op} ({right}))"
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_expression_programs_match_reference(seed):
+    """Property: compiled straight-line integer arithmetic agrees with a
+    host-side 32-bit C-semantics evaluator, in both simulation modes."""
+    rng = random.Random(seed)
+    n_vars = rng.randint(1, 4)
+    names = [f"v{i}" for i in range(n_vars)]
+    inits = {name: rng.randint(-100, 100) for name in names}
+    exprs = [gen_expr(rng, names, rng.randint(1, 3)) for _ in range(3)]
+
+    decls = "\n".join(f"int {n} = {v};" for n, v in inits.items())
+    body = "\n".join(f"    r{i} = {e};" for i, e in enumerate(exprs))
+    results = "\n".join(f"int r{i} = 0;" for i in range(len(exprs)))
+    source = f"""
+{decls}
+{results}
+int main() {{
+{body}
+    return 0;
+}}
+"""
+    # reference evaluation with C 32-bit semantics
+    import ast as _ast
+    expected = []
+    for e in exprs:
+        tree = _ast.parse(e, mode="eval")
+        expected.append(_eval_node(tree.body, dict(inits)))
+
+    prog_f, fres = run_xmtc_functional(source)
+    prog_c, cres = run_xmtc_cycle(source)
+    for i, want in enumerate(expected):
+        got_f = prog_f.read_global(f"r{i}", fres.memory)
+        got_c = prog_c.read_global(f"r{i}", cres.memory)
+        assert got_f == want, f"functional mismatch on {exprs[i]}"
+        assert got_c == want, f"cycle mismatch on {exprs[i]}"
+
+
+def _eval_node(node, env):
+    import ast
+
+    def wrap(v):
+        v &= 0xFFFFFFFF
+        return v - 0x100000000 if v & 0x80000000 else v
+
+    def trunc_div(a, b):
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        return env[node.id]
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return wrap(-_eval_node(node.operand, env))
+    if isinstance(node, ast.Compare):
+        a = _eval_node(node.left, env)
+        b = _eval_node(node.comparators[0], env)
+        table = {ast.Lt: a < b, ast.LtE: a <= b, ast.Gt: a > b,
+                 ast.GtE: a >= b, ast.Eq: a == b, ast.NotEq: a != b}
+        return int(table[type(node.ops[0])])
+    if isinstance(node, ast.BinOp):
+        a = _eval_node(node.left, env)
+        b = _eval_node(node.right, env)
+        op = node.op
+        if isinstance(op, ast.Add):
+            return wrap(a + b)
+        if isinstance(op, ast.Sub):
+            return wrap(a - b)
+        if isinstance(op, ast.Mult):
+            return wrap(a * b)
+        if isinstance(op, ast.Div):
+            return wrap(trunc_div(a, b))
+        if isinstance(op, ast.Mod):
+            return wrap(a - trunc_div(a, b) * b)
+        if isinstance(op, ast.BitAnd):
+            return wrap((a & 0xFFFFFFFF) & (b & 0xFFFFFFFF))
+        if isinstance(op, ast.BitOr):
+            return wrap((a & 0xFFFFFFFF) | (b & 0xFFFFFFFF))
+        if isinstance(op, ast.BitXor):
+            return wrap((a & 0xFFFFFFFF) ^ (b & 0xFFFFFFFF))
+        if isinstance(op, ast.LShift):
+            return wrap((a & 0xFFFFFFFF) << (b & 31))
+        if isinstance(op, ast.RShift):
+            return wrap(a >> (b & 31))
+    raise AssertionError("unexpected node")
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_parallel_reduction_matches_for_any_size(n, seed):
+    """Property: psm-based parallel reduction is exact for any array
+    size and content, despite arbitrary interleavings."""
+    rng = random.Random(seed)
+    data = [rng.randint(-1000, 1000) for _ in range(n)]
+    src, inputs, _ = W.reduction(n, parallel=True)
+    inputs = {"A": data}
+    _, res = run_xmtc_cycle(src, inputs=inputs)
+    assert res.read_global("total") == sum(data)
+
+
+@given(st.integers(min_value=2, max_value=48))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_compaction_preserves_multiset(n):
+    """Property: array compaction keeps exactly the nonzero elements
+    (order free, as the paper notes)."""
+    rng = random.Random(n * 17)
+    data = [rng.choice([0, 0, rng.randint(1, 9)]) for _ in range(n)]
+    src, inputs, expected = W.array_compaction(n)
+    inputs = {"A": data}
+    _, res = run_xmtc_cycle(src, inputs=inputs)
+    count = sum(1 for x in data if x)
+    got = res.read_global("B", count=count)
+    assert sorted(got) == sorted(x for x in data if x)
+    assert res.read_global("count") == count

@@ -1,0 +1,281 @@
+"""Pre-pass tests: outlining (Fig. 8), nested-spawn serialization,
+virtual-thread clustering."""
+
+import pytest
+
+from conftest import run_xmtc_cycle, run_xmtc_functional, opts
+from repro.xmtc import ast_nodes as A
+from repro.xmtc.outline import (
+    cluster_spawns,
+    outline_spawns,
+    serialize_nested_spawns,
+)
+from repro.xmtc.parser import parse
+from repro.xmtc.types import INT, Pointer
+
+
+def outlined(source):
+    unit = parse(source)
+    serialize_nested_spawns(unit)
+    return outline_spawns(unit)
+
+
+FIG8 = """
+int A[16];
+int counter = 0;
+int main() {
+    int found = 0;
+    spawn(0, 15) {
+        if (A[$] != 0) found = 1;
+    }
+    if (found) counter += 1;
+    return 0;
+}
+"""
+
+
+class TestOutlining:
+    def test_spawn_extracted_to_new_function(self):
+        unit = outlined(FIG8)
+        names = [f.name for f in unit.functions]
+        assert "main" in names
+        outl = [f for f in unit.functions if f.is_outlined]
+        assert len(outl) == 1
+        # main no longer contains a spawn; the outlined function does
+        def has_spawn(stmt):
+            if isinstance(stmt, A.SpawnStmt):
+                return True
+            if isinstance(stmt, A.Block):
+                return any(has_spawn(s) for s in stmt.stmts)
+            if isinstance(stmt, A.If):
+                return has_spawn(stmt.then) or (
+                    stmt.els is not None and has_spawn(stmt.els))
+            return False
+        main = next(f for f in unit.functions if f.name == "main")
+        assert not any(has_spawn(s) for s in main.body.stmts)
+        assert any(has_spawn(s) for s in outl[0].body.stmts)
+
+    def test_written_scalar_captured_by_reference(self):
+        """Fig. 8c: ``found`` is written in the block -> passed as int*."""
+        unit = outlined(FIG8)
+        outl = next(f for f in unit.functions if f.is_outlined)
+        params = {p.name: p.param_type for p in outl.params}
+        assert params["found"] == Pointer(INT)
+        # accesses rewritten to (*found)
+        text_found = []
+
+        def walk(e):
+            if isinstance(e, A.Unary) and e.op == "*":
+                if isinstance(e.operand, A.VarRef):
+                    text_found.append(e.operand.name)
+            for attr in ("operand", "left", "right", "target", "value",
+                         "cond", "then", "els", "base", "index"):
+                child = getattr(e, attr, None)
+                if isinstance(child, A.Expr):
+                    walk(child)
+
+        def walk_stmt(s):
+            if isinstance(s, A.Block):
+                for c in s.stmts:
+                    walk_stmt(c)
+            elif isinstance(s, A.If):
+                walk(s.cond)
+                walk_stmt(s.then)
+                if s.els:
+                    walk_stmt(s.els)
+            elif isinstance(s, A.ExprStmt):
+                walk(s.expr)
+            elif isinstance(s, A.SpawnStmt):
+                walk_stmt(s.body)
+        for s in outl.body.stmts:
+            walk_stmt(s)
+        assert "found" in text_found
+
+    def test_readonly_scalar_captured_by_value(self):
+        unit = outlined("""
+int A[8];
+int main() {
+    int limit = 5;
+    spawn(0, 7) {
+        if ($ < limit) A[$] = 1;
+    }
+    return 0;
+}
+""")
+        outl = next(f for f in unit.functions if f.is_outlined)
+        params = {p.name: p.param_type for p in outl.params}
+        assert params["limit"] == INT
+
+    def test_local_array_captured_as_pointer(self):
+        unit = outlined("""
+int main() {
+    int buf[8];
+    spawn(0, 7) {
+        buf[$] = $;
+    }
+    return buf[0];
+}
+""")
+        outl = next(f for f in unit.functions if f.is_outlined)
+        params = {p.name: p.param_type for p in outl.params}
+        assert params["buf"] == Pointer(INT)
+
+    def test_globals_not_captured(self):
+        unit = outlined("""
+int G[8];
+int main() {
+    spawn(0, 7) { G[$] = $; }
+    return 0;
+}
+""")
+        outl = next(f for f in unit.functions if f.is_outlined)
+        assert outl.params == []
+
+    def test_spawn_bounds_captures(self):
+        unit = outlined("""
+int A[32];
+int main() {
+    int n = 32;
+    spawn(0, n - 1) { A[$] = 1; }
+    return 0;
+}
+""")
+        outl = next(f for f in unit.functions if f.is_outlined)
+        assert [p.name for p in outl.params] == ["n"]
+
+    def test_call_replaces_spawn(self):
+        unit = outlined(FIG8)
+        main = next(f for f in unit.functions if f.name == "main")
+        calls = [s for s in main.body.stmts
+                 if isinstance(s, A.ExprStmt) and isinstance(s.expr, A.Call)]
+        assert len(calls) == 1
+        assert calls[0].expr.name.startswith("__outl_sp_")
+
+    def test_end_to_end_fig8_semantics(self):
+        prog, res = run_xmtc_cycle(FIG8, inputs={"A": [0] * 7 + [9] + [0] * 8})
+        assert res.read_global("found") if "found" in prog.globals_table else True
+        assert res.read_global("counter") == 1
+        prog, res = run_xmtc_cycle(FIG8, inputs={"A": [0] * 16})
+        assert res.read_global("counter") == 0
+
+    def test_outlining_can_be_disabled(self):
+        """The nested-IR core pass stays correct without outlining."""
+        for enabled in (True, False):
+            prog, res = run_xmtc_cycle(FIG8, inputs={"A": [1] + [0] * 15},
+                                       options=opts(outline=enabled))
+            assert res.read_global("counter") == 1
+
+
+class TestNestedSpawnSerialization:
+    def test_inner_spawn_becomes_loop(self):
+        unit = parse("""
+int M[4][4];
+int main() {
+    spawn(0, 3) {
+        int r = $;
+        spawn(0, 3) { M[r][$] = r + $; }
+    }
+    return 0;
+}
+""")
+        serialize_nested_spawns(unit)
+
+        def count_spawns(stmt):
+            n = 0
+            if isinstance(stmt, A.SpawnStmt):
+                n += 1
+                n += count_spawns(stmt.body)
+            elif isinstance(stmt, A.Block):
+                n += sum(count_spawns(s) for s in stmt.stmts)
+            elif isinstance(stmt, A.For):
+                n += count_spawns(stmt.body)
+            elif isinstance(stmt, A.If):
+                n += count_spawns(stmt.then)
+                if stmt.els:
+                    n += count_spawns(stmt.els)
+            return n
+
+        total = sum(count_spawns(s) for s in unit.functions[0].body.stmts)
+        assert total == 1  # only the outer spawn survives
+
+    def test_triple_nesting(self):
+        prog, res = run_xmtc_cycle("""
+int T[2][2][2];
+int main() {
+    spawn(0, 1) {
+        int i = $;
+        spawn(0, 1) {
+            int j = $;
+            spawn(0, 1) {
+                T[i][j][$] = i * 100 + j * 10 + $;
+            }
+        }
+    }
+    return 0;
+}
+""")
+        flat = res.read_global("T")
+        assert flat == [0, 1, 10, 11, 100, 101, 110, 111]
+
+    def test_inner_dollar_rebinding(self):
+        prog, res = run_xmtc_cycle("""
+int OUT[3][2];
+int main() {
+    spawn(0, 2) {
+        int outer = $;
+        spawn(0, 1) {
+            OUT[outer][$] = outer * 10 + $;
+        }
+    }
+    return 0;
+}
+""")
+        assert res.read_global("OUT") == [0, 1, 10, 11, 20, 21]
+
+
+class TestClustering:
+    def test_cluster_preserves_semantics(self):
+        src = """
+int A[37];
+int B[37];
+int main() {
+    spawn(0, 36) { B[$] = A[$] * 3 + 1; }
+    return 0;
+}
+"""
+        data = list(range(37))
+        for factor in (1, 2, 4, 8, 64):
+            prog, res = run_xmtc_cycle(
+                src, inputs={"A": data},
+                options=opts(cluster_factor=factor))
+            assert res.read_global("B") == [x * 3 + 1 for x in data], factor
+
+    def test_cluster_reduces_virtual_threads(self):
+        src = """
+int A[64];
+int main() {
+    spawn(0, 63) { A[$] = $; }
+    return 0;
+}
+"""
+        prog, plain = run_xmtc_cycle(src)
+        prog, clustered = run_xmtc_cycle(src, options=opts(cluster_factor=8))
+        assert clustered.stats.get("spawn.getvt") < plain.stats.get("spawn.getvt")
+        assert clustered.read_global("A") == list(range(64))
+
+    def test_cluster_with_nonmultiple_range(self):
+        prog, res = run_xmtc_cycle("""
+int A[10];
+int main() {
+    spawn(0, 9) { A[$] = $ + 1; }
+    return 0;
+}
+""", options=opts(cluster_factor=4))
+        assert res.read_global("A") == list(range(1, 11))
+
+    def test_cluster_factor_validated(self):
+        from repro.xmtc.errors import CompileError
+
+        unit = parse("int main() { return 0; }")
+        with pytest.raises(CompileError):
+            cluster_spawns(unit, 0)

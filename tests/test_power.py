@@ -1,0 +1,187 @@
+"""Power model, thermal model, floorplan, and DTM tests."""
+
+import math
+
+import pytest
+
+from conftest import run_xmtc_cycle
+from repro.power import (
+    DTMPolicy,
+    PowerConfig,
+    PowerModel,
+    PowerThermalPlugin,
+    ThermalConfig,
+    ThermalModel,
+    build_floorplan,
+    render_heatmap,
+)
+from repro.sim.config import tiny
+from repro.workloads import microbench as MB
+
+
+class TestFloorplan:
+    def test_blocks_present(self):
+        plan = build_floorplan(8, 4, 2)
+        assert len(plan.by_kind("cluster")) == 8
+        assert len(plan.by_kind("cache")) == 4
+        assert len(plan.by_kind("dram")) == 2
+        assert len(plan.by_kind("icn")) == 1
+        assert len(plan.by_kind("master")) == 1
+
+    def test_blocks_tile_the_die(self):
+        plan = build_floorplan(16, 8, 2)
+        total = sum(b.area for b in plan.blocks)
+        assert total == pytest.approx(plan.width * plan.height, rel=1e-6)
+
+    def test_adjacency_symmetric(self):
+        plan = build_floorplan(4, 2, 1)
+        for a in plan.blocks:
+            for b in plan.blocks:
+                if a is not b:
+                    assert a.adjacent(b) == pytest.approx(b.adjacent(a))
+
+    def test_neighbor_clusters_share_boundary(self):
+        plan = build_floorplan(4, 2, 1)
+        c0 = plan.block("cluster", 0)
+        c1 = plan.block("cluster", 1)
+        assert c0.adjacent(c1) > 0
+
+    def test_die_scales_with_clusters(self):
+        small = build_floorplan(2, 2, 1)
+        big = build_floorplan(64, 16, 4)
+        assert big.width > small.width
+
+    def test_heatmap_renders(self):
+        plan = build_floorplan(4, 2, 1)
+        values = {b.name: float(i) for i, b in enumerate(plan.blocks)}
+        text = render_heatmap(plan, values, cols=32, rows=10, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 14  # title + border + 10 rows + border + scale
+        assert "scale:" in lines[-1]
+
+
+class TestThermalModel:
+    def test_steady_state_matches_stepping(self):
+        plan = build_floorplan(4, 2, 1)
+        model = ThermalModel(plan)
+        power = {plan.by_kind("cluster")[0].name: 2.0}
+        steady = model.steady_state(power)
+        # step long enough to converge
+        for _ in range(400):
+            model.step(power, 5e-6)
+        for name, want in steady.items():
+            assert model.temperature(name) == pytest.approx(want, abs=0.5)
+
+    def test_heat_flows_to_neighbors(self):
+        plan = build_floorplan(4, 2, 1)
+        model = ThermalModel(plan)
+        hot = plan.by_kind("cluster")[0].name
+        model.step({hot: 5.0}, 2e-5)
+        temps = model.as_dict()
+        assert temps[hot] > model.config.ambient
+        neighbor = plan.by_kind("cluster")[1].name
+        assert temps[neighbor] > model.config.ambient
+        assert temps[neighbor] < temps[hot]
+
+    def test_cooling_without_power(self):
+        plan = build_floorplan(2, 2, 1)
+        model = ThermalModel(plan)
+        name = plan.blocks[0].name
+        model.step({name: 10.0}, 5e-5)
+        hot = model.temperature(name)
+        model.step({}, 5e-4)
+        assert model.temperature(name) < hot
+
+    def test_no_power_stays_ambient(self):
+        plan = build_floorplan(2, 2, 1)
+        model = ThermalModel(plan)
+        model.step({}, 1e-4)
+        assert model.max_temp() == pytest.approx(model.config.ambient, abs=1e-6)
+
+    def test_max_temp_by_kind(self):
+        plan = build_floorplan(2, 2, 1)
+        model = ThermalModel(plan)
+        model.step({"dram0": 3.0}, 1e-4)
+        assert model.max_temp("dram") > model.max_temp("cluster")
+
+
+class TestPowerModel:
+    def _run_with(self, source, inputs=None):
+        plug = PowerThermalPlugin(interval_cycles=300)
+        _, res = run_xmtc_cycle(source, inputs=inputs, plugins=[plug],
+                                config=tiny())
+        return plug, res
+
+    def test_busy_clusters_draw_more_than_idle(self):
+        name, src, inputs = list(MB.table1_grid(1))[1]  # parallel compute
+        plug, res = self._run_with(src, inputs)
+        final = plug.power_maps[-1]
+        cluster_power = sum(v for k, v in final.items() if k.startswith("cluster"))
+        assert cluster_power > 0
+
+    def test_memory_bench_burns_icn_and_cache(self):
+        name, src, inputs = list(MB.table1_grid(1))[0]  # parallel memory
+        plug, res = self._run_with(src, inputs)
+        total = {}
+        for pm in plug.power_maps:
+            for k, v in pm.items():
+                total[k] = total.get(k, 0.0) + v
+        assert total.get("icn", 0) > 0
+
+    def test_history_recorded(self):
+        name, src, inputs = list(MB.table1_grid(1))[3]  # serial compute
+        plug, res = self._run_with(src, inputs)
+        assert len(plug.history) >= 2
+        times = [h[0] for h in plug.history]
+        assert times == sorted(times)
+
+    def test_power_positive_and_bounded(self):
+        name, src, inputs = list(MB.table1_grid(1))[1]
+        plug, res = self._run_with(src, inputs)
+        for _, watts, temp, scale in plug.history:
+            assert 0 <= watts < 1000
+            assert temp >= 44.0
+
+
+class TestDTM:
+    def test_requires_unmerged_domains(self):
+        plug = PowerThermalPlugin(interval_cycles=100,
+                                  policy=DTMPolicy(t_throttle=45.1))
+        with pytest.raises(Exception, match="merge_clock_domains"):
+            run_xmtc_cycle("""
+int A[64];
+int main() { spawn(0, 63) { A[$] = $; } return 0; }
+""", plugins=[plug], config=tiny())
+
+    def test_throttle_engages_and_slows_clusters(self):
+        src = """
+int RESULT[64];
+int main() {
+    spawn(0, 63) {
+        int a = $ + 1;
+        for (int k = 0; k < 60; k++) { a = a * 3 + k; }
+        RESULT[$] = a;
+    }
+    return 0;
+}
+"""
+        cfg = tiny(merge_clock_domains=False)
+        policy = DTMPolicy(t_throttle=45.05, t_release=45.0,
+                           throttle_scale=0.25)
+        plug = PowerThermalPlugin(interval_cycles=200, policy=policy)
+        _, res = run_xmtc_cycle(src, config=cfg, plugins=[plug],
+                                max_cycles=5_000_000)
+        assert plug.throttled_fraction() > 0
+        # and the domain really slowed down at some point
+        scales = {h[3] for h in plug.history}
+        assert 0.25 in scales
+
+    def test_policy_hysteresis(self):
+        policy = DTMPolicy(t_throttle=80, t_release=70, throttle_scale=0.5)
+        throttled, scale = policy.decide(85, False)
+        assert throttled and scale == 0.5
+        throttled, scale = policy.decide(75, True)  # between bands: hold
+        assert throttled
+        throttled, scale = policy.decide(65, True)
+        assert not throttled and scale == 1.0

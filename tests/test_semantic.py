@@ -1,0 +1,215 @@
+"""Semantic-analysis tests: typing rules and XMT-specific restrictions."""
+
+import pytest
+
+from repro.xmtc.errors import CompileError
+from repro.xmtc.parser import parse
+from repro.xmtc.semantic import analyze
+from repro.xmtc.types import FLOAT, INT, Pointer
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def expect_error(source, fragment):
+    with pytest.raises(CompileError, match=fragment):
+        check(source)
+
+
+class TestBasicRules:
+    def test_main_required(self):
+        expect_error("int f() { return 0; }", "no 'main'")
+
+    def test_main_no_params(self):
+        expect_error("int main(int x) { return 0; }", "no parameters")
+
+    def test_undefined_variable(self):
+        expect_error("int main() { x = 1; return 0; }", "undefined variable")
+
+    def test_redeclaration_same_scope(self):
+        expect_error("int main() { int x; int x; return 0; }", "redeclaration")
+
+    def test_shadowing_allowed(self):
+        check("int main() { int x = 1; { int x = 2; } return x; }")
+
+    def test_undefined_function(self):
+        expect_error("int main() { return f(); }", "undefined function")
+
+    def test_arg_count(self):
+        expect_error("int f(int a) { return a; } int main() { return f(); }",
+                     "expects 1 arguments")
+
+    def test_redefined_function(self):
+        expect_error("int f() { return 0; } int f() { return 1; } "
+                     "int main() { return 0; }", "redefinition")
+
+    def test_global_function_name_clash(self):
+        expect_error("int f = 0; int f() { return 1; } int main() { return 0; }",
+                     "already a global")
+
+    def test_void_variable(self):
+        expect_error("int main() { void x; return 0; }", "void")
+
+    def test_break_outside_loop(self):
+        expect_error("int main() { break; return 0; }", "outside a loop")
+
+    def test_return_type_mismatch(self):
+        expect_error("void f() { return 3; } int main() { return 0; }",
+                     "cannot return a value")
+        expect_error("int f() { return; } int main() { return 0; }",
+                     "must return a value")
+
+
+class TestTypeRules:
+    def test_implicit_int_float_conversion(self):
+        unit = check("int main() { float f = 1; int i = f + 2.0; return i; }")
+
+    def test_pointer_arith_ok(self):
+        check("int A[4]; int main() { int* p = A; p = p + 1; return *p; }")
+
+    def test_pointer_minus_pointer(self):
+        unit = check("int A[4]; int main() { int* p = A; int* q = A; "
+                     "return q - p; }")
+
+    def test_float_pointer_cast_rejected(self):
+        expect_error("int main() { float f = 0.0; int* p = (int*)f; return 0; }",
+                     "float and pointer")
+
+    def test_deref_non_pointer(self):
+        expect_error("int main() { int x = 0; return *x; }", "dereference")
+
+    def test_assign_to_array(self):
+        expect_error("int A[4]; int B[4]; int main() { A = B; return 0; }",
+                     "array")
+
+    def test_mod_needs_ints(self):
+        expect_error("int main() { float f = 1.0; return f % 2; }", "int operands")
+
+    def test_address_of_rvalue(self):
+        expect_error("int main() { int* p = &(1 + 2); return 0; }", "lvalue")
+
+    def test_condition_must_be_scalar(self):
+        check("int A[4]; int main() { if (A) return 1; return 0; }")  # decays
+
+    def test_printf_arity_checked(self):
+        expect_error('int main() { printf("%d %d", 1); return 0; }',
+                     "expects 2 arguments")
+
+    def test_printf_bad_spec(self):
+        expect_error('int main() { printf("%q", 1); return 0; }', "specifier")
+
+    def test_expr_types_annotated(self):
+        unit = check("int main() { float f = 1.5; int i = 2; f = f + i; return 0; }")
+        # the int operand is wrapped in an implicit cast
+        stmts = unit.functions[0].body.stmts
+        assign = stmts[2].expr
+        assert assign.value.type == FLOAT
+
+
+class TestParallelRules:
+    def test_dollar_outside_spawn(self):
+        expect_error("int main() { return $; }", r"\$")
+
+    def test_dollar_inside_spawn_ok(self):
+        check("int A[4]; int main() { spawn(0, 3) { A[$] = $; } return 0; }")
+
+    def test_call_in_spawn_rejected(self):
+        expect_error("""
+int f(int x) { return x; }
+int A[4];
+int main() { spawn(0, 3) { A[$] = f($); } return 0; }
+""", "cactus stack")
+
+    def test_printf_in_spawn_ok(self):
+        check('int main() { spawn(0, 1) { printf("%d\\n", $); } return 0; }')
+
+    def test_local_array_in_spawn_rejected(self):
+        expect_error("int main() { spawn(0, 1) { int t[4]; } return 0; }",
+                     "parallel stack")
+
+    def test_addressof_spawn_local_rejected(self):
+        expect_error("int main() { spawn(0, 1) { int x; int* p = &x; } return 0; }",
+                     "spawn-local")
+
+    def test_volatile_spawn_local_rejected(self):
+        expect_error("int main() { spawn(0, 1) { volatile int x; } return 0; }",
+                     "volatile spawn-local")
+
+    def test_return_in_spawn_rejected(self):
+        expect_error("int main() { spawn(0, 1) { return 1; } return 0; }",
+                     "spawn block")
+
+    def test_spawn_bounds_must_be_int(self):
+        expect_error("int main() { spawn(0.5, 3) { } return 0; }", "bounds")
+
+    def test_malloc_in_spawn_rejected(self):
+        expect_error("int main() { spawn(0, 1) { int* p = malloc(4); } return 0; }",
+                     "serial code")
+
+    def test_malloc_serial_ok(self):
+        check("int main() { int* p = malloc(16); p[0] = 1; return p[0]; }")
+
+
+class TestPrefixSumRules:
+    def test_ps_base_must_be_psbasereg(self):
+        expect_error("""
+int base = 0;
+int main() { int i = 1; ps(i, base); return 0; }
+""", "psBaseReg")
+
+    def test_ps_ok(self):
+        check("""
+psBaseReg int base = 0;
+int main() { int i = 1; ps(i, base); return i; }
+""")
+
+    def test_ps_inc_must_be_lvalue(self):
+        expect_error("""
+psBaseReg int base = 0;
+int main() { ps(1 + 2, base); return 0; }
+""", "lvalue")
+
+    def test_psm_target_spawn_local_rejected(self):
+        expect_error("""
+int main() {
+    spawn(0, 1) { int local = 0; int i = 1; psm(i, local); }
+    return 0;
+}
+""", "memory")
+
+    def test_psm_global_ok(self):
+        check("int total = 0; int main() { int i = 5; psm(i, total); return i; }")
+
+    def test_psm_array_element_ok(self):
+        check("int A[4]; int main() { int i = 1; psm(i, A[2]); return i; }")
+
+    def test_too_many_psbaseregs(self):
+        decls = "\n".join(f"psBaseReg int b{i} = 0;" for i in range(9))
+        expect_error(decls + "\nint main() { return 0; }", "too many psBaseReg")
+
+    def test_psbasereg_must_be_int(self):
+        expect_error("psBaseReg float b = 0.0; int main() { return 0; }",
+                     "must be int")
+
+    def test_ps_is_not_an_expression(self):
+        expect_error("""
+psBaseReg int base = 0;
+int main() { int x = ps(1, base); return x; }
+""", "statement")
+
+
+class TestGlobals:
+    def test_nonconst_global_init(self):
+        expect_error("int a = 1; int b = a + 1; int main() { return 0; }",
+                     "constant")
+
+    def test_const_exprs_folded(self):
+        check("int a = 3 * 4 + 1; float f = 1.0 / 2; int main() { return 0; }")
+
+    def test_array_init_too_long(self):
+        expect_error("int a[2] = {1, 2, 3}; int main() { return 0; }",
+                     "too many")
+
+    def test_float_init_on_int_rejected(self):
+        expect_error("int a = 1.5; int main() { return 0; }", "float constant")

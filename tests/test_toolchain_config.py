@@ -1,0 +1,167 @@
+"""Toolchain driver and machine-configuration tests."""
+
+import pytest
+
+from repro.sim.config import XMTConfig, chip1024, fpga64, tiny
+from repro.toolchain.driver import compile_and_run, run_functional, run_program
+from repro.xmtc.compiler import CompileOptions, compile_source
+
+
+class TestConfig:
+    def test_presets_validate(self):
+        for preset in (fpga64(), chip1024(), tiny()):
+            preset.validate()
+
+    def test_fpga64_topology(self):
+        cfg = fpga64()
+        assert cfg.n_tcus == 64
+        assert cfg.n_clusters == 8
+
+    def test_chip1024_topology(self):
+        cfg = chip1024()
+        assert cfg.n_tcus == 1024
+        assert cfg.n_clusters == 64
+        assert cfg.n_cache_modules == 128
+
+    def test_icn_depth_grows_with_size(self):
+        assert chip1024().icn_depth() > fpga64().icn_depth()
+
+    def test_icn_depth_override(self):
+        cfg = tiny(icn_latency=3)
+        assert cfg.icn_depth() == 3
+
+    def test_scaled_copy(self):
+        cfg = fpga64()
+        bigger = cfg.scaled(tcus_per_cluster=16)
+        assert bigger.n_tcus == 128
+        assert cfg.n_tcus == 64  # original untouched
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            XMTConfig(n_clusters=0).validate()
+        with pytest.raises(ValueError):
+            XMTConfig(cluster_period=0).validate()
+        with pytest.raises(ValueError):
+            XMTConfig(prefetch_policy="rand").validate()
+        with pytest.raises(ValueError):
+            XMTConfig(cache_line_words=3).validate()
+
+    def test_preset_overrides(self):
+        cfg = fpga64(dram_latency=99)
+        assert cfg.dram_latency == 99
+
+
+SRC = """
+int A[8];
+int total = 0;
+int main() {
+    spawn(0, 7) { int v = A[$]; psm(v, total); }
+    printf("t=%d\\n", total);
+    return 0;
+}
+"""
+
+
+class TestConfigFile:
+    def test_load_with_base(self, tmp_path):
+        from repro.sim.config import from_file
+
+        path = tmp_path / "m.json"
+        path.write_text('{"base": "fpga64", "dram_latency": 77, '
+                        '"prefetch_policy": "lru"}')
+        cfg = from_file(str(path))
+        assert cfg.n_tcus == 64
+        assert cfg.dram_latency == 77
+        assert cfg.prefetch_policy == "lru"
+
+    def test_load_standalone(self, tmp_path):
+        from repro.sim.config import from_file
+
+        path = tmp_path / "m.json"
+        path.write_text('{"n_clusters": 2, "tcus_per_cluster": 3, '
+                        '"n_cache_modules": 2}')
+        cfg = from_file(str(path))
+        assert cfg.n_tcus == 6
+
+    def test_keyword_overrides_file(self, tmp_path):
+        from repro.sim.config import from_file
+
+        path = tmp_path / "m.json"
+        path.write_text('{"base": "tiny", "dram_latency": 5}')
+        cfg = from_file(str(path), dram_latency=9)
+        assert cfg.dram_latency == 9
+
+    def test_unknown_key_rejected(self, tmp_path):
+        from repro.sim.config import from_file
+
+        path = tmp_path / "m.json"
+        path.write_text('{"dram_latencyy": 5}')
+        with pytest.raises(ValueError, match="unknown configuration keys"):
+            from_file(str(path))
+
+    def test_cli_config_file(self, tmp_path, capsys):
+        from repro.toolchain.cli import xmtsim_main
+
+        cfg = tmp_path / "m.json"
+        cfg.write_text('{"base": "tiny", "dram_latency": 3}')
+        prog = tmp_path / "p.c"
+        prog.write_text('int main() { printf("hi\\n"); return 0; }')
+        rc = xmtsim_main([str(prog), "--config-file", str(cfg)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out == "hi\n"
+        assert "m.json" in captured.err
+
+
+class TestDriver:
+    def test_compile_and_run(self):
+        out = compile_and_run(SRC, tiny(), inputs={"A": [1] * 8})
+        assert out.output == "t=8\n"
+        assert out.cycles > 0
+        assert out.read_global("total") == 8
+
+    def test_run_functional(self):
+        out = run_functional(SRC, inputs={"A": list(range(8))})
+        assert out.output == "t=28\n"
+        assert out.cycles == 0
+
+    def test_run_program_reuses_compiled_binary(self):
+        program = compile_source(SRC)
+        a = run_program(program, tiny(), inputs={"A": [2] * 8})
+        b = run_program(program, tiny(), inputs={"A": [3] * 8})
+        assert a.output == "t=16\n"
+        assert b.output == "t=24\n"
+
+    def test_options_forwarding(self):
+        out = compile_and_run(SRC, tiny(), inputs={"A": [1] * 8},
+                              options=CompileOptions(opt_level=0))
+        assert out.output == "t=8\n"
+
+    def test_unknown_global_input(self):
+        with pytest.raises(KeyError):
+            compile_and_run(SRC, tiny(), inputs={"nope": 1})
+
+    def test_functional_accepts_program(self):
+        program = compile_source(SRC)
+        out = run_functional(program, inputs={"A": [5] * 8})
+        assert out.output == "t=40\n"
+
+
+class TestPublicAPI:
+    def test_top_level_imports(self):
+        import repro
+
+        assert callable(repro.compile_xmtc)
+        assert callable(repro.assemble)
+        prog = repro.compile_xmtc("int main() { return 0; }")
+        sim = repro.Simulator(prog, repro.fpga64())
+        res = sim.run(max_cycles=100_000)
+        assert res.cycles > 0
+
+    def test_compile_xmtc_kwargs(self):
+        import repro
+
+        prog = repro.compile_xmtc(
+            "int A[4]; int main() { spawn(0,3){ A[$]=$; } return 0; }",
+            cluster_factor=2)
+        assert len(prog.spawn_regions) == 1

@@ -1,0 +1,153 @@
+"""Execution traces and simulation checkpoints (Section III-E)."""
+
+import pytest
+
+from conftest import run_xmtc_cycle
+from repro.isa.assembler import assemble
+from repro.sim import checkpoint as CP
+from repro.sim.config import tiny
+from repro.sim.machine import Machine, Simulator
+from repro.sim.trace import LEVEL_CYCLE, LEVEL_FUNCTIONAL, Trace
+
+SRC = """
+int A[16];
+int main() {
+    spawn(0, 15) { A[$] = $ * 2; }
+    return 0;
+}
+"""
+
+
+class TestTrace:
+    def test_functional_level_records_issues(self):
+        trace = Trace(level=LEVEL_FUNCTIONAL)
+        _, res = run_xmtc_cycle(SRC, trace=trace)
+        assert len(trace) > 0
+        assert any("spawn" in r for r in trace.records)
+        assert any("getvt" in r for r in trace.records)
+
+    def test_cycle_level_records_packages(self):
+        trace = Trace(level=LEVEL_CYCLE)
+        _, res = run_xmtc_cycle(SRC, trace=trace)
+        responses = [r for r in trace.records if "<-" in r]
+        assert responses, "no package responses traced"
+        assert any("module" in r for r in responses)
+
+    def test_tcu_filter(self):
+        trace = Trace(level=LEVEL_FUNCTIONAL, tcus={0})
+        _, res = run_xmtc_cycle(SRC, trace=trace)
+        assert all("tcu0000" in r for r in trace.records)
+
+    def test_op_filter(self):
+        trace = Trace(level=LEVEL_FUNCTIONAL, ops={"swnb", "sw"})
+        _, res = run_xmtc_cycle(SRC, trace=trace)
+        assert trace.records
+        assert all(("sw" in r) for r in trace.records)
+
+    def test_limit(self):
+        trace = Trace(level=LEVEL_FUNCTIONAL, limit=5)
+        _, res = run_xmtc_cycle(SRC, trace=trace)
+        assert len(trace) == 5
+
+    def test_master_id_rendered(self):
+        trace = Trace(level=LEVEL_FUNCTIONAL, tcus={-1})
+        _, res = run_xmtc_cycle(SRC, trace=trace)
+        assert trace.records
+        assert all("master" in r for r in trace.records)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(level="verbose")
+
+    def test_sink_callback(self):
+        seen = []
+        trace = Trace(level=LEVEL_FUNCTIONAL, sink=seen.append, limit=3)
+        _, res = run_xmtc_cycle(SRC, trace=trace)
+        assert seen == trace.records
+
+
+ASM = """
+    .data
+A:  .space 64
+ctr: .word 0
+    .text
+main:
+    li   $t5, 0
+outer:
+    li   $t0, 0
+    li   $t1, 15
+    spawn $t0, $t1
+vt:
+    getvt $k0
+    chkid $k0
+    la   $t2, A
+    slli $t3, $k0, 2
+    add  $t2, $t2, $t3
+    lw   $t4, 0($t2)
+    addi $t4, $t4, 1
+    sw   $t4, 0($t2)
+    j    vt
+    join
+    addi $t5, $t5, 1
+    slti $at, $t5, 6
+    bnez $at, outer
+    halt
+"""
+
+
+class TestCheckpoint:
+    def _reference_run(self):
+        prog = assemble(ASM)
+        return Simulator(prog, tiny()).run(max_cycles=500_000)
+
+    def test_checkpoint_resume_identical(self):
+        reference = self._reference_run()
+        prog = assemble(ASM)
+        machine = Machine(prog, tiny())
+        payload = CP.run_with_checkpoint(machine, checkpoint_cycle=300)
+        assert payload is not None, "program finished before the checkpoint"
+        restored = CP.load_bytes(payload)
+        # the restored machine continues to the same final state
+        result = restored.run(max_cycles=500_000)
+        assert result.cycles == reference.cycles
+        assert result.read_global("A") == reference.read_global("A")
+        assert result.instructions == reference.instructions
+
+    def test_original_machine_also_continues(self):
+        reference = self._reference_run()
+        prog = assemble(ASM)
+        machine = Machine(prog, tiny())
+        CP.run_with_checkpoint(machine, checkpoint_cycle=300)
+        result = machine.run(max_cycles=500_000)
+        assert result.cycles == reference.cycles
+        assert result.read_global("A") == reference.read_global("A")
+
+    def test_checkpoint_after_halt_returns_none(self):
+        prog = assemble("    .text\nmain: halt\n")
+        machine = Machine(prog, tiny())
+        payload = CP.run_with_checkpoint(machine, checkpoint_cycle=10_000)
+        assert payload is None
+        assert machine.halted
+
+    def test_file_roundtrip(self, tmp_path):
+        prog = assemble(ASM)
+        machine = Machine(prog, tiny())
+        CP.run_with_checkpoint(machine, checkpoint_cycle=200)
+        path = str(tmp_path / "ckpt.bin")
+        CP.save(machine, path)
+        restored = CP.load(path)
+        a = restored.run(max_cycles=500_000)
+        b = self._reference_run()
+        assert a.cycles == b.cycles
+
+    def test_plugins_detached_on_save(self):
+        from repro.sim.plugins import ActivityRecorder
+
+        prog = assemble(ASM)
+        rec = ActivityRecorder(interval_cycles=100)
+        machine = Machine(prog, tiny(), plugins=[rec])
+        payload = CP.run_with_checkpoint(machine, checkpoint_cycle=300)
+        restored = CP.load_bytes(payload)
+        assert restored.activity_plugins == []
+        # original keeps its plug-in
+        assert machine.activity_plugins == [rec]
