@@ -84,6 +84,13 @@ class CacheArray:
             entries.clear()
         return dirty
 
+    def cached_lines(self) -> List[int]:
+        """All resident line addresses, in deterministic set/LRU order."""
+        out: List[int] = []
+        for entries in self._lines:
+            out.extend(entries.keys())
+        return out
+
     def occupancy(self) -> int:
         return sum(len(e) for e in self._lines)
 
@@ -196,6 +203,35 @@ class CacheModule:
     def idle(self) -> bool:
         return (not self._delayed and not self.in_queue._items
                 and not self.pending_misses and not self.out_queue._items)
+
+    # -- resilience hooks ---------------------------------------------------------
+
+    def occupancy(self) -> Dict[str, int]:
+        """Queue occupancy snapshot for diagnostic dumps."""
+        return {
+            "in_queue": len(self.in_queue),
+            "out_queue": len(self.out_queue),
+            "delayed": len(self._delayed),
+            "pending_misses": sum(len(w) for w in
+                                  self.pending_misses.values()),
+        }
+
+    def corrupt_line(self, rng) -> Optional[Tuple[int, int]]:
+        """Fault-injection hook: flip one bit of one word of a resident
+        line (data lives in the functional memory -- the tag array only
+        selects *which* word a transient upset hits).  Returns
+        ``(word_addr, bit)`` or ``None`` if the module caches nothing.
+        """
+        lines = self.array.cached_lines()
+        if not lines:
+            return None
+        line = lines[rng.randrange(len(lines))]
+        word = rng.randrange(self.array.line_words)
+        addr = (line << self.array._line_shift) + 4 * word
+        bit = rng.randrange(32)
+        memory = self.machine.memory
+        memory.store(addr, memory.load(addr) ^ (1 << bit))
+        return addr, bit
 
 
 class MasterCache:

@@ -5,39 +5,83 @@ simulation can be saved at a point that is given by the user ahead of
 time or determined by a command line interrupt during execution.
 Simulation can be resumed at a later time."  Among other uses this
 facilitates dynamically load balancing batches of long simulations
-across machines.
+across machines; the resilience layer (``repro.sim.resilience``) builds
+its rollback-and-retry recovery on the same primitives.
 
 Checkpointing pickles the entire :class:`~repro.sim.machine.Machine`
 (scheduler heap included -- events reference actors which are plain
 picklable objects).  Plug-ins and traces may hold unpicklable callbacks,
-so they are detached on save and must be re-registered on resume.
+so they are detached on save and must be re-registered on resume;
+scheduler events whose actor declares ``checkpoint_transient = True``
+(plug-in samplers, injected faults) are likewise stripped from the
+saved heap and must be re-armed by the resuming driver.
+
+Checkpoints *pause* rather than unwind: the checkpoint actor stops the
+scheduler in place (``machine.pause_reason == "checkpoint"``), the
+driver snapshots the machine, clears the pause and keeps running.  This
+is what lets one run carry many checkpoints (periodic checkpointing,
+recovery) -- an exception-based unwind could fire only once.
 """
 
 from __future__ import annotations
 
-import io
+import heapq
 import pickle
 from typing import Optional
 
-from repro.sim.engine import Actor, PRIO_PLUGIN, Scheduler
+from repro.sim.engine import Actor, PRIO_PLUGIN
 from repro.sim.functional import SimulationError
 from repro.sim.machine import Machine
 
 
-class _CheckpointRequest(Exception):
-    """Internal control-flow signal that unwinds the scheduler loop."""
-
-    def __init__(self, payload: bytes):
-        super().__init__("checkpoint")
-        self.payload = payload
-
-
 class _CheckpointActor(Actor):
+    """One-shot: pauses the scheduler at the requested instant."""
+
     def __init__(self, machine: Machine):
         self.machine = machine
+        self.due = False
 
     def notify(self, scheduler, time, arg):
-        raise _CheckpointRequest(save_bytes(self.machine))
+        if self.machine.halted:
+            return
+        self.due = True
+        self.machine.pause_reason = "checkpoint"
+        scheduler.stopped = True
+
+
+class PeriodicCheckpointer(Actor):
+    """Pauses the scheduler every ``interval_ps`` of simulated time.
+
+    The actor reschedules itself *before* pausing, so the chain of
+    future checkpoint events is part of every saved snapshot: a machine
+    restored from any checkpoint keeps checkpointing at the same
+    cadence.  Drivers (:func:`repro.sim.resilience.run_resilient`) see
+    ``machine.pause_reason == "checkpoint"`` after ``scheduler.run``
+    returns, snapshot the machine, then call :meth:`clear_pause` and
+    run again.
+    """
+
+    def __init__(self, machine: Machine, interval_ps: int):
+        if interval_ps <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.machine = machine
+        self.interval_ps = interval_ps
+
+    def arm(self, scheduler) -> None:
+        scheduler.schedule(self.interval_ps, self, PRIO_PLUGIN)
+
+    def notify(self, scheduler, time, arg):
+        if self.machine.halted:
+            return
+        scheduler.schedule(self.interval_ps, self, PRIO_PLUGIN)
+        self.machine.pause_reason = "checkpoint"
+        scheduler.stopped = True
+
+
+def clear_pause(machine: Machine) -> None:
+    """Acknowledge a checkpoint pause so the machine can run again."""
+    machine.pause_reason = None
+    machine.scheduler.stopped = False
 
 
 def save_bytes(machine: Machine) -> bytes:
@@ -50,18 +94,31 @@ def save_bytes(machine: Machine) -> bytes:
 
 
 def _detach_unpicklables(machine: Machine):
+    sched = machine.scheduler
     detached = (machine.trace, machine.activity_plugins,
-                machine.filter_plugins, machine.filter_hook)
+                machine.filter_plugins, machine.filter_hook,
+                sched.check_hook, sched._heap, sched._cancelled)
     machine.trace = None
     machine.activity_plugins = []
     machine.filter_plugins = []
     machine.filter_hook = None
+    sched.check_hook = None
+    # strip transient events: plug-in samplers (may close over
+    # unpicklable policies) and injected faults (a restored run must
+    # not replay the fault -- that is what makes transients transient)
+    keep = [e for e in sched._heap
+            if not getattr(e.actor, "checkpoint_transient", False)]
+    heapq.heapify(keep)
+    sched._heap = keep
+    sched._cancelled = sum(1 for e in keep if e.cancelled)
     return detached
 
 
 def _reattach(machine: Machine, detached) -> None:
+    sched = machine.scheduler
     (machine.trace, machine.activity_plugins,
-     machine.filter_plugins, machine.filter_hook) = detached
+     machine.filter_plugins, machine.filter_hook,
+     sched.check_hook, sched._heap, sched._cancelled) = detached
 
 
 def load_bytes(payload: bytes) -> Machine:
@@ -69,6 +126,9 @@ def load_bytes(payload: bytes) -> Machine:
     machine = pickle.loads(payload)
     if not isinstance(machine, Machine):
         raise SimulationError("checkpoint payload is not a Machine")
+    # a snapshot taken at a pause must restore to a runnable machine
+    machine.scheduler.stopped = False
+    machine.pause_reason = None
     return machine
 
 
@@ -95,11 +155,12 @@ def run_with_checkpoint(machine: Machine, checkpoint_cycle: int,
     when = checkpoint_cycle * machine.config.cluster_period
     if when < machine.scheduler.now:
         raise ValueError("checkpoint time already passed")
-    machine.scheduler.schedule_at(when, _CheckpointActor(machine), PRIO_PLUGIN)
-    try:
-        deadline = None if max_cycles is None else (
-            max_cycles * machine.config.cluster_period)
-        machine.scheduler.run(until=deadline)
-    except _CheckpointRequest as req:
-        return req.payload
+    actor = _CheckpointActor(machine)
+    machine.scheduler.schedule_at(when, actor, PRIO_PLUGIN)
+    deadline = None if max_cycles is None else (
+        max_cycles * machine.config.cluster_period)
+    machine.scheduler.run(until=deadline)
+    if actor.due and not machine.halted:
+        clear_pause(machine)
+        return save_bytes(machine)
     return None

@@ -31,6 +31,8 @@ class DRAMPort:
         self.domain = None  # set by the machine
         self.reads = 0
         self.writes = 0
+        #: fault injection: the port ignores all traffic before this time
+        self.stall_until = 0
 
     def request(self, module, line: int, writeback: bool = False) -> None:
         """Enqueue a transaction (cache modules never see a full DRAM
@@ -39,6 +41,8 @@ class DRAMPort:
 
     def tick(self, cycle: int) -> None:
         now = self.machine.scheduler.now
+        if now < self.stall_until:
+            return  # injected timeout: no completions, no accepts
         stats = self.machine.stats
         # complete transactions
         while self._in_flight and self._in_flight[0][0] <= now:
@@ -63,3 +67,14 @@ class DRAMPort:
 
     def idle(self) -> bool:
         return not self.queue and not self._in_flight
+
+    # -- resilience hooks ---------------------------------------------------
+
+    def occupancy(self) -> dict:
+        """Queue occupancy snapshot for diagnostic dumps."""
+        return {"queued": len(self.queue), "in_flight": len(self._in_flight)}
+
+    def inject_stall(self, now: int, duration_ps: int) -> None:
+        """Fault-injection hook: the port times out -- ignores queued and
+        in-flight traffic -- until ``now + duration_ps``."""
+        self.stall_until = max(self.stall_until, now + duration_ps)

@@ -84,13 +84,24 @@ class _StopActor(Actor):
 class Scheduler:
     """The DE scheduler: event list + main loop (paper Fig. 4/5b)."""
 
+    #: cancelled events trigger a heap compaction once they outnumber
+    #: the live ones (and the heap is big enough for it to matter)
+    COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._seq = 0
+        self._cancelled = 0
         self.now = 0
         self.stopped = False
         self.events_processed = 0
         self._stop_actor = _StopActor()
+        #: optional guard called every :attr:`check_interval` processed
+        #: events as ``check_hook(scheduler, processed_this_run)``; may
+        #: raise to abort the run (wall-clock / event budgets live here
+        #: so the hot loop stays free of time syscalls)
+        self.check_hook: Optional[Callable[["Scheduler", int], None]] = None
+        self.check_interval = 2048
 
     # -- event management ---------------------------------------------------
 
@@ -111,8 +122,29 @@ class Scheduler:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Lazy cancellation: the event is skipped when popped."""
+        """Lazy cancellation: the event is skipped when popped.
+
+        Cancelled entries are counted, and once they outnumber the live
+        events the heap is compacted -- otherwise a workload that keeps
+        cancelling (DVFS retiming, halted domains) accumulates garbage
+        entries forever.
+        """
+        if event.cancelled:
+            return
         event.cancelled = True
+        self._cancelled += 1
+        if (self._cancelled > self.COMPACT_MIN
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant.
+
+        Mutates the list in place: the run loop aliases ``self._heap``.
+        """
+        self._heap[:] = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def stop(self, delay: int = 0) -> Event:
         """Schedule the *stop event* that terminates the simulation."""
@@ -120,7 +152,8 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) event count -- O(1)."""
+        return len(self._heap) - self._cancelled
 
     # -- main loop ------------------------------------------------------------
 
@@ -130,20 +163,28 @@ class Scheduler:
         or ``max_events`` notifications.  Returns the final time."""
         heap = self._heap
         processed = 0
-        while heap and not self.stopped:
-            event = heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                heapq.heappush(heap, event)
-                self.now = until
-                break
-            self.now = event.time
-            event.actor.notify(self, event.time, event.arg)
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                break
-        self.events_processed += processed
+        hook = self.check_hook
+        next_check = self.check_interval
+        try:
+            while heap and not self.stopped:
+                event = heapq.heappop(heap)
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                if until is not None and event.time > until:
+                    heapq.heappush(heap, event)
+                    self.now = until
+                    break
+                self.now = event.time
+                event.actor.notify(self, event.time, event.arg)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+                if hook is not None and processed >= next_check:
+                    next_check = processed + self.check_interval
+                    hook(self, processed)
+        finally:
+            self.events_processed += processed
         return self.now
 
 

@@ -95,6 +95,46 @@ class Interconnect:
     def idle(self) -> bool:
         return not self._to_cache and not self._to_cluster
 
+    # -- resilience hooks ----------------------------------------------------
+
+    def occupancy(self) -> dict:
+        """In-flight package counts for diagnostic dumps."""
+        return {"in_flight_send": len(self._to_cache),
+                "in_flight_return": len(self._to_cluster)}
+
+    def drop_in_flight(self, rng) -> "P.Package | None":
+        """Fault-injection hook: lose one in-flight package.  Responses
+        are preferred -- a lost reply is the classic silent-hang fault.
+        Returns the dropped package, or None if the network is idle."""
+        for heap_ in (self._to_cluster, self._to_cache):
+            if heap_:
+                entry = heap_.pop(rng.randrange(len(heap_)))
+                heapq.heapify(heap_)
+                return entry[2]
+        return None
+
+    def duplicate_in_flight(self, rng) -> "P.Package | None":
+        """Fault-injection hook: re-deliver a copy of an in-flight
+        package one picosecond after the original."""
+        for heap_ in (self._to_cache, self._to_cluster):
+            if heap_:
+                arrival, _, pkg = heap_[rng.randrange(len(heap_))]
+                clone = pkg.clone()
+                heapq.heappush(heap_, (arrival + 1, clone.seq, clone))
+                return pkg
+        return None
+
+    def delay_in_flight(self, rng, extra_ps: int) -> "P.Package | None":
+        """Fault-injection hook: push one in-flight package's arrival
+        time out by ``extra_ps``."""
+        for heap_ in (self._to_cache, self._to_cluster):
+            if heap_:
+                arrival, seq, pkg = heap_.pop(rng.randrange(len(heap_)))
+                heapq.heapify(heap_)
+                heapq.heappush(heap_, (arrival + extra_ps, seq, pkg))
+                return pkg
+        return None
+
     def traversal_latency(self, pkg: P.Package) -> int:
         """Picoseconds for one traversal; synchronous ICN quantizes to
         its clock (depth cycles of the ICN domain)."""

@@ -29,7 +29,7 @@ from repro.sim.engine import (
     PRIO_PLUGIN,
     Scheduler,
 )
-from repro.sim.functional import Memory, SimulationError
+from repro.sim.functional import Memory
 from repro.sim.icn import AsyncInterconnect, Interconnect
 from repro.sim.mtcu import MasterTCU
 from repro.sim.psunit import PrefixSumUnit
@@ -71,32 +71,12 @@ class CacheBank:
         self._active = survivors
 
 
-class _Watchdog(Actor):
-    """Deadlock detector: aborts if nothing progressed for a full window."""
-
-    def __init__(self, machine, interval_ps: int):
-        self.machine = machine
-        self.interval_ps = interval_ps
-        self.prev_progress = -1
-
-    def start(self, scheduler: Scheduler) -> None:
-        scheduler.schedule(self.interval_ps, self, PRIO_PLUGIN)
-
-    def notify(self, scheduler, time, arg):
-        machine = self.machine
-        if machine.halted:
-            return
-        if machine.last_progress == self.prev_progress:
-            raise SimulationError(
-                f"deadlock: no progress for {self.interval_ps} ps "
-                f"(time {time}, {machine.stats.instruction_total()} instructions "
-                "executed)")
-        self.prev_progress = machine.last_progress
-        scheduler.schedule(self.interval_ps, self, PRIO_PLUGIN)
-
-
 class _PluginActor(Actor):
     """Drives one activity plug-in at its sampling interval."""
+
+    #: plug-ins may hold unpicklable state (policy closures); their
+    #: events are stripped from checkpoints and re-armed on resume
+    checkpoint_transient = True
 
     def __init__(self, machine, plugin):
         self.machine = machine
@@ -155,8 +135,12 @@ class Machine:
         self.trace = trace
         self.halted = False
         self.halt_time = 0
+        self._started = False
         self.parallel_active = False
         self.last_progress = 0
+        #: set by pause-style actors (periodic checkpointing) when they
+        #: stop the scheduler without halting the machine
+        self.pause_reason: Optional[str] = None
         self._inbox_seq = 0
         #: phase sampling (Section III-F): set by SampledSimulator
         self.sampler = None
@@ -192,8 +176,10 @@ class Machine:
         for plugin in plugins:
             self.add_plugin(plugin)
 
-        self._watchdog = _Watchdog(self, cfg.watchdog_cycles * cfg.cluster_period)
-        self._started = False
+        # deferred import: resilience builds on the machine/checkpoint layer
+        from repro.sim.resilience.watchdog import Watchdog
+
+        self._watchdog = Watchdog(self)
 
     # -- construction ------------------------------------------------------------
 
@@ -232,12 +218,24 @@ class Machine:
             module.domain = self.domains["cache"]
 
     def add_plugin(self, plugin) -> None:
-        """Register an activity or filter plug-in (Section III-B)."""
+        """Register an activity or filter plug-in (Section III-B).
+
+        Plug-ins added after the machine started (e.g. re-registered on
+        a checkpoint resume) are scheduled immediately.
+        """
         if hasattr(plugin, "sample"):
             self.activity_plugins.append(plugin)
+            if self._started:
+                self._start_plugin(plugin)
         if hasattr(plugin, "on_access"):
             self.filter_plugins.append(plugin)
             self.filter_hook = self._dispatch_filter
+
+    def _start_plugin(self, plugin) -> None:
+        on_start = getattr(plugin, "on_start", None)
+        if on_start is not None and on_start(self, self.scheduler):
+            return  # plug-in schedules its own events
+        _PluginActor(self, plugin).start(self.scheduler)
 
     def _dispatch_filter(self, pkg) -> None:
         for plugin in self.filter_plugins:
@@ -331,21 +329,51 @@ class Machine:
             if id(domain) not in started:
                 domain.start(self.scheduler)
                 started.add(id(domain))
-        self._watchdog.start(self.scheduler)
+        self._watchdog.arm(self.scheduler)
         for plugin in self.activity_plugins:
-            _PluginActor(self, plugin).start(self.scheduler)
+            self._start_plugin(plugin)
+
+    def _arm_guards(self, wall_limit_s: Optional[float] = None,
+                    max_events: Optional[int] = None) -> None:
+        """(Re)start the watchdog's wall-clock/event budgets for a run."""
+        self._watchdog.begin_run(self.scheduler, wall_limit_s, max_events)
+        self.scheduler.check_hook = self._watchdog.check_budgets
 
     def run(self, max_cycles: Optional[int] = None,
-            allow_timeout: bool = False) -> CycleResult:
+            allow_timeout: bool = False,
+            wall_limit_s: Optional[float] = None,
+            max_events: Optional[int] = None) -> CycleResult:
+        """Run to completion.
+
+        Raises :class:`~repro.sim.resilience.errors.SimulationStalled`
+        on deadlock/event starvation and :class:`~repro.sim.resilience.
+        errors.SimulationBudgetExceeded` when the cycle, wall-clock or
+        event budget trips (both carry a diagnostic dump and subclass
+        ``SimulationError``).
+        """
         self.start()
+        self._arm_guards(wall_limit_s, max_events)
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
         deadline = None if limit is None else limit * self.config.cluster_period
         self.scheduler.run(until=deadline)
         if not self.halted:
+            from repro.sim.resilience.diagnostics import collect
+            from repro.sim.resilience.errors import (
+                SimulationBudgetExceeded, SimulationStalled)
+
+            if self.scheduler.pending == 0:
+                raise SimulationStalled(
+                    "stalled: event list drained but the machine never "
+                    "halted", collect(self, "event list drained"))
             if not allow_timeout:
-                raise SimulationError(
-                    f"simulation exceeded {limit} cycles without halting")
+                raise SimulationBudgetExceeded(
+                    f"simulation exceeded {limit} cycles without halting",
+                    collect(self, "cycle budget exceeded"))
             self.halt_time = self.scheduler.now
+        return self._finalize()
+
+    def _finalize(self) -> CycleResult:
+        """End-of-run bookkeeping shared by `run` and `run_resilient`."""
         for plugin in self.activity_plugins:
             finish = getattr(plugin, "finish", None)
             if finish is not None:
@@ -389,5 +417,10 @@ class Simulator:
         return self.machine.stats
 
     def run(self, max_cycles: Optional[int] = None,
-            allow_timeout: bool = False) -> CycleResult:
-        return self.machine.run(max_cycles=max_cycles, allow_timeout=allow_timeout)
+            allow_timeout: bool = False,
+            wall_limit_s: Optional[float] = None,
+            max_events: Optional[int] = None) -> CycleResult:
+        return self.machine.run(max_cycles=max_cycles,
+                                allow_timeout=allow_timeout,
+                                wall_limit_s=wall_limit_s,
+                                max_events=max_events)

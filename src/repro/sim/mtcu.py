@@ -55,6 +55,14 @@ class MasterTCU(ProcessorBase):
         # spawn/fence drain the buffer.
         return False
 
+    def describe_state(self) -> dict:
+        d = super().describe_state()
+        if self.halted:
+            d["state"] = "halted"
+        elif not self.active:
+            d["state"] = "waiting-join"
+        return d
+
     # -- master cache ----------------------------------------------------------
 
     def _try_local_load(self, now: int, ins: I.Load, addr: int) -> bool:

@@ -55,6 +55,18 @@ class Package:
         #: originating XMTC source line (0 = unknown), for filter plug-ins
         self.src_line = 0
 
+    def clone(self) -> "Package":
+        """Duplicate this package under a fresh sequence number (the
+        fault-injection ``icn.dup`` site re-delivers the copy)."""
+        dup = Package(self.kind, self.tcu_id, self.cluster_id,
+                      addr=self.addr, value=self.value, rd=self.rd,
+                      issue_time=self.issue_time)
+        dup.reply = self.reply
+        dup.module = self.module
+        dup.performed = self.performed
+        dup.src_line = self.src_line
+        return dup
+
     @property
     def is_write(self) -> bool:
         return self.kind in (STORE, STORE_NB)

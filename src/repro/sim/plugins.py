@@ -26,13 +26,24 @@ from repro.sim.stats import IntervalSeries, diff_snapshots
 
 
 class ActivityPlugin:
-    """Base class: override :meth:`sample` (and optionally :meth:`finish`)."""
+    """Base class: override :meth:`sample` (and optionally :meth:`finish`).
+
+    A plug-in that needs finer control than interval sampling (e.g. the
+    resilience layer's fault injector, which fires at exact simulated
+    times) overrides :meth:`on_start` to schedule its own events and
+    returns True to opt out of the default sampling loop.
+    """
 
     #: sampling interval in cluster-domain cycles
     interval_cycles: int = 10_000
 
     def __init__(self, interval_cycles: int = 10_000):
         self.interval_cycles = interval_cycles
+
+    def on_start(self, machine, scheduler) -> bool:
+        """Called when the machine starts.  Return True to take over
+        scheduling (the machine then skips the periodic sampler)."""
+        return False
 
     def sample(self, machine, time: int) -> None:  # pragma: no cover - interface
         raise NotImplementedError

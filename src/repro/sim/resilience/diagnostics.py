@@ -1,0 +1,158 @@
+"""Structured diagnostic dumps.
+
+When the watchdog trips (or a budget is exceeded) the interesting
+question is *what was the machine doing*: which TCUs were blocked on
+what, what the event list looked like, and where packages were queued.
+:func:`collect` snapshots exactly that into a :class:`DiagnosticDump`
+that travels on the typed resilience exceptions and renders to a short
+human-readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim import engine as E
+
+#: canonical priority value -> class name, for the event histogram
+PRIORITY_NAMES: Dict[int, str] = {
+    E.PRIO_PHASE_NEGOTIATE: "negotiate",
+    E.PRIO_PHASE_TRANSFER: "transfer",
+    E.PRIO_CLUSTERS: "clusters",
+    E.PRIO_SPAWN_UNIT: "spawn_unit",
+    E.PRIO_PS_UNIT: "ps_unit",
+    E.PRIO_ICN: "icn",
+    E.PRIO_CACHE: "cache",
+    E.PRIO_DRAM: "dram",
+    E.PRIO_PLUGIN: "plugin",
+    E.PRIO_STOP: "stop",
+}
+
+
+@dataclass
+class DiagnosticDump:
+    """Machine state snapshot attached to resilience exceptions."""
+
+    reason: str
+    time_ps: int
+    cycles: int
+    instructions: int
+    events_processed: int
+    pending_events: int
+    #: live events grouped by priority class name
+    event_histogram: Dict[str, int] = field(default_factory=dict)
+    #: ``describe_state()`` of the master followed by every TCU
+    processors: List[Dict[str, object]] = field(default_factory=list)
+    #: ICN occupancy: in-flight both directions + send-port backlog
+    icn: Dict[str, int] = field(default_factory=dict)
+    #: aggregate cache-module queue occupancy
+    caches: Dict[str, int] = field(default_factory=dict)
+    #: aggregate DRAM port occupancy
+    dram: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line digest (what the CLI prints on a non-zero exit)."""
+        running = sum(1 for p in self.processors
+                      if p.get("state") == "running")
+        return (f"{self.reason} at {self.time_ps} ps (~cycle {self.cycles}): "
+                f"{self.instructions} instructions, "
+                f"{self.pending_events} pending events, "
+                f"{running}/{len(self.processors)} processors running")
+
+    def format(self) -> str:
+        """Multi-line structured report."""
+        lines = [f"=== diagnostic dump: {self.reason} ===",
+                 f"time: {self.time_ps} ps (~cycle {self.cycles})  "
+                 f"instructions: {self.instructions}  "
+                 f"events processed: {self.events_processed}"]
+        hist = ", ".join(f"{k}: {v}"
+                         for k, v in sorted(self.event_histogram.items()))
+        lines.append(f"pending events: {self.pending_events}"
+                     + (f"  ({hist})" if hist else ""))
+        for proc in self.processors:
+            if proc.get("kind") == "master":
+                lines.append(self._proc_line(proc))
+        states: Dict[str, int] = {}
+        for proc in self.processors:
+            if proc.get("kind") == "master":
+                continue
+            states[str(proc.get("state"))] = \
+                states.get(str(proc.get("state")), 0) + 1
+        if states:
+            lines.append("tcus: " + ", ".join(
+                f"{n} {s}" for s, n in sorted(states.items())))
+        shown = 0
+        for proc in self.processors:
+            if proc.get("kind") == "master" or proc.get("state") == "parked":
+                continue
+            lines.append("  " + self._proc_line(proc))
+            shown += 1
+            if shown >= 16:
+                lines.append("  ... (further TCUs elided)")
+                break
+        lines.append("icn: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(self.icn.items())))
+        lines.append("caches: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(self.caches.items())))
+        lines.append("dram: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(self.dram.items())))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _proc_line(proc: Dict[str, object]) -> str:
+        name = ("master" if proc.get("kind") == "master"
+                else f"tcu {proc.get('id')}")
+        extras = [f"{key}={proc[key]}"
+                  for key in ("state", "pc", "loads", "stores",
+                              "pending_regs", "inbox", "wait_load",
+                              "wait_store_ack")
+                  if key in proc]
+        return f"{name}: " + " ".join(extras)
+
+
+def event_histogram(scheduler) -> Dict[str, int]:
+    """Live events in the scheduler heap, grouped by priority class."""
+    hist: Dict[str, int] = {}
+    for event in scheduler._heap:
+        if event.cancelled:
+            continue
+        name = PRIORITY_NAMES.get(event.priority, str(event.priority))
+        hist[name] = hist.get(name, 0) + 1
+    return hist
+
+
+def collect(machine, reason: str) -> DiagnosticDump:
+    """Snapshot a machine into a :class:`DiagnosticDump`."""
+    scheduler = machine.scheduler
+    period = machine.config.cluster_period
+    processors = [machine.master.describe_state()]
+    processors += [tcu.describe_state() for tcu in machine.tcus]
+
+    icn = dict(machine.icn.occupancy())
+    icn["send_ports"] = sum(len(port) for port in machine.send_ports)
+    icn["icn_pending"] = machine.icn_pending
+
+    caches: Dict[str, int] = {}
+    for module in machine.cache_modules:
+        for key, value in module.occupancy().items():
+            caches[key] = caches.get(key, 0) + value
+
+    dram: Dict[str, int] = {}
+    for port in machine.dram_ports:
+        for key, value in port.occupancy().items():
+            dram[key] = dram.get(key, 0) + value
+
+    return DiagnosticDump(
+        reason=reason,
+        time_ps=scheduler.now,
+        cycles=scheduler.now // period,
+        instructions=machine.stats.instruction_total(),
+        events_processed=scheduler.events_processed,
+        pending_events=scheduler.pending,
+        event_histogram=event_histogram(scheduler),
+        processors=processors,
+        icn=icn,
+        caches=caches,
+        dram=dram,
+    )

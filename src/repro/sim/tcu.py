@@ -135,6 +135,32 @@ class ProcessorBase:
             f"trap at text index {ins.index} (asm line {ins.line}, {ins.op}) "
             f"on {self.kind} {self.tcu_id}: {message}")
 
+    # -- resilience hooks -------------------------------------------------------
+
+    def describe_state(self) -> dict:
+        """Snapshot for diagnostic dumps (watchdog trips, budget trips)."""
+        return {
+            "kind": self.kind,
+            "id": self.tcu_id,
+            "pc": self.core.pc,
+            "state": "running" if self.active else "inactive",
+            "loads": self.outstanding_loads,
+            "stores": self.outstanding_stores,
+            "pending_regs": len(self.pending_regs),
+            "inbox": len(self.inbox),
+            "wait_store_ack": self.wait_store_ack,
+            "issued": self.instructions_issued,
+        }
+
+    def inject_register_flip(self, reg: int, bit: int) -> Tuple[int, int]:
+        """Fault-injection hook: flip one bit of an architectural
+        register; returns ``(old, new)``.  Flipping ``$zero`` is a no-op
+        (the fault is architecturally masked)."""
+        old = self.core.regs[reg]
+        new = old if reg == REG_ZERO else (old ^ (1 << bit)) & 0xFFFFFFFF
+        self.core.regs[reg] = new
+        return old, new
+
     # -- memory-path hooks (differ between TCU and Master) ------------------------
 
     def _push_package(self, now: int, pkg: P.Package) -> bool:
@@ -514,6 +540,12 @@ class TCU(ProcessorBase):
         self.region = None
         self.active = False
         self.park_state = TCU.PARKED
+
+    def describe_state(self) -> dict:
+        d = super().describe_state()
+        d["state"] = ("running", "draining", "parked")[self.park_state]
+        d["wait_load"] = self.wait_load
+        return d
 
     def _issue_getvt(self, now: int, ins: I.GetVT) -> None:
         self._count_issue(ins)

@@ -20,7 +20,15 @@ from repro.isa.assembler import assemble
 from repro.isa.program import Program
 from repro.sim.config import XMTConfig, chip1024, fpga64, tiny
 from repro.sim.functional import FunctionalSimulator, SimulationError
-from repro.sim.machine import Simulator
+from repro.sim.machine import Machine, Simulator
+from repro.sim.resilience import (
+    FaultInjector,
+    SimulationBudgetExceeded,
+    SimulationStalled,
+    parse_fault_spec,
+    run_campaign,
+    run_resilient,
+)
 from repro.sim.trace import Trace
 from repro.xmtc.compiler import CompileOptions, compile_to_asm
 from repro.xmtc.errors import CompileError
@@ -135,6 +143,45 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                         choices=("functional", "cycle"),
                         help="print an execution trace")
     parser.add_argument("--trace-limit", type=int, default=200)
+    resilience = parser.add_argument_group(
+        "resilience (cycle mode)",
+        "watchdog, fault injection and checkpoint-based recovery; "
+        "exit codes: 3 = stalled/deadlocked, 4 = budget exceeded, "
+        "5 = recovery retries exhausted")
+    resilience.add_argument("--watchdog", type=int, default=None,
+                            metavar="CYCLES",
+                            help="deadlock watchdog interval in cycles "
+                                 "(0 disables; default from the config)")
+    resilience.add_argument("--wall-limit", type=float, default=None,
+                            metavar="SECONDS",
+                            help="abort if the run exceeds this much host "
+                                 "wall-clock time")
+    resilience.add_argument("--event-budget", type=int, default=None,
+                            metavar="N",
+                            help="abort after N scheduler events")
+    resilience.add_argument("--inject", action="append", default=[],
+                            metavar="SITE@CYCLE[:SEED]",
+                            help="inject one transient fault (repeatable); "
+                                 "sites: tcu.reg cache.line icn.drop "
+                                 "icn.dup icn.delay dram.stall")
+    resilience.add_argument("--campaign", type=int, default=None,
+                            metavar="N",
+                            help="run a seeded campaign of N single-fault "
+                                 "injection runs and print the report")
+    resilience.add_argument("--campaign-seed", type=int, default=12345,
+                            metavar="SEED",
+                            help="campaign plan seed (same seed -> same "
+                                 "report)")
+    resilience.add_argument("--checkpoint-every", type=int, default=0,
+                            metavar="CYCLES",
+                            help="run under auto-recovery, checkpointing "
+                                 "every CYCLES cycles")
+    resilience.add_argument("--max-retries", type=int, default=None,
+                            metavar="N",
+                            help="rollback-and-retry budget (default 3); "
+                                 "giving it enables auto-recovery even "
+                                 "without --checkpoint-every (rollback "
+                                 "to the start of the run)")
     _add_compile_flags(parser)
     args = parser.parse_args(argv)
 
@@ -175,6 +222,27 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
     else:
         machine_config = _CONFIGS[args.config]()
     config_label = args.config_file or args.config
+    if args.watchdog is not None:
+        machine_config.watchdog_cycles = args.watchdog
+
+    plugins = []
+    if args.inject:
+        try:
+            specs = [parse_fault_spec(text) for text in args.inject]
+        except ValueError as exc:
+            print(f"xmtsim: {exc}", file=sys.stderr)
+            return 2
+        plugins.append(FaultInjector(specs))
+
+    if args.campaign is not None:
+        if args.mode != "cycle":
+            print("xmtsim: --campaign requires --mode cycle", file=sys.stderr)
+            return 2
+        report = run_campaign(lambda: Machine(program, machine_config),
+                              args.campaign, seed=args.campaign_seed,
+                              max_cycles=args.max_cycles)
+        print(report.format())
+        return 0
 
     trace = None
     if args.trace:
@@ -203,14 +271,42 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
             if args.stats:
                 print(result.stats.report(), file=sys.stderr)
         else:
-            sim = Simulator(program, machine_config, trace=trace)
-            result = sim.run(max_cycles=args.max_cycles)
+            sim = Simulator(program, machine_config, plugins=plugins,
+                            trace=trace)
+            if args.checkpoint_every > 0 or args.max_retries is not None:
+                report = run_resilient(
+                    sim.machine,
+                    checkpoint_every=args.checkpoint_every,
+                    max_retries=(3 if args.max_retries is None
+                                 else args.max_retries),
+                    max_cycles=args.max_cycles,
+                    wall_limit_s=args.wall_limit,
+                    max_events=args.event_budget)
+                print(report.format(), file=sys.stderr)
+                if not report.completed:
+                    sys.stdout.write(report.partial_output)
+                    return 5
+                result = report.result
+            else:
+                result = sim.run(max_cycles=args.max_cycles,
+                                 wall_limit_s=args.wall_limit,
+                                 max_events=args.event_budget)
             sys.stdout.write(result.output)
             print(f"[{config_label}] {result.cycles} cycles, "
                   f"{result.instructions} instructions", file=sys.stderr)
             memory = result.memory
             if args.stats:
                 print(result.stats.report(), file=sys.stderr)
+    except SimulationStalled as exc:
+        print(f"xmtsim: stalled: {exc}", file=sys.stderr)
+        if exc.dump is not None:
+            print(exc.dump.format(), file=sys.stderr)
+        return 3
+    except SimulationBudgetExceeded as exc:
+        print(f"xmtsim: budget exceeded: {exc}", file=sys.stderr)
+        if exc.dump is not None:
+            print(exc.dump.summary(), file=sys.stderr)
+        return 4
     except SimulationError as exc:
         print(f"xmtsim: runtime error: {exc}", file=sys.stderr)
         return 1

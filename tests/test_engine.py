@@ -111,6 +111,76 @@ class TestScheduler:
         sched.run()
         assert sched.events_processed == 5
 
+    def test_pending_counts_live_events(self):
+        sched = Scheduler()
+        events = [sched.schedule(i + 1, Recorder([], "x"))
+                  for i in range(10)]
+        assert sched.pending == 10
+        for event in events[:3]:
+            sched.cancel(event)
+        assert sched.pending == 7
+        sched.cancel(events[0])  # double-cancel is a no-op
+        assert sched.pending == 7
+        sched.run()
+        assert sched.pending == 0
+        assert sched.events_processed == 7
+
+    def test_mass_cancellation_compacts_heap(self):
+        sched = Scheduler()
+        log = []
+        for i in range(10):
+            sched.schedule(i + 1, Recorder(log, "keep"))
+        doomed = [sched.schedule(1000 + i, Recorder(log, "bulk"))
+                  for i in range(500)]
+        for event in doomed:
+            sched.cancel(event)
+        # cancelled events outnumbered live ones: the heap was compacted
+        # in place instead of carrying 500 corpses to the pop loop
+        assert len(sched._heap) < 100
+        assert sched.pending == 10
+        sched.run()
+        assert len(log) == 10
+        assert all(tag == "keep" for _, tag, _ in log)
+
+
+class TestCheckHook:
+    def test_hook_called_every_interval(self):
+        sched = Scheduler()
+        calls = []
+        sched.check_hook = lambda s, processed: calls.append(processed)
+        sched.check_interval = 100
+
+        class Chain(Actor):
+            def __init__(self):
+                self.n = 0
+
+            def notify(self, scheduler, time, arg):
+                self.n += 1
+                if self.n < 350:
+                    scheduler.schedule(1, self)
+
+        sched.schedule(0, Chain())
+        sched.run()
+        assert calls == [100, 200, 300]
+
+    def test_hook_exception_unwinds_with_accurate_count(self):
+        sched = Scheduler()
+
+        def hook(scheduler, processed):
+            raise RuntimeError("budget")
+
+        sched.check_hook = hook
+        sched.check_interval = 10
+
+        class Chain(Actor):
+            def notify(self, scheduler, time, arg):
+                scheduler.schedule(1, self)
+
+        sched.schedule(0, Chain())
+        with pytest.raises(RuntimeError, match="budget"):
+            sched.run()
+        assert sched.events_processed == 10
+
 
 class Ticker:
     def __init__(self):

@@ -1,0 +1,417 @@
+"""Resilience layer: watchdog, fault-injection campaigns, auto-recovery."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim import checkpoint as CP
+from repro.sim.config import tiny
+from repro.sim.engine import Actor, PRIO_PLUGIN
+from repro.sim.functional import SimulationError
+from repro.sim.machine import Machine, Simulator
+from repro.sim.resilience import (
+    DiagnosticDump,
+    FaultInjector,
+    FaultSpec,
+    OUTCOMES,
+    ResilienceError,
+    SimulationBudgetExceeded,
+    SimulationStalled,
+    parse_fault_spec,
+    run_campaign,
+    run_resilient,
+)
+from repro.sim.resilience.faults import _InjectionActor
+from repro.toolchain.cli import xmtsim_main
+
+# 16 virtual threads each increment one word of A, then the master halts;
+# completes in ~170 cycles on the tiny configuration.
+SPAWN_ASM = """
+    .data
+A:  .space 64
+    .text
+main:
+    li   $t0, 0
+    li   $t1, 15
+    spawn $t0, $t1
+vt:
+    getvt $k0
+    chkid $k0
+    la   $t2, A
+    slli $t3, $k0, 2
+    add  $t2, $t2, $t3
+    lw   $t4, 0($t2)
+    addi $t4, $t4, 1
+    sw   $t4, 0($t2)
+    j    vt
+    join
+    halt
+"""
+
+# never halts, but keeps retiring instructions (livelock, not deadlock)
+SPIN_ASM = """
+    .text
+main:
+spin:
+    j    spin
+"""
+
+# at cycle 38 of SPAWN_ASM on tiny(), several load responses are in
+# flight on the ICN return network: dropping one hangs a TCU forever
+DROP_CYCLE = 38
+
+
+def _spawn_machine(**cfg):
+    return Machine(assemble(SPAWN_ASM), tiny(**cfg))
+
+
+def _reference():
+    return Simulator(assemble(SPAWN_ASM), tiny()).run(max_cycles=100_000)
+
+
+class TestWatchdog:
+    def test_true_deadlock_raises_typed_exception(self):
+        machine = _spawn_machine(watchdog_cycles=100)
+        machine.domains["clusters"].disable()  # nothing can ever progress
+        with pytest.raises(SimulationStalled, match="deadlock") as info:
+            machine.run()
+        dump = info.value.dump
+        assert isinstance(dump, DiagnosticDump)
+        assert dump.time_ps > 0
+        assert "diagnostic dump" in dump.format()
+
+    def test_never_halting_program_trips_cycle_budget(self):
+        sim = Simulator(assemble(SPIN_ASM), tiny())
+        with pytest.raises(SimulationBudgetExceeded, match="exceeded") as info:
+            sim.run(max_cycles=10_000)
+        assert info.value.dump is not None
+        assert info.value.dump.cycles >= 10_000
+
+    def test_event_budget(self):
+        sim = Simulator(assemble(SPIN_ASM), tiny())
+        with pytest.raises(SimulationBudgetExceeded, match="event budget"):
+            sim.run(max_events=4_000)
+
+    def test_wall_clock_budget(self):
+        sim = Simulator(assemble(SPIN_ASM), tiny())
+        with pytest.raises(SimulationBudgetExceeded, match="wall-clock"):
+            sim.run(wall_limit_s=1e-6)
+
+    def test_typed_exceptions_are_simulation_errors(self):
+        assert issubclass(SimulationStalled, ResilienceError)
+        assert issubclass(SimulationBudgetExceeded, ResilienceError)
+        assert issubclass(ResilienceError, SimulationError)
+
+    def test_budgets_do_not_fire_on_healthy_runs(self):
+        result = Simulator(assemble(SPAWN_ASM), tiny()).run(
+            max_cycles=100_000, wall_limit_s=60.0, max_events=10_000_000)
+        assert result.read_global("A") == [1] * 16
+
+    def test_dump_structure(self):
+        machine = _spawn_machine(watchdog_cycles=100)
+        machine.domains["clusters"].disable()
+        with pytest.raises(SimulationStalled) as info:
+            machine.run()
+        dump = info.value.dump
+        # master + every TCU of the tiny config (2 clusters x 2 TCUs)
+        assert len(dump.processors) == 5
+        assert dump.processors[0]["kind"] == "master"
+        assert dump.pending_events > 0
+        assert dump.event_histogram
+        assert set(dump.icn) >= {"in_flight_send", "in_flight_return"}
+        assert "processors running" in dump.summary()
+
+
+class TestFaultSpecs:
+    def test_parse_basic(self):
+        spec = parse_fault_spec("icn.drop@500")
+        assert (spec.site, spec.cycle, spec.seed) == ("icn.drop", 500, 0)
+
+    def test_parse_with_seed(self):
+        spec = parse_fault_spec("tcu.reg@0x40:7")
+        assert (spec.site, spec.cycle, spec.seed) == ("tcu.reg", 64, 7)
+
+    def test_bad_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection site"):
+            parse_fault_spec("alu.flip@10")
+
+    def test_bad_syntax_rejected(self):
+        with pytest.raises(ValueError, match="site@cycle"):
+            parse_fault_spec("icn.drop")
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            FaultSpec("icn.drop", -1)
+
+
+class TestFaultInjection:
+    def test_dropped_response_hangs_and_is_detected(self):
+        machine = _spawn_machine(watchdog_cycles=500)
+        injector = FaultInjector([FaultSpec("icn.drop", DROP_CYCLE, seed=1)])
+        machine.add_plugin(injector)
+        with pytest.raises(SimulationStalled, match="deadlock"):
+            machine.run(max_cycles=100_000)
+        assert injector.log and injector.log[0][0] == "icn.drop"
+
+    def test_dram_stall_is_masked(self):
+        machine = _spawn_machine()
+        machine.add_plugin(FaultInjector([FaultSpec("dram.stall", 40, seed=3)]))
+        result = machine.run(max_cycles=100_000)
+        # a timeout only delays traffic; the result is still correct
+        assert result.read_global("A") == [1] * 16
+
+    def test_register_flip_is_applied_and_logged(self):
+        machine = _spawn_machine(watchdog_cycles=500)
+        injector = FaultInjector([FaultSpec("tcu.reg", 50, seed=11)])
+        machine.add_plugin(injector)
+        try:
+            machine.run(max_cycles=100_000)
+        except SimulationError:
+            pass  # any outcome class is legal; the flip must be logged
+        assert len(injector.log) == 1
+        assert "bit" in injector.log[0][2]
+
+    def test_campaign_of_100_reproducible(self):
+        prog = assemble(SPAWN_ASM)
+        cfg = tiny(watchdog_cycles=500)
+        first = run_campaign(lambda: Machine(prog, cfg), 100, seed=2026)
+        second = run_campaign(lambda: Machine(prog, cfg), 100, seed=2026)
+        assert first.format() == second.format()
+        assert sum(first.counts.values()) == 100
+        assert set(first.counts) == set(OUTCOMES)
+
+    def test_campaign_classifies_outcomes(self):
+        prog = assemble(SPAWN_ASM)
+        cfg = tiny(watchdog_cycles=500)
+        report = run_campaign(lambda: Machine(prog, cfg), 30, seed=2026)
+        assert report.counts["masked"] > 0
+        assert report.counts["hung"] > 0
+        assert len(report.records) == 30
+        assert "fault-injection campaign" in report.format()
+
+    def test_campaign_rejects_unknown_site(self):
+        prog = assemble(SPAWN_ASM)
+        with pytest.raises(ValueError, match="unknown injection site"):
+            run_campaign(lambda: Machine(prog, tiny()), 1, seed=0,
+                         sites=("alu.flip",))
+
+
+class TestCheckpointing:
+    def test_unpicklable_plugin_no_longer_blocks_checkpoints(self):
+        from repro.sim.plugins import FrequencyController
+
+        reference = _reference()
+        machine = _spawn_machine()
+        # a lambda policy is unpicklable; its sampler events must be
+        # stripped (checkpoint_transient), not pickled
+        machine.add_plugin(FrequencyController(lambda m, t, d: {},
+                                               interval_cycles=10))
+        payload = CP.run_with_checkpoint(machine, checkpoint_cycle=60)
+        assert payload is not None
+        restored = CP.load_bytes(payload)
+        result = restored.run(max_cycles=100_000)
+        assert result.cycles == reference.cycles
+        assert result.read_global("A") == reference.read_global("A")
+
+    def test_injected_faults_are_not_captured(self):
+        machine = _spawn_machine()
+        machine.add_plugin(FaultInjector([FaultSpec("icn.drop", 1000, seed=1)]))
+        payload = CP.run_with_checkpoint(machine, checkpoint_cycle=60)
+        restored = CP.load_bytes(payload)
+        pending = [e.actor for e in restored.scheduler._heap
+                   if not e.cancelled]
+        assert not any(isinstance(a, _InjectionActor) for a in pending)
+        # ...but the original machine keeps its planned fault
+        live = [e.actor for e in machine.scheduler._heap if not e.cancelled]
+        assert any(isinstance(a, _InjectionActor) for a in live)
+
+    def test_periodic_checkpointer_pauses_repeatedly(self):
+        machine = _spawn_machine()
+        machine.start()
+        period = machine.config.cluster_period
+        CP.PeriodicCheckpointer(machine, 50 * period).arm(machine.scheduler)
+        pauses = []
+        while not machine.halted:
+            machine.scheduler.run(until=100_000 * period)
+            if machine.pause_reason == "checkpoint":
+                pauses.append(machine.scheduler.now // period)
+                CP.clear_pause(machine)
+            elif not machine.halted:
+                pytest.fail("run neither halted nor paused")
+        assert pauses == [50, 100, 150]
+        assert machine.memory is not None
+
+    def test_restored_periodic_chain_keeps_checkpointing(self):
+        machine = _spawn_machine()
+        machine.start()
+        period = machine.config.cluster_period
+        CP.PeriodicCheckpointer(machine, 50 * period).arm(machine.scheduler)
+        machine.scheduler.run(until=100_000 * period)
+        assert machine.pause_reason == "checkpoint"
+        CP.clear_pause(machine)
+        restored = CP.load_bytes(CP.save_bytes(machine))
+        restored.scheduler.run(until=100_000 * period)
+        # the self-rescheduling chain survived the pickle round-trip
+        assert restored.pause_reason == "checkpoint"
+        assert restored.scheduler.now // period == 100
+
+
+class _TransientBomb(Actor):
+    """A transient crash: stripped from checkpoints like a real fault."""
+
+    checkpoint_transient = True
+
+    def notify(self, scheduler, time, arg):
+        raise SimulationError("injected transient crash")
+
+
+class _PersistentBomb(Actor):
+    """A deterministic bug: captured by checkpoints, recurs on replay."""
+
+    def notify(self, scheduler, time, arg):
+        raise SimulationError("deterministic crash")
+
+
+class TestRecovery:
+    def test_recovers_injected_hang_with_correct_output(self):
+        reference = _reference()
+        machine = _spawn_machine(watchdog_cycles=500)
+        machine.add_plugin(
+            FaultInjector([FaultSpec("icn.drop", DROP_CYCLE, seed=1)]))
+        report = run_resilient(machine, max_retries=2, max_cycles=100_000)
+        assert report.completed
+        assert report.retries_used == 1
+        assert report.failures[0].error_type == "SimulationStalled"
+        assert report.result.read_global("A") == reference.read_global("A")
+
+    def test_recovers_transient_crash_from_checkpoint(self):
+        reference = _reference()
+        machine = _spawn_machine()
+        machine.start()
+        period = machine.config.cluster_period
+        machine.scheduler.schedule_at(75 * period, _TransientBomb(),
+                                      PRIO_PLUGIN)
+        report = run_resilient(machine, checkpoint_every=50, max_retries=2,
+                               max_cycles=100_000)
+        assert report.completed
+        assert report.retries_used == 1
+        assert report.checkpoints_taken >= 2
+        assert report.failures[0].error_type == "SimulationError"
+        assert report.failures[0].resumed_from_cycle == 50
+        assert report.result.read_global("A") == reference.read_global("A")
+        assert report.result.cycles == reference.cycles
+
+    def test_deterministic_crash_exhausts_retries(self):
+        machine = _spawn_machine()
+        machine.start()
+        period = machine.config.cluster_period
+        machine.scheduler.schedule_at(75 * period, _PersistentBomb(),
+                                      PRIO_PLUGIN)
+        report = run_resilient(machine, checkpoint_every=50, max_retries=2,
+                               max_cycles=100_000)
+        assert not report.completed
+        assert report.retries_used == 2
+        assert len(report.failures) == 3
+        assert report.partial_cycles > 0
+        assert "FAILED" in report.format()
+
+    def test_never_halting_run_degrades_to_partial_report(self):
+        machine = Machine(assemble(SPIN_ASM), tiny())
+        report = run_resilient(machine, max_retries=1, max_cycles=5_000)
+        assert not report.completed
+        assert report.failures[-1].error_type == "CycleLimit"
+        assert report.partial_instructions > 0
+
+    def test_success_report_format(self):
+        machine = _spawn_machine()
+        report = run_resilient(machine, checkpoint_every=50,
+                               max_cycles=100_000)
+        assert report.completed
+        assert report.retries_used == 0
+        assert "completed" in report.format()
+
+
+@pytest.fixture
+def spawn_file(tmp_path):
+    path = tmp_path / "spawn.s"
+    path.write_text(SPAWN_ASM)
+    return str(path)
+
+
+@pytest.fixture
+def spin_file(tmp_path):
+    path = tmp_path / "spin.s"
+    path.write_text(SPIN_ASM)
+    return str(path)
+
+
+class TestResilienceCLI:
+    def test_stall_exits_3_with_dump(self, spawn_file, capsys):
+        rc = xmtsim_main([spawn_file, "--config", "tiny",
+                          "--watchdog", "500",
+                          "--inject", f"icn.drop@{DROP_CYCLE}:1",
+                          "--max-cycles", "100000"])
+        err = capsys.readouterr().err
+        assert rc == 3
+        assert "stalled" in err and "deadlock" in err
+        assert "diagnostic dump" in err
+
+    def test_cycle_budget_exits_4(self, spin_file, capsys):
+        rc = xmtsim_main([spin_file, "--config", "tiny",
+                          "--max-cycles", "5000"])
+        err = capsys.readouterr().err
+        assert rc == 4
+        assert "exceeded" in err
+
+    def test_event_budget_exits_4(self, spin_file, capsys):
+        rc = xmtsim_main([spin_file, "--config", "tiny",
+                          "--event-budget", "5000"])
+        err = capsys.readouterr().err
+        assert rc == 4
+        assert "event budget" in err
+
+    def test_recovery_exhausted_exits_5(self, spin_file, capsys):
+        rc = xmtsim_main([spin_file, "--config", "tiny",
+                          "--checkpoint-every", "1000", "--max-retries", "1",
+                          "--max-cycles", "5000"])
+        err = capsys.readouterr().err
+        assert rc == 5
+        assert "FAILED" in err
+
+    def test_injected_fault_recovered_exits_0(self, spawn_file, capsys):
+        # no periodic checkpoints: the fault hangs the machine long
+        # before detection, so recovery must roll back to the baseline
+        rc = xmtsim_main([spawn_file, "--config", "tiny",
+                          "--watchdog", "500",
+                          "--inject", f"icn.drop@{DROP_CYCLE}:1",
+                          "--max-retries", "2",
+                          "--max-cycles", "100000",
+                          "--print-global", "A"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "resilient run completed" in captured.err
+        assert "A = [1, 1, 1" in captured.out
+
+    def test_masked_injection_exits_0(self, spawn_file, capsys):
+        rc = xmtsim_main([spawn_file, "--config", "tiny",
+                          "--inject", "dram.stall@40:3",
+                          "--max-cycles", "100000",
+                          "--print-global", "A"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "A = [1, 1, 1" in captured.out
+
+    def test_campaign_deterministic(self, spawn_file, capsys):
+        argv = [spawn_file, "--config", "tiny", "--watchdog", "500",
+                "--campaign", "10", "--campaign-seed", "7"]
+        assert xmtsim_main(argv) == 0
+        first = capsys.readouterr().out
+        assert xmtsim_main(argv) == 0
+        second = capsys.readouterr().out
+        assert "fault-injection campaign" in first
+        assert first == second
+
+    def test_bad_inject_spec_exits_2(self, spawn_file, capsys):
+        rc = xmtsim_main([spawn_file, "--config", "tiny",
+                          "--inject", "bogus"])
+        assert rc == 2
+        assert "site@cycle" in capsys.readouterr().err
