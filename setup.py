@@ -15,6 +15,7 @@ setup(
         "console_scripts": [
             "xmtcc=repro.toolchain.cli:xmtcc_main",
             "xmtsim=repro.toolchain.cli:xmtsim_main",
+            "xmtc-lint=repro.toolchain.cli:xmtc_lint_main",
         ]
     }
 )

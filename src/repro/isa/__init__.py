@@ -11,7 +11,7 @@ compiler back end and the XMTSim-style simulator:
 - :mod:`repro.isa.assembler` -- text assembly -> :class:`Program`,
 - :mod:`repro.isa.program` -- loaded-program container (text segment,
   initial memory map, spawn regions, string table),
-- :mod:`repro.isa.disasm` -- textual round-trip used by execution traces.
+- :mod:`repro.isa.disasm` -- textual round-trip for traces and debugging.
 """
 
 from repro.isa.instructions import (

@@ -1,8 +1,10 @@
-"""Disassembly helpers for traces and debugging.
+"""Textual round-trip for traces and debugging.
 
 ``XMTSim generates execution traces at various detail levels`` (Section
 III-E); the trace machinery renders instructions through this module so
-the text matches what the assembler accepts.
+the text matches what the assembler accepts, giving a lossless
+assemble/disassemble round-trip.  Debugging aids should reuse the same
+rendering rather than invent a second syntax.
 """
 
 from __future__ import annotations

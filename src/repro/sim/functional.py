@@ -8,6 +8,13 @@ faster than the cycle-accurate mode and can be used as a fast, limited
 debugging tool for XMTC programs" -- but, as the paper notes, it cannot
 reveal concurrency bugs, because each spawn block executes its virtual
 threads one after the other on a single execution context.
+
+The optional *race sanitizer* (:class:`repro.sim.plugins.RaceSanitizer`,
+passed as ``sanitizer=``) closes part of that gap: it records, per spawn
+region and per address, which virtual-thread ids loaded, stored and
+``psm``-ed each word, and reports the conflicts whose outcome would
+depend on thread interleaving on the real machine -- even though the
+serialized run itself produces one deterministic answer.
 """
 
 from __future__ import annotations
@@ -99,8 +106,13 @@ class FunctionalSimulator:
 
     def __init__(self, program: Program, stack_top: int = DEFAULT_STACK_TOP,
                  max_instructions: Optional[int] = None,
-                 on_instruction: Optional[Callable[[I.Instruction, CoreState], None]] = None):
+                 on_instruction: Optional[Callable[[I.Instruction, CoreState], None]] = None,
+                 sanitizer=None):
         self.program = program
+        #: optional dynamic race sanitizer (duck-typed like
+        #: :class:`repro.sim.plugins.RaceSanitizer`): notified of spawn
+        #: region boundaries, granted thread ids and memory traffic
+        self.sanitizer = sanitizer
         self.memory = Memory(program.data_image)
         self.global_regs: List[int] = [0] * NUM_GLOBAL_REGS
         for index, value in program.greg_init.items():
@@ -135,6 +147,7 @@ class FunctionalSimulator:
         sim.instruction_counts = {}
         sim.max_instructions = max_instructions
         sim.on_instruction = None
+        sim.sanitizer = None
         sim._halted = False
         sim._current_core = sim.master
         return sim
@@ -224,6 +237,9 @@ class FunctionalSimulator:
         counter = low
         instrs = self.program.instructions
         self._current_core = tcu
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.region_begin(region)
         while True:
             if not region.contains(tcu.pc):
                 if tcu.pc == region.join_index:
@@ -245,6 +261,8 @@ class FunctionalSimulator:
             op = ins.op
             if op == "getvt":
                 tcu.write(ins.rd, to_unsigned(counter))
+                if sanitizer is not None:
+                    sanitizer.set_thread(counter)
                 counter += 1
                 tcu.pc += 1
                 continue
@@ -255,6 +273,8 @@ class FunctionalSimulator:
             if op == "chkid":
                 vt = to_signed(tcu.read(ins.rs))
                 if vt > high:
+                    if sanitizer is not None:
+                        sanitizer.region_end()
                     return  # all virtual threads done; hardware joins
                 tcu.pc += 1
                 continue
@@ -277,12 +297,18 @@ class FunctionalSimulator:
                 core.write(ins.rd, UNOPS[op](core.read(ins.rs)))
             elif isinstance(ins, I.Load):
                 addr = to_unsigned(core.read(ins.base) + ins.offset)
+                if self.sanitizer is not None:
+                    self.sanitizer.on_load(addr, ins)
                 core.write(ins.rd, self.memory.load(addr))
             elif isinstance(ins, I.Store):
                 addr = to_unsigned(core.read(ins.base) + ins.offset)
+                if self.sanitizer is not None:
+                    self.sanitizer.on_store(addr, ins)
                 self.memory.store(addr, core.read(ins.rt))
             elif isinstance(ins, I.Psm):
                 addr = to_unsigned(core.read(ins.base) + ins.offset)
+                if self.sanitizer is not None:
+                    self.sanitizer.on_psm(addr, ins)
                 old = self.memory.psm(addr, to_signed(core.read(ins.rd)))
                 core.write(ins.rd, old)
             elif isinstance(ins, I.Ps):

@@ -166,3 +166,134 @@ class InstructionHistogramFilter:
 
     def on_access(self, pkg) -> None:
         self.by_kind[pkg.kind] = self.by_kind.get(pkg.kind, 0) + 1
+
+
+class RaceRecord:
+    """One dynamic race: conflicting accesses to ``addr`` from distinct
+    virtual threads inside one spawn region."""
+
+    __slots__ = ("kind", "addr", "tsids", "lines", "region_start")
+
+    def __init__(self, kind: str, addr: int, tsids: Tuple[int, ...],
+                 lines: Tuple[int, ...], region_start: int):
+        self.kind = kind          # "write-write" | "read-write" | "psm-write"
+        self.addr = addr
+        self.tsids = tsids        # sample of conflicting thread ids
+        self.lines = lines        # XMTC source lines involved (if known)
+        self.region_start = region_start
+
+    def __repr__(self):
+        return (f"RaceRecord({self.kind}, addr=0x{self.addr:08x}, "
+                f"tsids={self.tsids})")
+
+
+class RaceSanitizer:
+    """Dynamic race sanitizer for the functional simulator.
+
+    Pass an instance as ``FunctionalSimulator(..., sanitizer=...)``.
+    Inside each spawn region it tracks, per word address, which
+    virtual-thread ids stored, loaded and ``psm``-ed it; at the region's
+    join it reports:
+
+    - **write-write**: two different threads plain-stored the word;
+    - **read-write**: one thread plain-stored it and a different one
+      loaded it (the serialized run picked one order, the hardware
+      would not have to);
+    - **psm-write**: a thread ``psm``-ed a word that another
+      plain-stored -- the atomic update and the store are unordered.
+
+    ``psm`` vs ``psm`` is *not* a race (the hardware serializes them),
+    and master-written data read by many threads is fine (no writer in
+    the region).  Serial code outside spawn regions is never tracked.
+    """
+
+    def __init__(self, max_races: int = 64):
+        self.races: List[RaceRecord] = []
+        self.max_races = max_races
+        self.regions_checked = 0
+        self._region_start: Optional[int] = None
+        self._tsid: Optional[int] = None
+        #: addr -> {"w": {tsid: line}, "r": {tsid: line}, "p": {tsid: line}}
+        self._cells: Dict[int, Dict[str, Dict[int, int]]] = {}
+
+    @property
+    def clean(self) -> bool:
+        return not self.races
+
+    # -- hooks called by the functional simulator ---------------------------
+
+    def region_begin(self, region) -> None:
+        self._region_start = getattr(region, "start", None)
+        self._tsid = None
+        self._cells = {}
+
+    def set_thread(self, tsid: int) -> None:
+        self._tsid = tsid
+
+    def on_load(self, addr: int, ins) -> None:
+        self._note(addr, "r", ins)
+
+    def on_store(self, addr: int, ins) -> None:
+        self._note(addr, "w", ins)
+
+    def on_psm(self, addr: int, ins) -> None:
+        self._note(addr, "p", ins)
+
+    def _note(self, addr: int, kind: str, ins) -> None:
+        if self._region_start is None or self._tsid is None:
+            return  # serial code, or the region prologue before getvt
+        cell = self._cells.setdefault(addr, {"w": {}, "r": {}, "p": {}})
+        cell[kind].setdefault(self._tsid, getattr(ins, "src_line", 0))
+
+    def region_end(self) -> None:
+        self.regions_checked += 1
+        for addr, cell in self._cells.items():
+            writers, readers, psms = cell["w"], cell["r"], cell["p"]
+            if len(writers) > 1:
+                self._report("write-write", addr, writers, writers)
+            for tsid in readers:
+                if any(w != tsid for w in writers):
+                    self._report("read-write", addr, writers, readers)
+                    break
+            if psms and writers:
+                self._report("psm-write", addr, writers, psms)
+        self._region_start = None
+        self._tsid = None
+        self._cells = {}
+
+    def _report(self, kind: str, addr: int,
+                a: Dict[int, int], b: Dict[int, int]) -> None:
+        if len(self.races) >= self.max_races:
+            return
+        tsids = tuple(sorted(set(a) | set(b))[:4])
+        lines = tuple(sorted({ln for ln in list(a.values())
+                              + list(b.values()) if ln}))
+        self.races.append(RaceRecord(kind, addr, tsids, lines,
+                                     self._region_start or 0))
+
+    # -- reporting ----------------------------------------------------------
+
+    def describe(self, record: RaceRecord, program=None) -> str:
+        where = f"0x{record.addr:08x}"
+        if program is not None:
+            for sym in program.globals_table.values():
+                if sym.addr <= record.addr < sym.addr + 4 * sym.n_words:
+                    where = f"{sym.name}[{(record.addr - sym.addr) // 4}]"
+                    break
+        tsids = ", ".join(f"$={t}" for t in record.tsids)
+        text = f"{record.kind} race on {where} between threads {tsids}"
+        if record.lines:
+            text += " (XMTC line%s %s)" % (
+                "s" if len(record.lines) > 1 else "",
+                ", ".join(map(str, record.lines)))
+        return text
+
+    def report(self, program=None) -> str:
+        if not self.races:
+            return (f"race sanitizer: no races in "
+                    f"{self.regions_checked} spawn region(s)")
+        lines = [f"race sanitizer: {len(self.races)} conflict(s) in "
+                 f"{self.regions_checked} spawn region(s):"]
+        for record in self.races:
+            lines.append("  " + self.describe(record, program))
+        return "\n".join(lines)

@@ -1,18 +1,24 @@
-"""Command-line entry points: ``xmtcc`` (compiler) and ``xmtsim``
-(simulator) -- the two tools of the paper's title, as executables.
+"""Command-line entry points: ``xmtcc`` (compiler), ``xmtsim``
+(simulator) -- the two tools of the paper's title -- and ``xmtc-lint``
+(static analyzer), as executables.
 
     xmtcc program.c -o program.s [-O2] [--cluster 4] [--no-prefetch] ...
     xmtsim program.s [--config fpga64] [--mode cycle|functional]
            [--set A 1,2,3] [--print-global B] [--stats] [--trace ...]
+    xmtc-lint program.c [--json] [--dynamic] [--check-shipped]
 
 ``xmtsim`` accepts either assembly (``.s``) or XMTC source (anything
 else), compiling the latter on the fly, so the two-step and one-step
-workflows both work.
+workflows both work.  ``xmtc-lint`` runs the spawn-region race detector
+and the memory-model linter (see MANUAL.md section 7) over XMTC
+sources; ``--dynamic`` re-checks each program at runtime with the
+functional simulator's race sanitizer.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -104,6 +110,98 @@ def xmtcc_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def xmtc_lint_main(argv: Optional[List[str]] = None) -> int:
+    """``xmtc-lint``: static race detector + memory-model linter.
+
+    Exit codes: 0 = no error-severity findings, 1 = errors found,
+    2 = cannot read or compile an input.
+    """
+    import json as _json
+
+    from repro.xmtc.analysis.diagnostics import has_errors
+    from repro.xmtc.analysis.linter import (
+        check_shipped,
+        lint_dynamic,
+        lint_source,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="xmtc-lint",
+        description="XMTC static analyzer: spawn-region race detector and "
+                    "memory-model linter")
+    parser.add_argument("sources", nargs="*",
+                        help="XMTC source files to lint")
+    parser.add_argument("--json", action="store_true",
+                        help="emit diagnostics as JSON")
+    parser.add_argument("--dynamic", action="store_true",
+                        help="also run each program under the functional "
+                             "simulator's race sanitizer")
+    parser.add_argument("--check-shipped", action="store_true",
+                        help="lint the shipped workloads (CI mode): litmus "
+                             "programs must be flagged, everything else "
+                             "must be error-free")
+    parser.add_argument("--examples", default=None, metavar="DIR",
+                        help="with --check-shipped: also lint the SOURCE "
+                             "programs of the example scripts in DIR")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only error-severity findings")
+    _add_compile_flags(parser)
+    args = parser.parse_args(argv)
+
+    if args.check_shipped:
+        from repro.xmtc.analysis.linter import collect_example_sources
+
+        if args.examples and not os.path.isdir(args.examples):
+            print(f"xmtc-lint: --examples: not a directory: "
+                  f"{args.examples}", file=sys.stderr)
+            return 2
+        extra = (collect_example_sources(args.examples)
+                 if args.examples else ())
+        ok, lines = check_shipped(extra)
+        print("\n".join(lines))
+        return 0 if ok else 1
+    if not args.sources:
+        parser.error("no input files (or use --check-shipped)")
+
+    options = _compile_options(args)
+    all_diags = []
+    for path in args.sources:
+        try:
+            with open(path) as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"xmtc-lint: {exc}", file=sys.stderr)
+            return 2
+        try:
+            diags = lint_source(source, options, filename=path)
+            if args.dynamic:
+                dyn, _san = lint_dynamic(source, options, filename=path)
+                diags = diags + dyn
+        except CompileError as exc:
+            print(f"xmtc-lint: error: {path}: {exc}", file=sys.stderr)
+            return 2
+        all_diags.extend(diags)
+
+    if args.json:
+        payload = {
+            "diagnostics": [d.to_json() for d in all_diags],
+            "errors": sum(d.severity == "error" for d in all_diags),
+            "warnings": sum(d.severity == "warning" for d in all_diags),
+            "notes": sum(d.severity == "note" for d in all_diags),
+        }
+        print(_json.dumps(payload, indent=2))
+    else:
+        shown = [d for d in all_diags
+                 if not args.quiet or d.severity == "error"]
+        for d in shown:
+            print(d.format())
+        n_err = sum(d.severity == "error" for d in all_diags)
+        n_warn = sum(d.severity == "warning" for d in all_diags)
+        print(f"xmtc-lint: {n_err} error(s), {n_warn} warning(s) in "
+              f"{len(args.sources)} file(s)")
+    return 1 if has_errors(all_diags) else 0
+
+
 def _parse_values(text: str):
     out = []
     for token in text.split(","):
@@ -143,6 +241,10 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                         choices=("functional", "cycle"),
                         help="print an execution trace")
     parser.add_argument("--trace-limit", type=int, default=200)
+    parser.add_argument("--sanitize", action="store_true",
+                        help="functional mode: track per-address "
+                             "writer/reader thread ids inside spawn "
+                             "regions and report dynamic races")
     resilience = parser.add_argument_group(
         "resilience (cycle mode)",
         "watchdog, fault injection and checkpoint-based recovery; "
@@ -249,12 +351,24 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
         trace = Trace(level=args.trace, limit=args.trace_limit,
                       sink=lambda line: print(line, file=sys.stderr))
 
+    sanitizer = None
+    if args.sanitize:
+        if args.mode != "functional":
+            print("xmtsim: --sanitize requires --mode functional",
+                  file=sys.stderr)
+            return 2
+        from repro.sim.plugins import RaceSanitizer
+
+        sanitizer = RaceSanitizer()
+
     try:
         if args.mode == "functional":
-            result = FunctionalSimulator(program).run()
+            result = FunctionalSimulator(program, sanitizer=sanitizer).run()
             sys.stdout.write(result.output)
             print(f"[functional] {result.instructions} instructions",
                   file=sys.stderr)
+            if sanitizer is not None:
+                print(sanitizer.report(program), file=sys.stderr)
             memory = result.memory
         elif args.mode == "sampled":
             from repro.sim.sampling import PhaseSampler, SampledSimulator

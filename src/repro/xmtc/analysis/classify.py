@@ -1,0 +1,222 @@
+"""Value classification and ``$``-guard facts inside spawn bodies.
+
+The race detector needs to know, for the address of every memory access
+in a spawn body, how it varies *across virtual threads*:
+
+- **uniform** (flags ``0``): same value in every thread -- constants,
+  broadcast live-ins from the master, ``&global`` / frame addresses;
+- ``DOLLAR``: derived from ``$`` by pure arithmetic -- per-thread
+  distinct in the common ``A[$]`` indexing idiom;
+- ``PS``: derived from a ``ps``/``psm`` result -- per-thread distinct by
+  the hardware's atomicity guarantee;
+- ``LOADED``: involves a loaded or call-returned value -- unknown.
+
+Flags combine by union over data dependencies and over multiple
+definitions, computed as a flow-insensitive fixpoint per body (monotone:
+flags only gain bits).
+
+Guard facts are a forward must-analysis over the body's CFG answering
+"which threads can be executing this block at all?":
+
+- ``('deq', K)`` -- only the thread with ``$ == K`` (generated on the
+  true edge of ``CondJump eq $, K`` and the false edge of the ``ne``
+  form);
+- ``('pseq',)`` -- the block is guarded by comparing a prefix-sum
+  result against a constant: the claim idiom (``if (psm(...) == 0)``)
+  admits at most one thread per claimed cell.
+
+Facts meet by intersection (a fact must hold on every path) and are
+never killed inside a block: they constrain *thread identity*, which no
+assignment can change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.xmtc import ir as IR
+from repro.xmtc.analysis.cfg import Block, split_blocks
+
+UNIFORM = 0
+DOLLAR = 1
+PS = 2
+LOADED = 4
+
+GuardFact = Tuple
+GuardSet = FrozenSet[GuardFact]
+
+
+class BodyInfo:
+    """Classification results for one spawn body."""
+
+    def __init__(self, spawn: IR.SpawnIR):
+        self.spawn = spawn
+        self.flags: Dict[int, int] = {}
+        self.exact_dollar: Set[int] = set()
+        self.blocks: List[Block] = []
+        self.block_of_pos: Dict[int, int] = {}
+        self.block_guards: List[GuardSet] = []
+        self._analyze()
+
+    # -- queries ------------------------------------------------------------
+
+    def operand_flags(self, op: Optional[IR.Operand]) -> int:
+        if isinstance(op, IR.Temp):
+            return self.flags.get(op.id, UNIFORM)
+        return UNIFORM
+
+    def guards_at(self, pos: int) -> GuardSet:
+        bi = self.block_of_pos.get(pos)
+        if bi is None:
+            return frozenset()
+        return self.block_guards[bi]
+
+    def is_private_addr(self, addr: IR.Temp) -> bool:
+        """Pure ``$``-arithmetic address: per-thread distinct under the
+        usual ``A[$]`` idiom (``A[$]`` vs ``A[$+1]`` overlap is the
+        documented false negative of this heuristic)."""
+        return self.operand_flags(addr) == DOLLAR
+
+    def is_ps_derived(self, addr: IR.Temp) -> bool:
+        f = self.operand_flags(addr)
+        return bool(f & PS) and not (f & LOADED)
+
+    # -- analysis -----------------------------------------------------------
+
+    def _analyze(self):
+        body = self.spawn.body
+        self.blocks, _label_block = split_blocks(body)
+        for b in self.blocks:
+            for pos in range(b.start, b.end):
+                self.block_of_pos[pos] = b.index
+        self._value_flags(body)
+        self._dollar_copies(body)
+        self._guard_facts(body)
+
+    def _value_flags(self, body: List[IR.IRInstr]):
+        flags = self.flags
+        flags[self.spawn.dollar.id] = DOLLAR
+
+        def fl(op) -> int:
+            if isinstance(op, IR.Temp):
+                return flags.get(op.id, UNIFORM)
+            return UNIFORM
+
+        def bump(t: IR.Temp, bits: int) -> bool:
+            old = flags.get(t.id, UNIFORM)
+            new = old | bits
+            if new != old:
+                flags[t.id] = new
+                return True
+            return False
+
+        changed = True
+        while changed:
+            changed = False
+            for ins in IR.walk_instrs(body):
+                if isinstance(ins, IR.Bin):
+                    changed |= bump(ins.dst, fl(ins.a) | fl(ins.b))
+                elif isinstance(ins, IR.Un):
+                    changed |= bump(ins.dst, fl(ins.a))
+                elif isinstance(ins, IR.Mov):
+                    changed |= bump(ins.dst, fl(ins.src))
+                elif isinstance(ins, (IR.La, IR.FrameAddr)):
+                    changed |= bump(ins.dst, UNIFORM)
+                elif isinstance(ins, IR.Load):
+                    changed |= bump(ins.dst, LOADED)
+                elif isinstance(ins, IR.Call):
+                    if ins.dst is not None:
+                        changed |= bump(ins.dst, LOADED)
+                elif isinstance(ins, IR.PsIR):
+                    if ins.mode in ("ps", "get"):
+                        changed |= bump(ins.temp, PS)
+                elif isinstance(ins, IR.PsmIR):
+                    changed |= bump(ins.temp, PS)
+        # the dollar temp stays pure $ no matter what the fixpoint added
+        flags[self.spawn.dollar.id] = DOLLAR
+
+    def _dollar_copies(self, body: List[IR.IRInstr]):
+        """Temps that are plain copies of ``$`` (every definition is a
+        ``Mov`` from another exact copy)."""
+        defs: Dict[int, List[IR.IRInstr]] = {}
+        for ins in IR.walk_instrs(body):
+            for d in ins.defs():
+                defs.setdefault(d.id, []).append(ins)
+        exact = {self.spawn.dollar.id}
+        changed = True
+        while changed:
+            changed = False
+            for tid, dlist in defs.items():
+                if tid in exact:
+                    continue
+                if dlist and all(isinstance(d, IR.Mov)
+                                 and isinstance(d.src, IR.Temp)
+                                 and d.src.id in exact for d in dlist):
+                    exact.add(tid)
+                    changed = True
+        self.exact_dollar = exact
+
+    def _edge_atoms(self, block: Block, body: List[IR.IRInstr]
+                    ) -> Dict[int, GuardSet]:
+        """Guard atoms generated on each outgoing edge of ``block``
+        (successor block index -> atoms)."""
+        out: Dict[int, GuardSet] = {s: frozenset() for s in block.succs}
+        if block.start == block.end:
+            return out
+        last = body[block.end - 1]
+        if not isinstance(last, IR.CondJump) or len(block.succs) < 1:
+            return out
+        atoms = self._eq_atoms(last.a, last.b) | self._eq_atoms(last.b, last.a)
+        if not atoms:
+            return out
+        target = block.succs[0]
+        fallthrough = block.succs[1] if len(block.succs) > 1 else None
+        if last.cond == "eq":
+            # equality holds on the taken edge
+            if fallthrough != target:
+                out[target] = atoms
+        elif last.cond == "ne":
+            # equality holds on the fall-through edge
+            if fallthrough is not None and fallthrough != target:
+                out[fallthrough] = atoms
+        return out
+
+    def _eq_atoms(self, a: IR.Operand, b: IR.Operand) -> Set[GuardFact]:
+        atoms: Set[GuardFact] = set()
+        if isinstance(a, IR.Temp) and isinstance(b, IR.Const):
+            if a.id in self.exact_dollar:
+                atoms.add(("deq", b.value))
+            elif self.is_ps_derived(a):
+                atoms.add(("pseq",))
+        return atoms
+
+    def _guard_facts(self, body: List[IR.IRInstr]):
+        n = len(self.blocks)
+        self.block_guards = [frozenset()] * n
+        if n == 0:
+            return
+        edge_atoms = [self._edge_atoms(b, body) for b in self.blocks]
+        # optimistic top = None; entry starts with no facts
+        facts: List[Optional[GuardSet]] = [None] * n
+        facts[0] = frozenset()
+        work = [0]
+        while work:
+            bi = work.pop(0)
+            here = facts[bi]
+            for succ in self.blocks[bi].succs:
+                flowing = frozenset(here | edge_atoms[bi].get(succ,
+                                                              frozenset()))
+                cur = facts[succ]
+                new = flowing if cur is None else (cur & flowing)
+                if new != cur:
+                    facts[succ] = new
+                    if succ not in work:
+                        work.append(succ)
+        self.block_guards = [f if f is not None else frozenset()
+                             for f in facts]
+
+
+def classify_body(spawn: IR.SpawnIR) -> BodyInfo:
+    """Analyze one spawn body; results are positional over its
+    ``spawn.body`` list."""
+    return BodyInfo(spawn)

@@ -1,0 +1,112 @@
+"""Structured lint diagnostics: severities, rendering, suppressions.
+
+A :class:`Diagnostic` carries everything a tool or a human needs to act
+on a finding: the check id (``race.write-write``, ``mm.nb-read``, ...),
+a severity, the XMTC source line, the enclosing function, a message and
+a fix hint.  Text rendering is one-line-per-finding
+(``file:line: severity: [check] message (hint: ...)``); JSON rendering
+is a stable dict per finding (see MANUAL.md for the schema).
+
+Findings can be suppressed in source with a comment on the flagged line
+or the line directly above it::
+
+    x = 1;              // xmtc-lint: allow(race.write-write)
+    // xmtc-lint: allow(mm.nb-read, race.read-write)
+    // xmtc-lint: allow(*)        -- suppress everything on the next line
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+SEVERITIES = ("error", "warning", "note")
+
+_ALLOW_RE = re.compile(r"xmtc-lint:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding."""
+
+    check: str
+    severity: str          # "error" | "warning" | "note"
+    message: str
+    line: int = 0          # XMTC source line (0 = unknown)
+    function: str = ""
+    hint: str = ""
+    source_file: str = "<source>"
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"bad severity {self.severity!r}")
+
+    def format(self) -> str:
+        loc = f"{self.source_file}:{self.line or '?'}"
+        text = f"{loc}: {self.severity}: [{self.check}] {self.message}"
+        if self.function:
+            text += f" [in {self.function}]"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.source_file,
+            "line": self.line,
+            "function": self.function,
+            "hint": self.hint,
+        }
+
+
+def severity_rank(severity: str) -> int:
+    return SEVERITIES.index(severity)
+
+
+def sort_diagnostics(diags: List[Diagnostic]) -> List[Diagnostic]:
+    return sorted(diags, key=lambda d: (severity_rank(d.severity),
+                                        d.line, d.check, d.message))
+
+
+def has_errors(diags: Sequence[Diagnostic]) -> bool:
+    return any(d.severity == "error" for d in diags)
+
+
+def _allowed_checks(line_text: str) -> Optional[List[str]]:
+    m = _ALLOW_RE.search(line_text)
+    if not m:
+        return None
+    return [tok.strip() for tok in m.group(1).split(",") if tok.strip()]
+
+
+def suppressions(source: str) -> Dict[int, List[str]]:
+    """Map XMTC source line number -> check ids allowed on that line
+    (an ``allow`` comment covers its own line and the one below)."""
+    allowed: Dict[int, List[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        checks = _allowed_checks(text)
+        if checks is None:
+            continue
+        for covered in (lineno, lineno + 1):
+            allowed.setdefault(covered, []).extend(checks)
+    return allowed
+
+
+def apply_suppressions(diags: List[Diagnostic], source: str
+                       ) -> List[Diagnostic]:
+    """Drop findings allowed by in-source ``xmtc-lint: allow(...)``
+    comments."""
+    allowed = suppressions(source)
+    if not allowed:
+        return list(diags)
+    kept = []
+    for d in diags:
+        checks = allowed.get(d.line, ())
+        if any(c == "*" or c == d.check for c in checks):
+            continue
+        kept.append(d)
+    return kept

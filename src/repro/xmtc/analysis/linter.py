@@ -1,0 +1,163 @@
+"""``xmtc-lint`` glue: compile, run every checker, apply suppressions.
+
+:func:`lint_source` runs the *static* checkers over the optimized IR of
+one XMTC source (the same IR the code generator consumes, so verdicts
+match what actually executes): the spawn-region race detector, the
+memory-model linter, and any notes the optimizer passes emitted about
+holding back (``ro.disabled-store``).  :func:`lint_dynamic` additionally
+executes the program under the functional simulator with the
+:class:`~repro.sim.plugins.RaceSanitizer` attached and converts the
+observed conflicts into diagnostics (check ids ``dyn.race.*``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.xmtc.analysis.diagnostics import (
+    Diagnostic,
+    apply_suppressions,
+    sort_diagnostics,
+)
+from repro.xmtc.analysis.memmodel import check_memory_model
+from repro.xmtc.analysis.races import check_races
+from repro.xmtc.analysis.summaries import compute_summaries
+
+
+def lint_source(source: str, options=None, filename: str = "<source>"
+                ) -> List[Diagnostic]:
+    """Statically lint one XMTC source; returns sorted diagnostics.
+
+    Raises :class:`repro.xmtc.errors.CompileError` if the source does
+    not compile -- linting is defined over the optimized IR.
+    """
+    from repro.xmtc.compiler import CompileOptions, compile_to_asm
+
+    options = options or CompileOptions()
+    options.keep_intermediates = True
+    result = compile_to_asm(source, options)
+    unit = result.ir
+    summaries = compute_summaries(unit)
+    diags: List[Diagnostic] = []
+    diags.extend(check_races(unit, summaries, filename))
+    diags.extend(check_memory_model(unit, summaries, filename))
+    for note in result.optimizer_report.get("lint_notes", ()):
+        note.source_file = filename
+        diags.append(note)
+    diags = apply_suppressions(diags, source)
+    return sort_diagnostics(diags)
+
+
+def lint_dynamic(source: str, options=None, filename: str = "<source>",
+                 inputs=None, max_instructions: Optional[int] = 5_000_000
+                 ) -> Tuple[List[Diagnostic], object]:
+    """Run the program under the functional simulator with the race
+    sanitizer; returns ``(diagnostics, sanitizer)``.
+
+    ``inputs`` is an optional ``global name -> values`` dict written to
+    the program image before the run (the workloads' ``Inputs`` shape).
+    """
+    from repro.sim.functional import FunctionalSimulator
+    from repro.sim.plugins import RaceSanitizer
+    from repro.xmtc.compiler import compile_source
+
+    program = compile_source(source, options)
+    for name, values in (inputs or {}).items():
+        program.write_global(name, values)
+    sanitizer = RaceSanitizer()
+    sim = FunctionalSimulator(program, max_instructions=max_instructions,
+                              sanitizer=sanitizer)
+    sim.run()
+    diags: List[Diagnostic] = []
+    for record in sanitizer.races:
+        diags.append(Diagnostic(
+            check=f"dyn.race.{record.kind}", severity="error",
+            message=("observed at runtime: "
+                     + sanitizer.describe(record, program)),
+            line=record.lines[0] if record.lines else 0,
+            source_file=filename,
+            hint="coordinate the conflicting accesses with ps/psm or "
+                 "restructure so each thread owns a disjoint slice"))
+    diags = apply_suppressions(diags, source)
+    return sort_diagnostics(diags), sanitizer
+
+
+def shipped_cases():
+    """The shipped XMTC workloads as lint cases:
+    ``(name, source, options, racy)`` -- ``racy`` marks the litmus
+    programs that the detector MUST flag; everything else must come out
+    with zero error-severity diagnostics.  (The prefetch-staleness
+    litmus ships as raw assembly and is outside the linter's scope.)"""
+    from repro.workloads import programs as W
+    from repro.xmtc.compiler import CompileOptions
+
+    return [
+        ("array_compaction", W.array_compaction(16)[0], CompileOptions(),
+         False),
+        ("reduction", W.reduction(16)[0], CompileOptions(), False),
+        ("prefix_sum", W.prefix_sum(16)[0], CompileOptions(), False),
+        ("bfs", W.bfs(12, 20)[0], CompileOptions(), False),
+        ("connectivity", W.connectivity(12, 14)[0], CompileOptions(), False),
+        ("matmul", W.matmul(4)[0], CompileOptions(), False),
+        ("fft", W.fft(8)[0], CompileOptions(), False),
+        ("spmv", W.spmv(8)[0], CompileOptions(), False),
+        ("list_ranking", W.list_ranking(8)[0], CompileOptions(), False),
+        ("max_flow", W.max_flow(8, 14)[0], CompileOptions(), False),
+        ("merge_sort", W.merge_sort(16, 4)[0],
+         CompileOptions(parallel_calls=True), False),
+        ("litmus_relaxed", W.litmus_relaxed()[0], CompileOptions(), True),
+        ("litmus_psm_ordered", W.litmus_psm_ordered()[0], CompileOptions(),
+         True),
+    ]
+
+
+def collect_example_sources(directory):
+    """Import every ``*.py`` under ``directory`` (the repo's
+    ``examples/``; each is import-safe behind a main guard) and collect
+    the module-level ``SOURCE`` XMTC constants as ``(name, source)``
+    pairs.  Examples without one drive workload builders that
+    :func:`shipped_cases` already covers."""
+    import importlib.util
+    import pathlib
+
+    pairs = []
+    for path in sorted(pathlib.Path(directory).glob("*.py")):
+        spec = importlib.util.spec_from_file_location(
+            f"_xmtc_lint_example_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        source = getattr(module, "SOURCE", None)
+        if isinstance(source, str):
+            pairs.append((path.name, source))
+    return pairs
+
+
+def check_shipped(example_sources=()):
+    """Lint every shipped workload (plus any extra ``(name, source)``
+    pairs, e.g. the ``examples/`` programs): the racy litmus programs
+    must be flagged with errors, everything else must be error-free.
+
+    Returns ``(ok, report_lines)``.
+    """
+    ok = True
+    lines: List[str] = []
+    cases = [(n, s, o, r) for n, s, o, r in shipped_cases()]
+    cases += [(name, source, None, False) for name, source in example_sources]
+    for name, source, options, racy in cases:
+        diags = lint_source(source, options, filename=name)
+        errors = [d for d in diags if d.severity == "error"]
+        if racy and not errors:
+            ok = False
+            lines.append(f"FAIL {name}: expected the race detector to "
+                         f"flag this litmus program, got no errors")
+        elif not racy and errors:
+            ok = False
+            lines.append(f"FAIL {name}: {len(errors)} unexpected "
+                         f"error-severity diagnostic(s):")
+            lines.extend("  " + d.format() for d in errors)
+        else:
+            n_warn = sum(d.severity == "warning" for d in diags)
+            verdict = "flagged as racy (expected)" if racy else "clean"
+            suffix = f", {n_warn} warning(s)" if n_warn else ""
+            lines.append(f"ok   {name}: {verdict}{suffix}")
+    return ok, lines

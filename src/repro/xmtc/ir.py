@@ -340,12 +340,14 @@ class PsIR(IRInstr):
 class PsmIR(IRInstr):
     """Prefix-sum to memory: ``old = M[addr]; M[addr] += temp; temp = old``."""
 
-    __slots__ = ("temp", "addr")
+    __slots__ = ("temp", "addr", "origin")
 
-    def __init__(self, temp: Temp, addr: Temp, line: int = 0):
+    def __init__(self, temp: Temp, addr: Temp, line: int = 0,
+                 origin: Optional[str] = None):
         super().__init__(line)
         self.temp = temp
         self.addr = addr
+        self.origin = origin   # alias class of the target, if known
 
     def uses(self):
         return (self.temp, self.addr)

@@ -688,11 +688,12 @@ class _FuncLowerer:
         if target_lv[0] != _LV_MEM:
             raise self.error("psm target must be a memory location", s.target)
         addr = target_lv[1]
+        origin = self._origin_of(target_lv[2])
         if inc_lv[0] == _LV_TEMP:
-            self.emit(IR.PsmIR(inc_lv[1], addr, s.line))
+            self.emit(IR.PsmIR(inc_lv[1], addr, s.line, origin=origin))
             return
         t = self._materialize(self.read_lvalue(inc_lv, s), "pm")
-        self.emit(IR.PsmIR(t, addr, s.line))
+        self.emit(IR.PsmIR(t, addr, s.line, origin=origin))
         self.write_lvalue(inc_lv, t, s)
 
 

@@ -1,178 +1,20 @@
-"""Basic blocks and liveness over the flat IR instruction lists."""
+"""Compatibility shim: blocks and liveness now live in the shared
+analysis layer (:mod:`repro.xmtc.analysis`).
+
+The conservative ``region_uses`` / ``_used_before_def`` approximations
+this module used to implement are gone -- ``spawn_live_ins`` and
+``liveness`` are the precise dataflow versions from
+:mod:`repro.xmtc.analysis.dataflow`.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from repro.xmtc.analysis.cfg import Block, split_blocks
+from repro.xmtc.analysis.dataflow import (
+    liveness,
+    region_live_in,
+    spawn_live_ins,
+)
 
-from repro.xmtc import ir as IR
-
-
-def region_uses(instrs: Sequence[IR.IRInstr]) -> Set[IR.Temp]:
-    """Temps a region reads before (possibly) defining them -- i.e. the
-    live-in set computed conservatively (union of all uses that are not
-    dominated by a def; approximated as uses-not-defined-anywhere plus
-    uses of temps defined later in a different position).
-
-    For safety we return every temp used anywhere in the region that is
-    defined outside it (never defined inside), plus temps both used and
-    defined inside (they might be used before the def on some path).
-    Only temps never used count as dead.
-    """
-    used: Set[IR.Temp] = set()
-    for ins in IR.walk_instrs(list(instrs)):
-        used.update(ins.uses())
-        if isinstance(ins, IR.SpawnIR):
-            inner = region_uses(ins.body)
-            used.update(inner)
-    return used
-
-
-def spawn_live_ins(spawn: IR.SpawnIR) -> Set[IR.Temp]:
-    """Temps the spawn body needs from the enclosing (master) context."""
-    defined: Set[IR.Temp] = {spawn.dollar}
-    used: Set[IR.Temp] = set()
-    for ins in IR.walk_instrs(spawn.body):
-        for t in ins.uses():
-            used.add(t)
-        for t in ins.defs():
-            defined.add(t)
-    live = set()
-    for t in used:
-        if t not in defined or _used_before_def(spawn.body, t):
-            live.add(t)
-    # bounds are read by the spawn hardware itself
-    live.update(t for t in (spawn.low, spawn.high) if isinstance(t, IR.Temp))
-    live.discard(spawn.dollar)
-    return live
-
-
-def _used_before_def(instrs: List[IR.IRInstr], temp: IR.Temp) -> bool:
-    """Linear approximation: does a use of ``temp`` appear before its
-    first def in program order?  (Sound for live-in detection together
-    with the caller's not-defined check: control flow can only make a
-    later textual def execute first via a backward jump, and spawn-body
-    loops re-enter at the top, where liveness is what we are computing.)
-    """
-    for ins in instrs:
-        if temp in ins.uses():
-            return True
-        if temp in ins.defs():
-            return False
-        if isinstance(ins, IR.SpawnIR):  # pragma: no cover - no nesting
-            return True
-    return False
-
-
-class Block:
-    """A basic block: [start, end) indices into the instruction list."""
-
-    __slots__ = ("index", "start", "end", "succs", "live_out")
-
-    def __init__(self, index: int, start: int, end: int):
-        self.index = index
-        self.start = start
-        self.end = end
-        self.succs: List[int] = []
-        self.live_out: Set[IR.Temp] = set()
-
-
-def split_blocks(instrs: List[IR.IRInstr]) -> Tuple[List[Block], Dict[str, int]]:
-    """Partition a flat instruction list into basic blocks.
-
-    ``SpawnIR`` is treated as an ordinary (opaque) instruction.
-    Returns (blocks, label -> block index).
-    """
-    leaders = {0}
-    label_at: Dict[str, int] = {}
-    for i, ins in enumerate(instrs):
-        if isinstance(ins, IR.Label):
-            leaders.add(i)
-            label_at[ins.name] = i
-        elif isinstance(ins, (IR.Jump, IR.CondJump, IR.Ret)):
-            leaders.add(i + 1)
-    starts = sorted(s for s in leaders if s < len(instrs))
-    blocks: List[Block] = []
-    block_of_pos: Dict[int, int] = {}
-    for bi, start in enumerate(starts):
-        end = starts[bi + 1] if bi + 1 < len(starts) else len(instrs)
-        blocks.append(Block(bi, start, end))
-        for pos in range(start, end):
-            block_of_pos[pos] = bi
-    label_block = {name: block_of_pos[pos] for name, pos in label_at.items()}
-    for block in blocks:
-        if block.start == block.end:
-            continue
-        last = instrs[block.end - 1]
-        if isinstance(last, IR.Jump):
-            block.succs = [label_block[last.target]]
-        elif isinstance(last, IR.CondJump):
-            block.succs = [label_block[last.target]]
-            if block.index + 1 < len(blocks):
-                block.succs.append(block.index + 1)
-        elif isinstance(last, IR.Ret):
-            block.succs = []
-        else:
-            if block.index + 1 < len(blocks):
-                block.succs = [block.index + 1]
-    return blocks, label_block
-
-
-def liveness(instrs: List[IR.IRInstr], loop_back: bool = False,
-             seed_live_out: Optional[Set[IR.Temp]] = None) -> List[Set[IR.Temp]]:
-    """Per-instruction live-out sets (backward dataflow to fixpoint).
-
-    ``loop_back=True`` adds an edge from the region end to its start,
-    modeling the hardware's virtual-thread dispatch loop around a spawn
-    body.  ``seed_live_out`` is the set live at region exit.
-    """
-    blocks, _ = split_blocks(instrs)
-    if not blocks:
-        return []
-    n_blocks = len(blocks)
-    use: List[Set[IR.Temp]] = [set() for _ in range(n_blocks)]
-    defs: List[Set[IR.Temp]] = [set() for _ in range(n_blocks)]
-    for block in blocks:
-        for pos in range(block.start, block.end):
-            ins = instrs[pos]
-            uses = (set(ins.uses()) | spawn_live_ins(ins)
-                    if isinstance(ins, IR.SpawnIR) else set(ins.uses()))
-            for t in uses:
-                if t not in defs[block.index]:
-                    use[block.index].add(t)
-            for t in ins.defs():
-                defs[block.index].add(t)
-    live_in: List[Set[IR.Temp]] = [set() for _ in range(n_blocks)]
-    live_out: List[Set[IR.Temp]] = [set() for _ in range(n_blocks)]
-    exit_live = set(seed_live_out or ())
-    changed = True
-    while changed:
-        changed = False
-        for block in reversed(blocks):
-            bi = block.index
-            out: Set[IR.Temp] = set()
-            for s in block.succs:
-                out |= live_in[s]
-            if not block.succs:
-                out |= exit_live
-                if loop_back:
-                    # region end loops to region start (getvt dispatch loop)
-                    out |= live_in[0]
-            new_in = use[bi] | (out - defs[bi])
-            if out != live_out[bi] or new_in != live_in[bi]:
-                live_out[bi] = out
-                live_in[bi] = new_in
-                changed = True
-    # expand to per-instruction granularity
-    result: List[Set[IR.Temp]] = [set() for _ in instrs]
-    for block in blocks:
-        live = set(live_out[block.index])
-        for pos in range(block.end - 1, block.start - 1, -1):
-            ins = instrs[pos]
-            result[pos] = set(live)
-            for t in ins.defs():
-                live.discard(t)
-            if isinstance(ins, IR.SpawnIR):
-                live |= spawn_live_ins(ins)
-            else:
-                live |= set(ins.uses())
-    return result
+__all__ = ["Block", "split_blocks", "liveness", "region_live_in",
+           "spawn_live_ins"]

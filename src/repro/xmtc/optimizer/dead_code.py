@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import List, Set
 
 from repro.xmtc import ir as IR
-from repro.xmtc.optimizer.cfg import liveness, split_blocks
+from repro.xmtc.analysis.cfg import split_blocks
+from repro.xmtc.analysis.dataflow import liveness
 
 
 def _remove_unreachable(instrs: List[IR.IRInstr]) -> List[IR.IRInstr]:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.xmtc import ir as IR
+from repro.xmtc.analysis.summaries import compute_summaries
 from repro.xmtc.optimizer import (
     constant_folding,
     copy_propagation,
@@ -51,8 +52,13 @@ class OptimizerOptions:
 
 
 def optimize_unit(unit: IR.IRUnit, options: OptimizerOptions) -> dict:
-    """Run the pipeline; returns a small report of what each pass did."""
-    report = {"nonblocking_stores": 0, "ro_loads": 0}
+    """Run the pipeline; returns a small report of what each pass did.
+
+    The report's ``lint_notes`` collects note-severity diagnostics the
+    XMT-specific passes emit about *why* they held back (e.g. the store
+    that disabled read-only-cache routing); ``xmtc-lint`` surfaces them.
+    """
+    report = {"nonblocking_stores": 0, "ro_loads": 0, "lint_notes": []}
     for func in unit.functions:
         if options.opt_level >= 1:
             constant_folding.run(func)
@@ -68,12 +74,20 @@ def optimize_unit(unit: IR.IRUnit, options: OptimizerOptions) -> dict:
             constant_folding.run(func)
         if options.opt_level >= 1:
             dead_code.run(func)
+    # scalar opts are done mutating the IR shape: compute the shared
+    # side-effect summaries once, every XMT-specific pass reads them
+    summaries = None
+    if options.opt_level >= 1 and (options.nonblocking_stores
+                                   or options.prefetch or options.ro_cache):
+        summaries = compute_summaries(unit)
+    for func in unit.functions:
         if options.nonblocking_stores and options.opt_level >= 1:
-            report["nonblocking_stores"] += nonblocking.run(func)
+            report["nonblocking_stores"] += nonblocking.run(func, summaries)
         if options.prefetch and options.opt_level >= 1:
             prefetch.run(func, options.prefetch_degree)
     if options.ro_cache and options.opt_level >= 1:
-        report["ro_loads"] = rocache.run(unit)
+        report["ro_loads"] = rocache.run(unit, summaries,
+                                         notes=report["lint_notes"])
     if options.memory_fences:
         for func in unit.functions:
             fences.run(func)

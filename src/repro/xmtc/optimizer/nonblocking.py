@@ -6,13 +6,21 @@ eligible unless it is volatile: same-TCU same-address ordering is
 preserved by the hardware's static routing (memory-model rule 1), and
 cross-thread ordering is only promised around prefix-sums, where the
 compiler-inserted fence drains the pending non-blocking stores.
+
+"Parallel code" is answered by the shared call-graph summaries when
+available: besides the stores lexically inside spawn bodies, stores in
+functions that *only* ever execute on TCUs (reachable from a spawn-body
+call site and never from the serial entry flow) are converted too --
+their whole body is parallel code even though no spawn syntactically
+encloses it.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.xmtc import ir as IR
+from repro.xmtc.analysis.summaries import UnitSummaries
 
 
 def convert_region(instrs: List[IR.IRInstr], in_parallel: bool) -> int:
@@ -27,5 +35,9 @@ def convert_region(instrs: List[IR.IRInstr], in_parallel: bool) -> int:
     return converted
 
 
-def run(func: IR.IRFunc) -> int:
-    return convert_region(func.body, False)
+def run(func: IR.IRFunc,
+        summaries: Optional[UnitSummaries] = None) -> int:
+    parallel_only = (summaries is not None
+                     and func.name in summaries.parallel_functions
+                     and func.name not in summaries.serially_executed())
+    return convert_region(func.body, parallel_only)

@@ -24,12 +24,19 @@ fences (inserted before every prefix-sum) flush it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.xmtc import ir as IR
-from repro.xmtc.optimizer.cfg import split_blocks
+from repro.xmtc.analysis.cfg import split_blocks
+from repro.xmtc.analysis.dataflow import block_def_positions
 
 _PURE_ADDR = (IR.Bin, IR.Un, IR.Mov, IR.La, IR.FrameAddr)
+
+#: instructions that drain the TCU prefetch buffer: the compiler fence
+#: (and the prefix-sums it protects) flush pending prefetches, so a
+#: ``pref`` issued at the block top for a load consumed *after* one of
+#: these is a wasted buffer slot
+_BARRIERS = (IR.FenceIR, IR.PsIR, IR.PsmIR)
 
 
 def _block_prefetch(instrs: List[IR.IRInstr], start: int, end: int,
@@ -37,13 +44,9 @@ def _block_prefetch(instrs: List[IR.IRInstr], start: int, end: int,
     """Rewrite one block; returns the new block body or None (no change)."""
     block = instrs[start:end]
     # map: temp id -> position of its (unique) definition in this block
-    def_pos: Dict[int, int] = {}
-    multiply_defined: Set[int] = set()
-    for i, ins in enumerate(block):
-        for d in ins.defs():
-            if d.id in def_pos:
-                multiply_defined.add(d.id)
-            def_pos[d.id] = i
+    def_pos, multiply_defined = block_def_positions(instrs, start, end)
+    barrier_at = next((i for i, ins in enumerate(block)
+                       if isinstance(ins, _BARRIERS)), len(block))
 
     def pure_chain(temp: IR.Temp, barrier: int) -> Optional[Set[int]]:
         """Positions of the pure instruction chain computing ``temp``
@@ -81,7 +84,7 @@ def _block_prefetch(instrs: List[IR.IRInstr], start: int, end: int,
     moved: Set[int] = set()
     prefs: List[IR.Pref] = []
     for i, ins in enumerate(block):
-        if len(prefs) >= degree:
+        if len(prefs) >= degree or i > barrier_at:
             break
         if not isinstance(ins, IR.Load) or ins.volatile or ins.readonly:
             continue

@@ -6,52 +6,69 @@ programmers can explicitly load data into the read-only caches if
 needed" (Section IV-C).  We implement that planned revision as an
 opt-in pass (``ro_cache=True``): a load inside a spawn body is routed
 through the cluster read-only cache (``lwro``) when its target is a
-directly-accessed global object that no store or ``psm`` anywhere in the
-program may write -- checked with the lowering-provided alias classes
-(``g:<name>`` / ``l:<name>`` / unknown-pointer).  A single
-unknown-target store in parallel code disables the pass (sound default;
-the paper's "programmers can explicitly..." escape hatch remains the
-``volatile``-free direct-global idiom).
+directly-accessed global object that no *parallel* code may write.
+
+Writability is answered by the shared side-effect summaries
+(:mod:`repro.xmtc.analysis.summaries`): stores in purely serial code --
+outside every spawn body and not reachable from one -- do not matter,
+because the RO caches are invalidated at every spawn and join, so a
+value cached inside one spawn region cannot be stale with respect to
+serial stores that necessarily happened before the spawn or will happen
+after the join.  Only a store (or ``psm``) through an *unknown* pointer
+executing in parallel context still disables the pass unit-wide; when
+that happens the pass reports the disabling site as a
+``ro.disabled-store`` lint note instead of bailing silently.
 """
 
 from __future__ import annotations
 
-from typing import Set, Tuple
+from typing import List, Optional
 
 from repro.xmtc import ir as IR
+from repro.xmtc.analysis.diagnostics import Diagnostic
+from repro.xmtc.analysis.summaries import UnitSummaries, compute_summaries
 
 
-def _written_origins(unit: IR.IRUnit) -> Tuple[Set[str], bool]:
-    written: Set[str] = set()
-    unknown_parallel_store = False
-    for func in unit.functions:
-        for ins in IR.walk_instrs(func.body):
-            if isinstance(ins, (IR.Store, IR.PsmIR)):
-                origin = getattr(ins, "origin", None)
-                if origin is not None:
-                    written.add(origin)
-                else:
-                    unknown_parallel_store = True
-    return written, unknown_parallel_store
-
-
-def run(unit: IR.IRUnit) -> int:
+def run(unit: IR.IRUnit, summaries: Optional[UnitSummaries] = None,
+        notes: Optional[List[Diagnostic]] = None) -> int:
     """Convert eligible spawn-body loads to read-only-cache loads.
-    Returns the number of converted loads."""
-    written, unknown = _written_origins(unit)
-    if unknown:
+    Returns the number of converted loads; appends lint notes (e.g. the
+    disabling store when the pass bails) to ``notes`` if given."""
+    if summaries is None:
+        summaries = compute_summaries(unit)
+    unknown = summaries.unknown_parallel_store()
+    if unknown is not None:
+        if notes is not None:
+            loc = (f"line {unknown.line}" if unknown.line
+                   else "an unknown site")
+            notes.append(Diagnostic(
+                check="ro.disabled-store", severity="note",
+                message=(f"read-only-cache routing disabled: a store "
+                         f"through an unknown pointer in parallel code "
+                         f"(function '{unknown.function}', {loc}) could "
+                         f"target any global"),
+                line=unknown.line, function=unknown.function,
+                hint="store through a named global, or keep the pointer "
+                     "write out of spawn-reachable code"))
         return 0
+    written = summaries.written_origins_parallel()
     converted = 0
     for func in unit.functions:
-        for ins in IR.walk_instrs(func.body):
+        for ins in IR.walk_instrs(func.body, include_spawn_bodies=False):
             if isinstance(ins, IR.SpawnIR):
-                for body_ins in IR.walk_instrs(ins.body):
-                    if (isinstance(body_ins, IR.Load)
-                            and not body_ins.volatile
-                            and not body_ins.readonly
-                            and body_ins.origin is not None
-                            and body_ins.origin.startswith("g:")
-                            and body_ins.origin not in written):
-                        body_ins.readonly = True
-                        converted += 1
+                converted += _route_loads(ins.body, written)
+    return converted
+
+
+def _route_loads(instrs: List[IR.IRInstr], written) -> int:
+    converted = 0
+    for ins in IR.walk_instrs(list(instrs)):
+        if (isinstance(ins, IR.Load)
+                and not ins.volatile
+                and not ins.readonly
+                and ins.origin is not None
+                and ins.origin.startswith("g:")
+                and ins.origin not in written):
+            ins.readonly = True
+            converted += 1
     return converted

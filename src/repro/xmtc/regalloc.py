@@ -27,7 +27,7 @@ from repro.isa.registers import (
 )
 from repro.xmtc import ir as IR
 from repro.xmtc.errors import CompileError, RegisterSpillError
-from repro.xmtc.optimizer.cfg import liveness, spawn_live_ins
+from repro.xmtc.analysis.dataflow import liveness, spawn_live_ins
 
 #: registers reserved as codegen/spill scratch
 SCRATCH = (24, 25)  # $t8, $t9
