@@ -6,6 +6,8 @@ from repro.sim.config import XMTConfig, fpga64, chip1024, from_file, tiny
 from repro.sim.engine import Actor, ClockDomain, Event, Scheduler, TimedQueue
 from repro.sim.functional import FunctionalResult, FunctionalSimulator
 from repro.sim.machine import CycleResult, Simulator
+from repro.sim.observability import (CycleProfiler, EventStream,
+                                     MetricsRegistry, Observability)
 from repro.sim.sampling import PhaseSampler, SampledSimulator
 from repro.sim.trace import Trace
 
@@ -27,4 +29,8 @@ __all__ = [
     "PhaseSampler",
     "SampledSimulator",
     "Trace",
+    "Observability",
+    "EventStream",
+    "MetricsRegistry",
+    "CycleProfiler",
 ]

@@ -155,6 +155,7 @@ class CacheModule:
     def tick(self, cycle: int) -> None:
         now = self.machine.scheduler.now
         stats = self.machine.stats
+        obs = self.machine.obs
         # release responses whose latency elapsed
         while self._delayed and self._delayed[0][0] <= now:
             _, _, pkg = heapq.heappop(self._delayed)
@@ -172,17 +173,23 @@ class CacheModule:
                 stats.inc("cache.hit")
                 self._perform(pkg)
                 self._respond(now, pkg, self.hit_latency)
+                if obs is not None:
+                    obs.cache_access(self, pkg, now, "hit")
             elif line in self.pending_misses:
                 # merge with the in-flight fill (buffered concurrent requests)
                 self.misses += 1
                 stats.inc("cache.miss")
                 stats.inc("cache.mshr_merge")
                 self.pending_misses[line].append(pkg)
+                if obs is not None:
+                    obs.cache_access(self, pkg, now, "mshr")
             else:
                 self.misses += 1
                 stats.inc("cache.miss")
                 self.pending_misses[line] = [pkg]
                 self.machine.dram_request(self, line, pkg.addr)
+                if obs is not None:
+                    obs.cache_access(self, pkg, now, "miss")
 
     # -- DRAM fill callback -------------------------------------------------------
 

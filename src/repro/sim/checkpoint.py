@@ -95,10 +95,11 @@ def save_bytes(machine: Machine) -> bytes:
 
 def _detach_unpicklables(machine: Machine):
     sched = machine.scheduler
-    detached = (machine.trace, machine.activity_plugins,
+    detached = (machine.trace, machine.obs, machine.activity_plugins,
                 machine.filter_plugins, machine.filter_hook,
                 sched.check_hook, sched._heap, sched._cancelled)
     machine.trace = None
+    machine.obs = None
     machine.activity_plugins = []
     machine.filter_plugins = []
     machine.filter_hook = None
@@ -116,7 +117,7 @@ def _detach_unpicklables(machine: Machine):
 
 def _reattach(machine: Machine, detached) -> None:
     sched = machine.scheduler
-    (machine.trace, machine.activity_plugins,
+    (machine.trace, machine.obs, machine.activity_plugins,
      machine.filter_plugins, machine.filter_hook,
      sched.check_hook, sched._heap, sched._cancelled) = detached
 

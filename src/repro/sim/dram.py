@@ -54,6 +54,7 @@ class DRAMPort:
         if self.queue:
             module, line, writeback = self.queue.popleft()
             self.machine.note_progress()
+            ready = now
             if writeback:
                 # write-backs consume bandwidth but need no completion event
                 self.writes += 1
@@ -64,6 +65,9 @@ class DRAMPort:
                 self._seq += 1
                 ready = now + self.latency * self.domain.period
                 heapq.heappush(self._in_flight, (ready, self._seq, module, line))
+            obs = self.machine.obs
+            if obs is not None:
+                obs.dram_access(self, line, now, ready, writeback)
 
     def idle(self) -> bool:
         return not self.queue and not self._in_flight

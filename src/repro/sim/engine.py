@@ -155,6 +155,16 @@ class Scheduler:
         """Live (non-cancelled) event count -- O(1)."""
         return len(self._heap) - self._cancelled
 
+    def metrics_snapshot(self) -> dict:
+        """Engine bookkeeping for the observability metrics export."""
+        return {
+            "now_ps": self.now,
+            "events_processed": self.events_processed,
+            "pending_events": self.pending,
+            "heap_size": len(self._heap),
+            "cancelled_events": self._cancelled,
+        }
+
     # -- main loop ------------------------------------------------------------
 
     def run(self, until: Optional[int] = None,

@@ -49,6 +49,7 @@ class Interconnect:
             return  # quiet cycle: nothing queued anywhere on the network
         now = machine.scheduler.now
         stats = machine.stats
+        obs = machine.obs
 
         # 1. deliver packages that finished the send traversal
         to_cache = self._to_cache
@@ -77,8 +78,10 @@ class Interconnect:
                                             self._line_shift)
                 self.packages_sent += 1
                 stats.inc("icn.send")
-                heapq.heappush(to_cache,
-                               (self._arrival(now, pkg, "send"), pkg.seq, pkg))
+                arrival = self._arrival(now, pkg, "send")
+                heapq.heappush(to_cache, (arrival, pkg.seq, pkg))
+                if obs is not None:
+                    obs.icn_sent(pkg, now, arrival)
 
         # 4. drain cache-module responses into the return network
         for module in machine.cache_modules:
@@ -89,8 +92,12 @@ class Interconnect:
                 machine.icn_pending -= 1
                 self.packages_returned += 1
                 stats.inc("icn.return")
-                heapq.heappush(to_cluster,
-                               (self._arrival(now, pkg, "return"), pkg.seq, pkg))
+                arrival = self._arrival(now, pkg, "return")
+                heapq.heappush(to_cluster, (arrival, pkg.seq, pkg))
+                if obs is not None:
+                    obs.icn_returned(pkg, now, arrival)
+        if obs is not None:
+            obs.icn_occupancy(len(to_cache), len(to_cluster))
 
     def idle(self) -> bool:
         return not self._to_cache and not self._to_cluster

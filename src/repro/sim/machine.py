@@ -119,7 +119,7 @@ class Machine:
     """All cycle-accurate components wired to one functional model."""
 
     def __init__(self, program: Program, config: Optional[XMTConfig] = None,
-                 plugins=(), trace=None):
+                 plugins=(), trace=None, observability=None):
         self.program = program
         self.config = config or fpga64()
         self.config.validate()
@@ -132,7 +132,19 @@ class Machine:
             self.global_regs[index] = value
         self.stats = Stats()
         self.output: List[str] = []
+        #: observability facade (span tracing / metrics / profiler); None
+        #: keeps every instrumentation point on its no-op fast path.  A
+        #: plain text Trace rides the same hook stream as a renderer.
+        self.obs = observability
         self.trace = trace
+        if trace is not None:
+            if self.obs is None:
+                from repro.sim.observability import Observability
+
+                self.obs = Observability()
+            self.obs.attach_trace(trace)
+        if self.obs is not None:
+            self.obs.attach(self)
         self.halted = False
         self.halt_time = 0
         self._started = False
@@ -262,12 +274,14 @@ class Machine:
         """ICN return network hands a response to its destination."""
         if pkg.tcu_id < 0:
             self.master.deliver(now, pkg)
+            if self.obs is not None:
+                self.obs.package_replied(pkg, now)
             return
         if pkg.kind == "ro_fill":
             self.clusters[pkg.cluster_id].ro_cache.fill(pkg.addr)
         self.tcus[pkg.tcu_id].deliver(now, pkg)
-        if self.trace is not None:
-            self.trace.on_response(self, pkg, now)
+        if self.obs is not None:
+            self.obs.package_replied(pkg, now)
 
     def dram_request(self, module, line: int, addr: int) -> None:
         port = self.dram_ports[line % len(self.dram_ports)]
@@ -295,6 +309,8 @@ class Machine:
         self.master.cache.invalidate()
         self.master.deliver(resume_time, ("resume", region.join_index + 1))
         self.stats.inc("spawn.joined")
+        if self.obs is not None:
+            self.obs.spawn_ended(region, resume_time)
         if self.sampler is not None:
             self.sampler.end_measure(region.spawn_index, resume_time,
                                      self.config.cluster_period)
@@ -405,8 +421,9 @@ class Simulator:
     """
 
     def __init__(self, program: Program, config: Optional[XMTConfig] = None,
-                 plugins=(), trace=None):
-        self.machine = Machine(program, config, plugins=plugins, trace=trace)
+                 plugins=(), trace=None, observability=None):
+        self.machine = Machine(program, config, plugins=plugins, trace=trace,
+                               observability=observability)
 
     @property
     def config(self) -> XMTConfig:

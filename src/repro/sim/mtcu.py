@@ -96,7 +96,7 @@ class MasterTCU(ProcessorBase):
         if self.outstanding_loads or self.outstanding_stores:
             # memory operations are ordered with respect to the beginning
             # of the spawn: drain the write buffer first
-            self._stat("stall.spawn_drain")
+            self._stall("spawn_drain")
             return
         self._count_issue(ins)
         machine = self.machine
@@ -134,7 +134,7 @@ class MasterTCU(ProcessorBase):
 
     def _issue_halt(self, now: int, ins: I.Halt) -> None:
         if self.outstanding_loads or self.outstanding_stores:
-            self._stat("stall.halt_drain")
+            self._stall("halt_drain")
             return
         self._count_issue(ins)
         self.halted = True
@@ -149,10 +149,10 @@ class MasterTCU(ProcessorBase):
         if not self.active or self.halted:
             return
         if self.wait_store_ack:
-            self._stat("stall.store_ack")
+            self._stall("store_ack")
             return
         if self.stall_until > now:
-            self._stat("stall.latency")
+            self._stall("latency")
             # a timed stall (MDU latency, sampling fast-forward) always
             # ends; keep the watchdog quiet through long estimates
             self.machine.note_progress()

@@ -1,0 +1,41 @@
+"""End-to-end observability for the cycle-accurate simulator.
+
+Three cooperating pieces behind one ``machine.obs`` facade:
+
+- :mod:`~repro.sim.observability.events` -- structured span tracing of
+  the package life cycle and spawn regions, exportable as JSON Lines or
+  Chrome trace-event format (Perfetto-loadable);
+- :mod:`~repro.sim.observability.metrics` -- counters, queue-occupancy
+  gauges and memory-latency histograms with a JSON export;
+- :mod:`~repro.sim.observability.profiler` -- per-instruction cycle and
+  stall attribution folded into a per-XMTC-source-line hotspot report.
+"""
+
+from repro.sim.observability.core import Observability
+from repro.sim.observability.events import EventStream, SpanEvent
+from repro.sim.observability.metrics import (
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    export_metrics,
+    write_metrics,
+)
+from repro.sim.observability.profiler import (
+    CycleProfiler,
+    load_profile,
+    render_profile,
+)
+
+__all__ = [
+    "Observability",
+    "EventStream",
+    "SpanEvent",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "export_metrics",
+    "write_metrics",
+    "CycleProfiler",
+    "load_profile",
+    "render_profile",
+]

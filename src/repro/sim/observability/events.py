@@ -1,0 +1,175 @@
+"""Structured span/event stream (the machine-readable face of tracing).
+
+The paper's Section III-E traces are line-oriented text; this module is
+the structured event stream underneath them.  Instrumentation points in
+the machine (TCU issue slots, the ICN, cache modules, DRAM ports, the
+spawn unit) emit :class:`SpanEvent` records -- begin/end spans, complete
+spans with a known duration, and instants -- onto one
+:class:`EventStream`.  The text :class:`~repro.sim.trace.Trace` levels
+are renderers over the same hook stream; the stream itself exports as
+
+- **JSON Lines** (one event object per line), and
+- **Chrome trace-event format**, which loads directly in Perfetto or
+  ``chrome://tracing`` with one track per TCU and per cycle-accurate
+  module.
+
+Timestamps are simulated picoseconds (the engine's native unit); the
+Chrome exporter converts to the format's microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, IO, Iterable, List, Optional
+
+#: event phases (a subset of the Chrome trace-event phases)
+PH_BEGIN = "B"
+PH_END = "E"
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+
+
+class SpanEvent:
+    """One structured trace event.
+
+    ``ts``/``dur`` are simulated picoseconds; ``track`` names the
+    timeline the event belongs to (``master``, ``tcu0003``, ``cache05``,
+    ``dram0``, ``icn.send``, ``spawn``, ...).
+    """
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "track", "args")
+
+    def __init__(self, name: str, cat: str, ph: str, ts: int,
+                 track: str, dur: int = 0,
+                 args: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.track = track
+        self.args = args
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"name": self.name, "cat": self.cat,
+                             "ph": self.ph, "ts": self.ts,
+                             "track": self.track}
+        if self.ph == PH_COMPLETE:
+            d["dur"] = self.dur
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"<event {self.ph} {self.cat}:{self.name} "
+                f"@{self.ts}ps on {self.track}>")
+
+
+class EventStream:
+    """Collects span events; keeps a bounded ring of the most recent.
+
+    ``retain=False`` keeps only the ring buffer (enough for diagnostic
+    dumps) without accumulating a full trace -- the mode the resilience
+    layer uses when no ``--trace-out`` was requested.
+    """
+
+    def __init__(self, retain: bool = True, recent: int = 64,
+                 instructions: bool = True):
+        self.events: Optional[List[SpanEvent]] = [] if retain else None
+        self.recent: "deque[SpanEvent]" = deque(maxlen=recent)
+        #: emit one instant per instruction issue (the densest category;
+        #: disable for long runs where only the memory path matters)
+        self.instructions = instructions
+        self.emitted = 0
+
+    def __len__(self) -> int:
+        return len(self.events) if self.events is not None else len(self.recent)
+
+    def emit(self, event: SpanEvent) -> None:
+        self.emitted += 1
+        if self.events is not None:
+            self.events.append(event)
+        self.recent.append(event)
+
+    # -- convenience constructors -------------------------------------------
+
+    def instant(self, name: str, cat: str, ts: int, track: str,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        self.emit(SpanEvent(name, cat, PH_INSTANT, ts, track, args=args))
+
+    def complete(self, name: str, cat: str, ts: int, dur: int, track: str,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        self.emit(SpanEvent(name, cat, PH_COMPLETE, ts, track, dur=dur,
+                            args=args))
+
+    def begin(self, name: str, cat: str, ts: int, track: str,
+              args: Optional[Dict[str, Any]] = None) -> None:
+        self.emit(SpanEvent(name, cat, PH_BEGIN, ts, track, args=args))
+
+    def end(self, name: str, cat: str, ts: int, track: str) -> None:
+        self.emit(SpanEvent(name, cat, PH_END, ts, track))
+
+    # -- exports -------------------------------------------------------------
+
+    def iter_events(self) -> Iterable[SpanEvent]:
+        if self.events is not None:
+            return iter(self.events)
+        return iter(self.recent)
+
+    def write_jsonl(self, fh: IO[str]) -> int:
+        """One JSON object per line; returns the number written."""
+        n = 0
+        for event in self.iter_events():
+            fh.write(json.dumps(event.to_dict(), sort_keys=True))
+            fh.write("\n")
+            n += 1
+        return n
+
+    def chrome_payload(self, process_name: str = "xmtsim") -> Dict[str, Any]:
+        """The trace-event JSON object Perfetto/chrome://tracing load.
+
+        Tracks map to threads of one process: each distinct ``track``
+        string becomes a ``tid`` with a ``thread_name`` metadata record,
+        in sorted track order so TCUs group together in the UI.
+        """
+        events = list(self.iter_events())
+        tracks = sorted({e.track for e in events})
+        tid_of = {track: i + 1 for i, track in enumerate(tracks)}
+        out: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+            "args": {"name": process_name},
+        }]
+        for track in tracks:
+            out.append({"name": "thread_name", "ph": "M", "pid": 1,
+                        "tid": tid_of[track], "args": {"name": track}})
+            out.append({"name": "thread_sort_index", "ph": "M", "pid": 1,
+                        "tid": tid_of[track],
+                        "args": {"sort_index": tid_of[track]}})
+        for e in events:
+            rec: Dict[str, Any] = {
+                "name": e.name, "cat": e.cat, "ph": e.ph,
+                "ts": e.ts / 1e6,  # ps -> us
+                "pid": 1, "tid": tid_of[e.track],
+            }
+            if e.ph == PH_COMPLETE:
+                rec["dur"] = e.dur / 1e6
+            elif e.ph == PH_INSTANT:
+                rec["s"] = "t"  # thread-scoped instant
+            if e.args:
+                rec["args"] = e.args
+            out.append(rec)
+        return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+    def write_chrome(self, fh: IO[str], process_name: str = "xmtsim") -> None:
+        json.dump(self.chrome_payload(process_name), fh)
+
+    def write(self, path: str, fmt: str = "jsonl") -> None:
+        """Write the stream to ``path`` as ``jsonl`` or ``chrome``."""
+        if fmt not in ("jsonl", "chrome"):
+            raise ValueError(f"unknown trace format {fmt!r}")
+        with open(path, "w") as fh:
+            if fmt == "chrome":
+                self.write_chrome(fh)
+            else:
+                self.write_jsonl(fh)

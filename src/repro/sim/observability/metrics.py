@@ -1,0 +1,173 @@
+"""Metrics registry: counters, gauges and histograms over the raw stats.
+
+:class:`~repro.sim.stats.Stats` keeps flat integer counters; this layer
+adds the two shapes counters cannot express --
+
+- **gauges**: instantaneous levels with a high-water mark (queue
+  occupancies in the ICN, cache modules and DRAM ports), and
+- **histograms**: bucketed distributions (memory-request latency per
+  cache module, computed from ``pkg.issue_time`` when the reply reaches
+  its TCU)
+
+-- plus per-spawn-region cycle rollups, and one machine-readable JSON
+export (``xmtsim --metrics-out``) covering all of them alongside the
+plain counters, so architectural studies diff runs without scraping
+text reports.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Dict, IO, List, Optional
+
+#: default geometric bucket bounds (values in *cycles*): 1, 2, 4, ...
+DEFAULT_BOUNDS = tuple(2 ** k for k in range(15))
+
+
+class Histogram:
+    """Bucketed distribution with count/sum/min/max.
+
+    ``bounds`` are inclusive upper bucket edges; one implicit overflow
+    bucket catches everything beyond the last edge.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds=DEFAULT_BOUNDS):
+        if list(bounds) != sorted(bounds) or not bounds:
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max,
+                "mean": round(self.mean, 3)}
+
+
+class Gauge:
+    """An instantaneous level plus its high-water mark."""
+
+    __slots__ = ("value", "max")
+
+    def __init__(self):
+        self.value = 0
+        self.max = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value, "max": self.max}
+
+
+class MetricsRegistry:
+    """Named gauges/histograms/counters plus spawn-region rollups."""
+
+    def __init__(self):
+        self.histograms: Dict[str, Histogram] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.counters: Dict[str, int] = {}
+        #: spawn_index -> {"src_line", "count", "cycles"}
+        self.spawn_regions: Dict[int, Dict[str, int]] = {}
+
+    # -- accessors (get-or-create) ------------------------------------------
+
+    def histogram(self, name: str, bounds=DEFAULT_BOUNDS) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(bounds)
+        return h
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def set_gauge(self, name: str, value) -> None:
+        self.gauge(name).set(value)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def spawn_rollup(self, spawn_index: int, src_line: int,
+                     cycles: int) -> None:
+        row = self.spawn_regions.get(spawn_index)
+        if row is None:
+            row = self.spawn_regions[spawn_index] = {
+                "src_line": src_line, "count": 0, "cycles": 0}
+        row["count"] += 1
+        row["cycles"] += cycles
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        regions: List[Dict[str, Any]] = []
+        for spawn_index in sorted(self.spawn_regions):
+            row = self.spawn_regions[spawn_index]
+            regions.append({
+                "spawn_index": spawn_index,
+                "src_line": row["src_line"],
+                "count": row["count"],
+                "cycles_total": row["cycles"],
+                "cycles_mean": round(row["cycles"] / row["count"], 1)
+                if row["count"] else 0,
+            })
+        return {
+            "counters": dict(self.counters),
+            "gauges": {k: g.to_dict()
+                       for k, g in sorted(self.gauges.items())},
+            "histograms": {k: h.to_dict()
+                           for k, h in sorted(self.histograms.items())},
+            "spawn_regions": regions,
+        }
+
+
+def export_metrics(machine) -> Dict[str, Any]:
+    """The full ``--metrics-out`` payload for one machine.
+
+    Merges the machine's raw :class:`~repro.sim.stats.Stats` counters
+    with the registry's gauges/histograms/rollups and the scheduler's
+    own bookkeeping; the ``schema`` field versions the layout.
+    """
+    obs = machine.obs
+    registry = (obs.metrics if obs is not None and obs.metrics is not None
+                else MetricsRegistry())
+    payload = registry.to_dict()
+    payload["schema"] = "xmtsim-metrics/1"
+    payload["config"] = {
+        "n_tcus": machine.config.n_tcus,
+        "n_clusters": machine.config.n_clusters,
+        "n_cache_modules": machine.config.n_cache_modules,
+        "n_dram_ports": machine.config.n_dram_ports,
+    }
+    payload["stats"] = machine.stats.snapshot()
+    payload["scheduler"] = machine.scheduler.metrics_snapshot()
+    return payload
+
+
+def write_metrics(machine, fh: IO[str]) -> None:
+    json.dump(export_metrics(machine), fh, indent=2, sort_keys=True)
+    fh.write("\n")

@@ -50,6 +50,10 @@ class DiagnosticDump:
     caches: Dict[str, int] = field(default_factory=dict)
     #: aggregate DRAM port occupancy
     dram: Dict[str, int] = field(default_factory=dict)
+    #: tail of the observability event stream (when tracing was on)
+    recent_events: List[Dict[str, object]] = field(default_factory=list)
+    #: current observability gauge values (when metrics were on)
+    gauges: Dict[str, object] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line digest (what the CLI prints on a non-zero exit)."""
@@ -97,6 +101,18 @@ class DiagnosticDump:
             f"{k}={v}" for k, v in sorted(self.caches.items())))
         lines.append("dram: " + ", ".join(
             f"{k}={v}" for k, v in sorted(self.dram.items())))
+        if self.gauges:
+            lines.append("gauges: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.gauges.items())))
+        if self.recent_events:
+            lines.append(f"last {len(self.recent_events)} trace events "
+                         "(newest last):")
+            for event in self.recent_events[-8:]:
+                args = event.get("args") or {}
+                extras = " ".join(f"{k}={v}" for k, v in args.items())
+                lines.append(f"  {event.get('ts'):>12} {event.get('track')} "
+                             f"{event.get('ph')} {event.get('cat')}:"
+                             f"{event.get('name')} {extras}".rstrip())
         return "\n".join(lines)
 
     @staticmethod
@@ -143,6 +159,10 @@ def collect(machine, reason: str) -> DiagnosticDump:
         for key, value in port.occupancy().items():
             dram[key] = dram.get(key, 0) + value
 
+    obs = machine.obs
+    recent_events = obs.recent_events() if obs is not None else []
+    gauges = obs.gauge_values() if obs is not None else {}
+
     return DiagnosticDump(
         reason=reason,
         time_ps=scheduler.now,
@@ -155,4 +175,6 @@ def collect(machine, reason: str) -> DiagnosticDump:
         icn=icn,
         caches=caches,
         dram=dram,
+        recent_events=recent_events,
+        gauges=gauges,
     )

@@ -65,6 +65,9 @@ class SpawnUnit:
         total = self.start_overhead + broadcast_cycles
         self.machine.stats.inc("spawn.broadcast_cycles", broadcast_cycles)
         self._release_time = now + total * self.domain.period
+        if self.machine.obs is not None:
+            self.machine.obs.spawn_began(region, now,
+                                         max(0, high - low + 1))
 
     def tcu_parked(self) -> None:
         """A TCU finished (failed chkid + drained memory operations)."""

@@ -82,22 +82,23 @@ class IntervalSeries:
     def __init__(self) -> None:
         self.times: List[int] = []
         self.snapshots: List[Dict[str, int]] = []
+        #: per-interval deltas, maintained incrementally at record time
+        #: (recomputing the full prefix on every series()/deltas() call
+        #: made long activity profiles quadratic in snapshot count)
+        self._deltas: List[Dict[str, int]] = []
 
     def record(self, time: int, snapshot: Dict[str, int]) -> None:
+        prev = self.snapshots[-1] if self.snapshots else {}
+        self._deltas.append(diff_snapshots(prev, snapshot))
         self.times.append(time)
         self.snapshots.append(snapshot)
 
     def deltas(self) -> List[Dict[str, int]]:
-        out = []
-        prev: Dict[str, int] = {}
-        for snap in self.snapshots:
-            out.append(diff_snapshots(prev, snap))
-            prev = snap
-        return out
+        return list(self._deltas)
 
     def series(self, key: str) -> List[int]:
         """Per-interval deltas of a single counter."""
-        return [d.get(key, 0) for d in self.deltas()]
+        return [d.get(key, 0) for d in self._deltas]
 
     def __len__(self) -> int:
         return len(self.times)

@@ -114,6 +114,14 @@ class ProcessorBase:
     def _stat(self, key: str, n: int = 1) -> None:
         self.machine.stats.inc(f"{self.kind}.{key}", n)
 
+    def _stall(self, cause: str) -> None:
+        """Count a wasted issue slot; the profiler charges the cycle to
+        the instruction the processor is blocked at (``core.pc``)."""
+        machine = self.machine
+        machine.stats.inc(f"{self.kind}.stall.{cause}")
+        if machine.obs is not None:
+            machine.obs.processor_stalled(self, cause)
+
     def _sources_ready(self, ins: I.Instruction) -> bool:
         pending = self.pending_regs
         if not pending:
@@ -185,7 +193,7 @@ class ProcessorBase:
         if self._retry is not None:
             pkg, ins = self._retry
             if not self._push_package(now, pkg):
-                self._stat("stall.send_queue")
+                self._stall("send_queue")
                 return
             self._retry = None
             self._apply_mem_issue(now, pkg, ins)
@@ -193,16 +201,17 @@ class ProcessorBase:
 
         ins = self._check_fetch(core.pc)
         if not self._sources_ready(ins):
-            self._stat("stall.memory")
+            self._stall("memory")
             return
         self._dispatch(now, ins)
 
     def _count_issue(self, ins: I.Instruction) -> None:
         self.instructions_issued += 1
-        self.machine.count_instruction(ins)
-        self.machine.note_progress()
-        if self.machine.trace is not None:
-            self.machine.trace.on_issue(self, ins)
+        machine = self.machine
+        machine.count_instruction(ins)
+        machine.note_progress()
+        if machine.obs is not None:
+            machine.obs.instruction_issued(self, ins)
 
     # -- dispatch ------------------------------------------------------------------
     #
@@ -256,7 +265,7 @@ class ProcessorBase:
         cfg = self.machine.config
         latency = cfg.mdu_latency if ins.fu == I.FU_MDU else cfg.fpu_latency
         if not self._try_issue_fu(ins.fu, now, latency):
-            self._stat("stall.fu")
+            self._stall("fu")
             return
         self._count_issue(ins)
         try:
@@ -346,7 +355,7 @@ class ProcessorBase:
 
     def _h_fence(self, now: int, ins: I.Fence) -> None:
         if self.outstanding_loads or self.outstanding_stores:
-            self._stat("stall.fence")
+            self._stall("fence")
             return
         self._count_issue(ins)
         self._on_fence(now)
@@ -402,7 +411,7 @@ class ProcessorBase:
         pkg.src_line = ins.src_line
         if not self._push_package(now, pkg):
             self._retry = (pkg, ins)
-            self._stat("stall.send_queue")
+            self._stall("send_queue")
             return
         self._apply_mem_issue(now, pkg, ins)
 
@@ -688,16 +697,16 @@ class TCU(ProcessorBase):
                 self.active = False
                 self.machine.spawn_unit.tcu_parked()
             else:
-                self._stat("stall.drain")
+                self._stall("drain")
             return
         if self.wait_store_ack:
-            self._stat("stall.store_ack")
+            self._stall("store_ack")
             return
         if self.wait_load:
-            self._stat("stall.memory")
+            self._stall("memory")
             return
         if self.stall_until > now:
-            self._stat("stall.latency")
+            self._stall("latency")
             return
         if self.region is not None and self._retry is None:
             pc = self.core.pc

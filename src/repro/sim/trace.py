@@ -6,6 +6,14 @@ displayed.  The more detailed cycle-accurate level reports the
 cycle-accurate components through which the instruction and data
 packages travel.  Traces can be limited to specific instructions in the
 assembly input and/or to specific TCUs."
+
+A :class:`Trace` is a *text renderer* over the observability hook
+stream: the machine dispatches every instruction issue and package reply
+through its :class:`~repro.sim.observability.Observability` facade,
+which feeds registered traces (this module) alongside the structured
+:class:`~repro.sim.observability.EventStream` that backs the
+machine-readable ``--trace-out`` exports.  Both views see the same
+underlying events; this one formats them for humans.
 """
 
 from __future__ import annotations
@@ -34,9 +42,17 @@ class Trace:
         self.records: List[str] = []
         self.sink = sink
         self.limit = limit    # 0 = unlimited
+        self.truncated = False
 
     def _want(self, tcu_id: int, op: str) -> bool:
-        if self.limit and len(self.records) >= self.limit:
+        if self.limit and not self.truncated \
+                and len(self.records) >= self.limit:
+            # one explicit marker so a capped trace is never mistaken
+            # for a complete one (later records are silently dropped)
+            self.truncated = True
+            self._emit(f"... trace truncated: limit={self.limit} reached, "
+                       "further records dropped")
+        if self.truncated:
             return False
         if self.tcus is not None and tcu_id not in self.tcus:
             return False

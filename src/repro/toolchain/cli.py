@@ -210,6 +210,37 @@ def _parse_values(text: str):
     return out
 
 
+def _write_observability(args, obs, machine) -> int:
+    """Write --trace-out/--metrics-out/--profile outputs; 0 on success."""
+    import json as _json
+
+    from repro.sim.observability import render_profile, write_metrics
+
+    try:
+        if args.trace_out:
+            obs.events.write(args.trace_out, args.trace_format)
+            print(f"xmtsim: wrote {args.trace_format} trace to "
+                  f"{args.trace_out}", file=sys.stderr)
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as fh:
+                write_metrics(machine, fh)
+            print(f"xmtsim: wrote metrics to {args.metrics_out}",
+                  file=sys.stderr)
+        data = obs.profiler.to_data() if obs.profiler is not None else None
+        if args.profile_out:
+            with open(args.profile_out, "w") as fh:
+                _json.dump(data, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"xmtsim: wrote profile to {args.profile_out}",
+                  file=sys.stderr)
+        if args.profile:
+            print(render_profile(data), file=sys.stderr)
+    except OSError as exc:
+        print(f"xmtsim: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def xmtsim_main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="xmtsim", description="cycle-accurate XMT simulator")
@@ -245,6 +276,31 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                         help="functional mode: track per-address "
                              "writer/reader thread ids inside spawn "
                              "regions and report dynamic races")
+    obsgroup = parser.add_argument_group(
+        "observability (cycle mode)",
+        "structured span traces, metrics export and the source-level "
+        "cycle profiler (see MANUAL.md section 4.6)")
+    obsgroup.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="write the structured span-event stream "
+                               "(instruction issues, ICN transits, cache "
+                               "accesses, DRAM reads, memory round-trips, "
+                               "spawn regions) to PATH")
+    obsgroup.add_argument("--trace-format", default="jsonl",
+                          choices=("jsonl", "chrome"),
+                          help="--trace-out format: 'jsonl' = one event "
+                               "per line; 'chrome' = Chrome trace-event "
+                               "JSON (load in Perfetto / chrome://tracing)")
+    obsgroup.add_argument("--metrics-out", default=None, metavar="PATH",
+                          help="write counters, queue-occupancy gauges, "
+                               "memory-latency histograms and spawn-region "
+                               "rollups to PATH as JSON")
+    obsgroup.add_argument("--profile", action="store_true",
+                          help="attribute every issue and stall cycle to "
+                               "its XMTC source line and print the "
+                               "hotspot report")
+    obsgroup.add_argument("--profile-out", default=None, metavar="PATH",
+                          help="write the raw profile to PATH as JSON "
+                               "(render later with 'xmt-prof report')")
     resilience = parser.add_argument_group(
         "resilience (cycle mode)",
         "watchdog, fault injection and checkpoint-based recovery; "
@@ -351,6 +407,28 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
         trace = Trace(level=args.trace, limit=args.trace_limit,
                       sink=lambda line: print(line, file=sys.stderr))
 
+    observability = None
+    want_profile = args.profile or args.profile_out is not None
+    if args.trace_out or args.metrics_out or want_profile:
+        if args.mode != "cycle":
+            print("xmtsim: --trace-out/--metrics-out/--profile require "
+                  "--mode cycle", file=sys.stderr)
+            return 2
+        from repro.sim.observability import (
+            CycleProfiler,
+            EventStream,
+            MetricsRegistry,
+            Observability,
+        )
+
+        xmtc_source = (None if args.program.endswith((".s", ".asm"))
+                       else text)
+        observability = Observability(
+            events=EventStream() if args.trace_out else None,
+            metrics=MetricsRegistry() if args.metrics_out else None,
+            profiler=(CycleProfiler(program, source=xmtc_source)
+                      if want_profile else None))
+
     sanitizer = None
     if args.sanitize:
         if args.mode != "functional":
@@ -386,7 +464,7 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                 print(result.stats.report(), file=sys.stderr)
         else:
             sim = Simulator(program, machine_config, plugins=plugins,
-                            trace=trace)
+                            trace=trace, observability=observability)
             if args.checkpoint_every > 0 or args.max_retries is not None:
                 report = run_resilient(
                     sim.machine,
@@ -411,6 +489,10 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
             memory = result.memory
             if args.stats:
                 print(result.stats.report(), file=sys.stderr)
+            if observability is not None:
+                code = _write_observability(args, observability, sim.machine)
+                if code:
+                    return code
     except SimulationStalled as exc:
         print(f"xmtsim: stalled: {exc}", file=sys.stderr)
         if exc.dump is not None:
@@ -432,4 +514,44 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
             print(f"xmtsim: no such global {name!r}", file=sys.stderr)
             return 2
         print(f"{name} = {values}")
+    return 0
+
+
+def xmt_prof_main(argv: Optional[List[str]] = None) -> int:
+    """``xmt-prof``: inspect profiles written by ``xmtsim --profile-out``.
+
+    Exit codes: 0 = report printed, 2 = unreadable or not a profile.
+    """
+    from repro.sim.observability import load_profile, render_profile
+
+    parser = argparse.ArgumentParser(
+        prog="xmt-prof",
+        description="render xmtsim cycle profiles (gprof-style, per "
+                    "XMTC source line)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="print the hotspot report for a profile JSON")
+    report.add_argument("profile", help="JSON written by --profile-out")
+    report.add_argument("--top", type=int, default=20, metavar="N",
+                        help="show the N hottest source lines")
+    report.add_argument("--source", default=None, metavar="FILE",
+                        help="XMTC source to quote (overrides the text "
+                             "embedded in the profile)")
+    args = parser.parse_args(argv)
+
+    try:
+        data = load_profile(args.profile)
+    except (OSError, ValueError) as exc:
+        # ValueError covers both a wrong schema and malformed JSON
+        print(f"xmt-prof: {exc}", file=sys.stderr)
+        return 2
+    source = None
+    if args.source:
+        try:
+            with open(args.source) as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"xmt-prof: {exc}", file=sys.stderr)
+            return 2
+    print(render_profile(data, source=source, top=args.top))
     return 0

@@ -44,10 +44,12 @@ def run_xmtc_functional(source: str, inputs=None, options=None,
 
 
 def run_xmtc_cycle(source: str, config=None, inputs=None, options=None,
-                   max_cycles=5_000_000, plugins=(), trace=None):
+                   max_cycles=5_000_000, plugins=(), trace=None,
+                   observability=None):
     program = compile_source(source, options)
     _apply(program, inputs)
-    sim = Simulator(program, config or tiny(), plugins=plugins, trace=trace)
+    sim = Simulator(program, config or tiny(), plugins=plugins, trace=trace,
+                    observability=observability)
     return program, sim.run(max_cycles=max_cycles)
 
 

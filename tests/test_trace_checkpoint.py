@@ -47,7 +47,17 @@ class TestTrace:
     def test_limit(self):
         trace = Trace(level=LEVEL_FUNCTIONAL, limit=5)
         _, res = run_xmtc_cycle(SRC, trace=trace)
-        assert len(trace) == 5
+        # 5 records plus one explicit truncation marker
+        assert len(trace) == 6
+        assert trace.truncated
+        assert "truncated" in trace.records[-1]
+        assert all("truncated" not in r for r in trace.records[:5])
+
+    def test_no_marker_below_limit(self):
+        trace = Trace(level=LEVEL_FUNCTIONAL, limit=100_000)
+        _, res = run_xmtc_cycle(SRC, trace=trace)
+        assert not trace.truncated
+        assert all("truncated" not in r for r in trace.records)
 
     def test_master_id_rendered(self):
         trace = Trace(level=LEVEL_FUNCTIONAL, tcus={-1})
