@@ -1,0 +1,17 @@
+/* perf-gate workload 2: array compaction via prefix-sum (ps-bound). */
+int A[64];
+int B[64];
+psBaseReg int base = 0;
+int main() {
+    int i;
+    for (i = 0; i < 64; i++) { A[i] = (i * 7) % 3; }
+    spawn(0, 63) {
+        int inc = 1;
+        if (A[$] != 0) {
+            ps(inc, base);
+            B[inc] = A[$];
+        }
+    }
+    printf("%d\n", base);
+    return 0;
+}

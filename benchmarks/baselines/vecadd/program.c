@@ -1,0 +1,13 @@
+/* perf-gate workload 1: streaming vector add (memory-bound spawn). */
+int A[64];
+int B[64];
+int C[64];
+int main() {
+    int i;
+    for (i = 0; i < 64; i++) { A[i] = i; B[i] = 2 * i; }
+    spawn(0, 63) {
+        C[$] = A[$] + B[$];
+    }
+    printf("%d\n", C[63]);
+    return 0;
+}

@@ -17,6 +17,7 @@ setup(
             "xmtsim=repro.toolchain.cli:xmtsim_main",
             "xmtc-lint=repro.toolchain.cli:xmtc_lint_main",
             "xmt-prof=repro.toolchain.cli:xmt_prof_main",
+            "xmt-compare=repro.toolchain.cli:xmt_compare_main",
         ]
     }
 )

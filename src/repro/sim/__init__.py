@@ -6,8 +6,9 @@ from repro.sim.config import XMTConfig, fpga64, chip1024, from_file, tiny
 from repro.sim.engine import Actor, ClockDomain, Event, Scheduler, TimedQueue
 from repro.sim.functional import FunctionalResult, FunctionalSimulator
 from repro.sim.machine import CycleResult, Simulator
-from repro.sim.observability import (CycleProfiler, EventStream,
-                                     MetricsRegistry, Observability)
+from repro.sim.observability import (CycleProfiler, EventStream, Ledger,
+                                     MetricsRegistry, Observability,
+                                     compare_runs, instrumented_run)
 from repro.sim.sampling import PhaseSampler, SampledSimulator
 from repro.sim.trace import Trace
 
@@ -33,4 +34,7 @@ __all__ = [
     "EventStream",
     "MetricsRegistry",
     "CycleProfiler",
+    "Ledger",
+    "compare_runs",
+    "instrumented_run",
 ]

@@ -1,23 +1,56 @@
 """End-to-end observability for the cycle-accurate simulator.
 
-Three cooperating pieces behind one ``machine.obs`` facade:
+Five cooperating pieces:
 
 - :mod:`~repro.sim.observability.events` -- structured span tracing of
-  the package life cycle and spawn regions, exportable as JSON Lines or
-  Chrome trace-event format (Perfetto-loadable);
+  the package life cycle and spawn regions, exportable as JSON Lines
+  (optionally streamed incrementally in bounded memory) or Chrome
+  trace-event format (Perfetto-loadable);
 - :mod:`~repro.sim.observability.metrics` -- counters, queue-occupancy
   gauges and memory-latency histograms with a JSON export;
 - :mod:`~repro.sim.observability.profiler` -- per-instruction cycle and
-  stall attribution folded into a per-XMTC-source-line hotspot report.
+  stall attribution folded into a per-XMTC-source-line hotspot report;
+- :mod:`~repro.sim.observability.ledger` -- versioned run manifests
+  (``xmtsim-run/1``) bundled with metrics/profile exports in a
+  content-addressed run ledger (``xmtsim --ledger``);
+- :mod:`~repro.sim.observability.compare` -- differential layer over
+  the ledger: metric/profile/spawn deltas, sweep tables and the
+  ``xmt-compare check`` perf-regression gate.
+
+The first three attach to a live machine behind one ``machine.obs``
+facade (:class:`Observability`); the last two operate on the exported
+artifacts.
 """
 
+from repro.sim.observability.compare import (
+    GateFailure,
+    RunComparison,
+    SchemaError,
+    check_regressions,
+    compare_runs,
+    diff_profiles,
+    diff_spawn_regions,
+    flatten_metrics,
+    render_sweep_table,
+)
 from repro.sim.observability.core import Observability
 from repro.sim.observability.events import EventStream, SpanEvent
+from repro.sim.observability.ledger import (
+    Ledger,
+    RunArtifacts,
+    RunRecord,
+    build_manifest,
+    instrumented_run,
+    load_manifest,
+    load_run,
+    write_run_dir,
+)
 from repro.sim.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
     export_metrics,
+    load_metrics,
     write_metrics,
 )
 from repro.sim.observability.profiler import (
@@ -35,7 +68,25 @@ __all__ = [
     "MetricsRegistry",
     "export_metrics",
     "write_metrics",
+    "load_metrics",
     "CycleProfiler",
     "load_profile",
     "render_profile",
+    "Ledger",
+    "RunArtifacts",
+    "RunRecord",
+    "build_manifest",
+    "instrumented_run",
+    "load_manifest",
+    "load_run",
+    "write_run_dir",
+    "GateFailure",
+    "RunComparison",
+    "SchemaError",
+    "check_regressions",
+    "compare_runs",
+    "diff_profiles",
+    "diff_spawn_regions",
+    "flatten_metrics",
+    "render_sweep_table",
 ]

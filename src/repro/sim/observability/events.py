@@ -72,16 +72,40 @@ class EventStream:
     ``retain=False`` keeps only the ring buffer (enough for diagnostic
     dumps) without accumulating a full trace -- the mode the resilience
     layer uses when no ``--trace-out`` was requested.
+
+    ``stream_to`` attaches an incremental JSONL sink: every emitted
+    event is serialized to the file as it happens (flushed every
+    ``flush_every`` events), so a long run with ``retain=False`` traces
+    in O(ring buffer) memory instead of buffering millions of events --
+    the mode the CLI uses for ``--trace-out`` in jsonl format.  Pass a
+    path (the stream owns and closes the file) or an open file object
+    (the caller keeps ownership); call :meth:`close` when the run ends.
     """
 
     def __init__(self, retain: bool = True, recent: int = 64,
-                 instructions: bool = True):
+                 instructions: bool = True,
+                 stream_to: Optional[object] = None,
+                 flush_every: int = 512):
         self.events: Optional[List[SpanEvent]] = [] if retain else None
         self.recent: "deque[SpanEvent]" = deque(maxlen=recent)
         #: emit one instant per instruction issue (the densest category;
         #: disable for long runs where only the memory path matters)
         self.instructions = instructions
         self.emitted = 0
+        self.flush_every = max(1, flush_every)
+        self._stream_fh: Optional[IO[str]] = None
+        self._stream_owned = False
+        self._unflushed = 0
+        if stream_to is not None:
+            if hasattr(stream_to, "write"):
+                self._stream_fh = stream_to  # type: ignore[assignment]
+            else:
+                self._stream_fh = open(stream_to, "w")
+                self._stream_owned = True
+
+    @property
+    def streaming(self) -> bool:
+        return self._stream_fh is not None
 
     def __len__(self) -> int:
         return len(self.events) if self.events is not None else len(self.recent)
@@ -91,6 +115,25 @@ class EventStream:
         if self.events is not None:
             self.events.append(event)
         self.recent.append(event)
+        fh = self._stream_fh
+        if fh is not None:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True))
+            fh.write("\n")
+            self._unflushed += 1
+            if self._unflushed >= self.flush_every:
+                fh.flush()
+                self._unflushed = 0
+
+    def close(self) -> None:
+        """Flush and (when path-owned) close the streaming sink."""
+        fh = self._stream_fh
+        if fh is None:
+            return
+        fh.flush()
+        if self._stream_owned:
+            fh.close()
+        self._stream_fh = None
+        self._unflushed = 0
 
     # -- convenience constructors -------------------------------------------
 
@@ -168,6 +211,11 @@ class EventStream:
         """Write the stream to ``path`` as ``jsonl`` or ``chrome``."""
         if fmt not in ("jsonl", "chrome"):
             raise ValueError(f"unknown trace format {fmt!r}")
+        if self.streaming and self.events is None:
+            raise ValueError(
+                "events were streamed incrementally (stream_to=...) "
+                "without retain; the streaming sink already holds the "
+                "full trace")
         with open(path, "w") as fh:
             if fmt == "chrome":
                 self.write_chrome(fh)

@@ -1,0 +1,353 @@
+"""The experiment ledger: versioned, diffable records of simulator runs.
+
+A single instrumented run produces rich telemetry (metrics, profiles,
+traces) but answers no architectural question by itself -- the paper's
+methodology is *re-running* workloads across simulator configurations
+and comparing.  The ledger is the missing bookkeeping layer: every run
+emits a **run manifest** (schema ``xmtsim-run/1``) pinning down what
+exactly was simulated --
+
+- the program (assembly hash, plus the XMTC source hash when compiled
+  on the fly),
+- the fully resolved :class:`~repro.sim.config.XMTConfig` as a dict and
+  its content hash,
+- the seed (when a seeded component such as a fault campaign is
+  involved), the repository git revision, the toolchain version,
+- the outcome: cycle count, instruction count, host wall seconds
+
+-- and the manifest is bundled with the run's metrics
+(``xmtsim-metrics/1``) and cycle-profile (``xmt-prof/1``) exports into
+a **content-addressed ledger directory**::
+
+    <ledger>/runs/<run_id>/manifest.json
+                           metrics.json
+                           profile.json
+
+``run_id`` is a truncated SHA-256 over the deterministic identity of
+the run (program hash, config hash, seed, label, cycle count), so
+re-recording a bit-identical run is idempotent and two runs that differ
+in any input land in different directories.  ``xmtsim --ledger DIR``
+records into a ledger from the command line;
+:class:`Ledger`/:func:`instrumented_run` are the Python API; the
+``xmt-compare`` tool (:mod:`~repro.sim.observability.compare`) diffs
+what the ledger accumulates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+SCHEMA_RUN = "xmtsim-run/1"
+
+#: manifest fields excluded from the content address (host-dependent
+#: or informational -- two runs differing only here are the same run)
+_NON_IDENTITY_FIELDS = ("wall_seconds", "created_unix", "git_revision",
+                       "run_id")
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 of a text blob (program sources, canonical JSON)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config) -> Dict[str, Any]:
+    """``(dict, hash)`` of a fully resolved :class:`XMTConfig`."""
+    d = asdict(config)
+    return {"config": d, "config_sha256": sha256_text(_canonical(d))}
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """Current git commit hash, or ``None`` outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, timeout=10,
+            capture_output=True, text=True)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def toolchain_version() -> str:
+    try:
+        from repro import __version__
+        return __version__
+    except ImportError:  # pragma: no cover - package always importable
+        return "unknown"
+
+
+def build_manifest(program, config, *, cycles: int, instructions: int,
+                   wall_seconds: float, source: Optional[str] = None,
+                   program_path: Optional[str] = None,
+                   seed: Optional[int] = None,
+                   label: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble one ``xmtsim-run/1`` manifest (including its run id).
+
+    ``source`` is the XMTC text when the program was compiled on the
+    fly (its hash identifies the *input*; the assembly hash identifies
+    what actually ran, so a compiler change shows up as a new program
+    hash under an unchanged source hash).
+    """
+    asm_text = getattr(program, "source", None) or "\n".join(
+        repr(ins) for ins in program.instructions)
+    manifest: Dict[str, Any] = {
+        "schema": SCHEMA_RUN,
+        "label": label,
+        "program": {
+            "path": program_path,
+            "sha256": sha256_text(asm_text),
+            "source_sha256": (sha256_text(source)
+                              if source is not None else None),
+            "n_instructions": len(program.instructions),
+        },
+        "seed": seed,
+        "cycles": cycles,
+        "instructions": instructions,
+        "wall_seconds": round(wall_seconds, 4),
+        "git_revision": git_revision(),
+        "toolchain_version": toolchain_version(),
+        "created_unix": round(time.time(), 3),
+    }
+    manifest.update(config_fingerprint(config))
+    manifest["run_id"] = manifest_run_id(manifest)
+    return manifest
+
+
+def manifest_run_id(manifest: Dict[str, Any]) -> str:
+    """Content address: hash of the deterministic manifest fields."""
+    identity = {k: v for k, v in manifest.items()
+                if k not in _NON_IDENTITY_FIELDS}
+    return sha256_text(_canonical(identity))[:12]
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Load a manifest file, checking the ``xmtsim-run/1`` schema."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA_RUN:
+        got = data.get("schema") if isinstance(data, dict) else type(data)
+        raise ValueError(f"{path}: not an xmtsim run manifest "
+                         f"(schema={got!r}, expected {SCHEMA_RUN!r})")
+    return data
+
+
+@dataclass
+class RunRecord:
+    """One ledger entry: the manifest plus lazily loaded payloads."""
+
+    run_id: str
+    manifest: Dict[str, Any]
+    path: Optional[str] = None
+    #: in-memory payloads (set for fresh runs not yet on disk)
+    _metrics: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    _profile: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    @property
+    def cycles(self) -> int:
+        return self.manifest["cycles"]
+
+    @property
+    def label(self) -> str:
+        return self.manifest.get("label") or self.run_id
+
+    def config_value(self, key: str) -> Any:
+        return self.manifest["config"].get(key)
+
+    def metrics(self) -> Optional[Dict[str, Any]]:
+        """The run's ``xmtsim-metrics/1`` payload, if recorded."""
+        if self._metrics is not None:
+            return self._metrics
+        if self.path is not None:
+            from repro.sim.observability.metrics import load_metrics
+
+            p = os.path.join(self.path, "metrics.json")
+            if os.path.exists(p):
+                self._metrics = load_metrics(p)
+        return self._metrics
+
+    def profile(self) -> Optional[Dict[str, Any]]:
+        """The run's ``xmt-prof/1`` payload, if recorded."""
+        if self._profile is not None:
+            return self._profile
+        if self.path is not None:
+            from repro.sim.observability.profiler import load_profile
+
+            p = os.path.join(self.path, "profile.json")
+            if os.path.exists(p):
+                self._profile = load_profile(p)
+        return self._profile
+
+
+def load_run(path: str) -> RunRecord:
+    """Load a run record from a run directory or a manifest.json path.
+
+    Accepts what ``xmt-compare`` users point at: the run directory the
+    ledger created, or the ``manifest.json`` inside it (a committed
+    baseline is just such a directory under version control).
+    """
+    if os.path.isdir(path):
+        manifest_path = os.path.join(path, "manifest.json")
+    else:
+        manifest_path = path
+        path = os.path.dirname(path) or "."
+    manifest = load_manifest(manifest_path)
+    return RunRecord(run_id=manifest.get("run_id") or
+                     manifest_run_id(manifest),
+                     manifest=manifest, path=path)
+
+
+def write_run_dir(run_dir: str, manifest: Dict[str, Any],
+                  metrics: Optional[Dict[str, Any]] = None,
+                  profile: Optional[Dict[str, Any]] = None) -> RunRecord:
+    """Write one run-record directory (manifest + optional payloads).
+
+    The primitive under :meth:`Ledger.record`; also used directly by
+    ``xmt-compare check --update-baseline`` to refresh a committed
+    baseline directory in place.
+    """
+    run_id = manifest.get("run_id") or manifest_run_id(manifest)
+    manifest = dict(manifest, run_id=run_id)
+    os.makedirs(run_dir, exist_ok=True)
+    payloads = [("manifest.json", manifest)]
+    if metrics is not None:
+        payloads.append(("metrics.json", metrics))
+    if profile is not None:
+        payloads.append(("profile.json", profile))
+    for name, payload in payloads:
+        with open(os.path.join(run_dir, name), "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return RunRecord(run_id=run_id, manifest=manifest, path=run_dir,
+                     _metrics=metrics, _profile=profile)
+
+
+class Ledger:
+    """A directory of recorded runs, addressed by content hash."""
+
+    def __init__(self, root: str):
+        self.root = root
+
+    @property
+    def runs_dir(self) -> str:
+        return os.path.join(self.root, "runs")
+
+    def _run_dir(self, run_id: str) -> str:
+        return os.path.join(self.runs_dir, run_id)
+
+    # -- writing -------------------------------------------------------------
+
+    def record(self, manifest: Dict[str, Any],
+               metrics: Optional[Dict[str, Any]] = None,
+               profile: Optional[Dict[str, Any]] = None) -> RunRecord:
+        """Persist one run; returns its record.  Idempotent: recording
+        a bit-identical run rewrites the same directory."""
+        run_id = manifest.get("run_id") or manifest_run_id(manifest)
+        return write_run_dir(self._run_dir(run_id),
+                             dict(manifest, run_id=run_id),
+                             metrics, profile)
+
+    def record_artifacts(self, artifacts: "RunArtifacts") -> RunRecord:
+        return self.record(artifacts.manifest, artifacts.metrics,
+                           artifacts.profile)
+
+    # -- reading -------------------------------------------------------------
+
+    def list_runs(self) -> List[RunRecord]:
+        """All recorded runs, oldest first."""
+        if not os.path.isdir(self.runs_dir):
+            return []
+        records = []
+        for run_id in sorted(os.listdir(self.runs_dir)):
+            manifest_path = os.path.join(self._run_dir(run_id),
+                                         "manifest.json")
+            if os.path.exists(manifest_path):
+                records.append(load_run(self._run_dir(run_id)))
+        records.sort(key=lambda r: r.manifest.get("created_unix") or 0)
+        return records
+
+    def load(self, run_id: str) -> RunRecord:
+        """Load one run by id or unambiguous id prefix."""
+        exact = self._run_dir(run_id)
+        if os.path.isdir(exact):
+            return load_run(exact)
+        matches = ([d for d in sorted(os.listdir(self.runs_dir))
+                    if d.startswith(run_id)]
+                   if os.path.isdir(self.runs_dir) else [])
+        if not matches:
+            raise KeyError(f"no run {run_id!r} in ledger {self.root}")
+        if len(matches) > 1:
+            raise KeyError(f"ambiguous run id prefix {run_id!r}: "
+                           f"{', '.join(matches)}")
+        return load_run(self._run_dir(matches[0]))
+
+    def query(self, predicate: Callable[[Dict[str, Any]], bool]
+              ) -> List[RunRecord]:
+        """Runs whose manifest satisfies ``predicate``."""
+        return [r for r in self.list_runs() if predicate(r.manifest)]
+
+    def query_config(self, **fields: Any) -> List[RunRecord]:
+        """Runs whose resolved config matches every given field value,
+        e.g. ``ledger.query_config(n_clusters=8, dram_latency=25)``."""
+        return self.query(
+            lambda m: all(m["config"].get(k) == v
+                          for k, v in fields.items()))
+
+
+@dataclass
+class RunArtifacts:
+    """Everything one instrumented run produced, pre-persistence."""
+
+    manifest: Dict[str, Any]
+    metrics: Dict[str, Any]
+    profile: Dict[str, Any]
+    result: Any  # CycleResult
+
+    def as_record(self) -> RunRecord:
+        return RunRecord(run_id=self.manifest["run_id"],
+                         manifest=self.manifest,
+                         _metrics=self.metrics, _profile=self.profile)
+
+
+def instrumented_run(program, config, *, source: Optional[str] = None,
+                     program_path: Optional[str] = None,
+                     seed: Optional[int] = None,
+                     label: Optional[str] = None,
+                     max_cycles: Optional[int] = None) -> RunArtifacts:
+    """Run ``program`` under ``config`` with metrics + profiler attached
+    and fold the outcome into ledger-ready artifacts.
+
+    The workhorse behind ``xmt-compare sweep``/``check``: one call per
+    grid point, each returning a manifest/metrics/profile bundle that
+    :meth:`Ledger.record_artifacts` persists.
+    """
+    from repro.sim.machine import Simulator
+    from repro.sim.observability.core import Observability
+    from repro.sim.observability.metrics import MetricsRegistry, \
+        export_metrics
+    from repro.sim.observability.profiler import CycleProfiler
+
+    obs = Observability(metrics=MetricsRegistry(),
+                        profiler=CycleProfiler(program, source=source))
+    sim = Simulator(program, config, observability=obs)
+    start = time.perf_counter()
+    result = sim.run(max_cycles=max_cycles)
+    wall = time.perf_counter() - start
+    manifest = build_manifest(
+        program, config, cycles=result.cycles,
+        instructions=result.instructions, wall_seconds=wall,
+        source=source, program_path=program_path, seed=seed, label=label)
+    return RunArtifacts(manifest=manifest,
+                        metrics=export_metrics(sim.machine),
+                        profile=obs.profiler.to_data(),
+                        result=result)

@@ -171,3 +171,14 @@ def export_metrics(machine) -> Dict[str, Any]:
 def write_metrics(machine, fh: IO[str]) -> None:
     json.dump(export_metrics(machine), fh, indent=2, sort_keys=True)
     fh.write("\n")
+
+
+def load_metrics(path: str) -> Dict[str, Any]:
+    """Load a ``--metrics-out`` export, checking its schema version."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("schema") != "xmtsim-metrics/1":
+        got = data.get("schema") if isinstance(data, dict) else type(data)
+        raise ValueError(f"{path}: not an xmtsim metrics export "
+                         f"(schema={got!r})")
+    return data

@@ -1,18 +1,24 @@
 """Command-line entry points: ``xmtcc`` (compiler), ``xmtsim``
-(simulator) -- the two tools of the paper's title -- and ``xmtc-lint``
-(static analyzer), as executables.
+(simulator) -- the two tools of the paper's title -- plus ``xmtc-lint``
+(static analyzer), ``xmt-prof`` (profile reports) and ``xmt-compare``
+(experiment ledger diffs), as executables.
 
     xmtcc program.c -o program.s [-O2] [--cluster 4] [--no-prefetch] ...
     xmtsim program.s [--config fpga64] [--mode cycle|functional]
            [--set A 1,2,3] [--print-global B] [--stats] [--trace ...]
+           [--ledger DIR]
     xmtc-lint program.c [--json] [--dynamic] [--check-shipped]
+    xmt-prof report profile.json [--top 30]
+    xmt-compare {list,diff,sweep,check} ... [--ledger DIR]
 
 ``xmtsim`` accepts either assembly (``.s``) or XMTC source (anything
 else), compiling the latter on the fly, so the two-step and one-step
 workflows both work.  ``xmtc-lint`` runs the spawn-region race detector
 and the memory-model linter (see MANUAL.md section 7) over XMTC
 sources; ``--dynamic`` re-checks each program at runtime with the
-functional simulator's race sanitizer.
+functional simulator's race sanitizer.  ``xmt-compare`` diffs runs
+recorded with ``--ledger``, sweeps config grids and gates CI against
+committed baselines (MANUAL.md section 4.7).
 """
 
 from __future__ import annotations
@@ -210,6 +216,23 @@ def _parse_values(text: str):
     return out
 
 
+def _load_program(path: str, options: CompileOptions):
+    """Read and assemble/compile one program file.
+
+    Returns ``(program, xmtc_source_or_None)``; raises ``OSError`` on
+    read failures and ``CompileError`` on bad input.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    if path.endswith((".s", ".asm")):
+        program: Program = assemble(text)
+        program.parallel_calls = options.parallel_calls
+        return program, None
+    from repro.xmtc.compiler import compile_source
+
+    return compile_source(text, options), text
+
+
 def _write_observability(args, obs, machine) -> int:
     """Write --trace-out/--metrics-out/--profile outputs; 0 on success."""
     import json as _json
@@ -218,9 +241,16 @@ def _write_observability(args, obs, machine) -> int:
 
     try:
         if args.trace_out:
-            obs.events.write(args.trace_out, args.trace_format)
-            print(f"xmtsim: wrote {args.trace_format} trace to "
-                  f"{args.trace_out}", file=sys.stderr)
+            if obs.events.streaming:
+                # jsonl streams incrementally during the run (bounded
+                # memory); all that remains is flushing the sink
+                obs.events.close()
+                print(f"xmtsim: streamed {obs.events.emitted} jsonl "
+                      f"events to {args.trace_out}", file=sys.stderr)
+            else:
+                obs.events.write(args.trace_out, args.trace_format)
+                print(f"xmtsim: wrote {args.trace_format} trace to "
+                      f"{args.trace_out}", file=sys.stderr)
         if args.metrics_out:
             with open(args.metrics_out, "w") as fh:
                 write_metrics(machine, fh)
@@ -301,6 +331,13 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
     obsgroup.add_argument("--profile-out", default=None, metavar="PATH",
                           help="write the raw profile to PATH as JSON "
                                "(render later with 'xmt-prof report')")
+    obsgroup.add_argument("--ledger", default=None, metavar="DIR",
+                          help="record this run (manifest + metrics + "
+                               "profile) into the experiment ledger at "
+                               "DIR; diff runs later with xmt-compare")
+    obsgroup.add_argument("--run-label", default=None, metavar="TEXT",
+                          help="human-readable label stored in the run "
+                               "manifest (shown by xmt-compare list)")
     resilience = parser.add_argument_group(
         "resilience (cycle mode)",
         "watchdog, fault injection and checkpoint-based recovery; "
@@ -344,20 +381,11 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        with open(args.program) as fh:
-            text = fh.read()
+        program, xmtc_source = _load_program(args.program,
+                                             _compile_options(args))
     except OSError as exc:
         print(f"xmtsim: {exc}", file=sys.stderr)
         return 2
-
-    try:
-        if args.program.endswith((".s", ".asm")):
-            program: Program = assemble(text)
-            program.parallel_calls = args.parallel_calls
-        else:
-            from repro.xmtc.compiler import compile_source
-
-            program = compile_source(text, _compile_options(args))
     except CompileError as exc:
         print(f"xmtsim: compile error: {exc}", file=sys.stderr)
         return 1
@@ -409,10 +437,10 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
 
     observability = None
     want_profile = args.profile or args.profile_out is not None
-    if args.trace_out or args.metrics_out or want_profile:
+    if args.trace_out or args.metrics_out or want_profile or args.ledger:
         if args.mode != "cycle":
-            print("xmtsim: --trace-out/--metrics-out/--profile require "
-                  "--mode cycle", file=sys.stderr)
+            print("xmtsim: --trace-out/--metrics-out/--profile/--ledger "
+                  "require --mode cycle", file=sys.stderr)
             return 2
         from repro.sim.observability import (
             CycleProfiler,
@@ -421,13 +449,24 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
             Observability,
         )
 
-        xmtc_source = (None if args.program.endswith((".s", ".asm"))
-                       else text)
+        events = None
+        if args.trace_out:
+            if args.trace_format == "jsonl":
+                # incremental sink: O(ring buffer) memory on long runs
+                try:
+                    events = EventStream(retain=False,
+                                         stream_to=args.trace_out)
+                except OSError as exc:
+                    print(f"xmtsim: {exc}", file=sys.stderr)
+                    return 2
+            else:
+                events = EventStream()
         observability = Observability(
-            events=EventStream() if args.trace_out else None,
-            metrics=MetricsRegistry() if args.metrics_out else None,
+            events=events,
+            metrics=(MetricsRegistry()
+                     if args.metrics_out or args.ledger else None),
             profiler=(CycleProfiler(program, source=xmtc_source)
-                      if want_profile else None))
+                      if want_profile or args.ledger else None))
 
     sanitizer = None
     if args.sanitize:
@@ -463,8 +502,11 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
             if args.stats:
                 print(result.stats.report(), file=sys.stderr)
         else:
+            import time as _time
+
             sim = Simulator(program, machine_config, plugins=plugins,
                             trace=trace, observability=observability)
+            run_started = _time.perf_counter()
             if args.checkpoint_every > 0 or args.max_retries is not None:
                 report = run_resilient(
                     sim.machine,
@@ -483,6 +525,7 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                 result = sim.run(max_cycles=args.max_cycles,
                                  wall_limit_s=args.wall_limit,
                                  max_events=args.event_budget)
+            run_wall = _time.perf_counter() - run_started
             sys.stdout.write(result.output)
             print(f"[{config_label}] {result.cycles} cycles, "
                   f"{result.instructions} instructions", file=sys.stderr)
@@ -493,6 +536,27 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                 code = _write_observability(args, observability, sim.machine)
                 if code:
                     return code
+            if args.ledger:
+                from repro.sim.observability import (
+                    Ledger,
+                    build_manifest,
+                    export_metrics,
+                )
+
+                manifest = build_manifest(
+                    program, sim.machine.config, cycles=result.cycles,
+                    instructions=result.instructions,
+                    wall_seconds=run_wall, source=xmtc_source,
+                    program_path=args.program, label=args.run_label)
+                try:
+                    record = Ledger(args.ledger).record(
+                        manifest, export_metrics(sim.machine),
+                        observability.profiler.to_data())
+                except OSError as exc:
+                    print(f"xmtsim: {exc}", file=sys.stderr)
+                    return 2
+                print(f"xmtsim: recorded run {record.run_id} in ledger "
+                      f"{args.ledger}", file=sys.stderr)
     except SimulationStalled as exc:
         print(f"xmtsim: stalled: {exc}", file=sys.stderr)
         if exc.dump is not None:
@@ -514,6 +578,304 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
             print(f"xmtsim: no such global {name!r}", file=sys.stderr)
             return 2
         print(f"{name} = {values}")
+    return 0
+
+
+def _parse_config_value(token: str):
+    """One sweep/override value: int, float, bool or bare string."""
+    token = token.strip()
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def _parse_vary(specs: List[str]):
+    """``--vary field=v1,v2,...`` specs -> ordered (field, values) list."""
+    axes = []
+    for spec in specs:
+        field, eq, values = spec.partition("=")
+        field = field.strip()
+        if not eq or not field or not values.strip():
+            raise ValueError(f"--vary expects FIELD=V1,V2,...; got {spec!r}")
+        axes.append((field, [_parse_config_value(v)
+                             for v in values.split(",")]))
+    return axes
+
+
+def _grid(axes):
+    """Cartesian product of the vary axes as override dicts, in order."""
+    points = [{}]
+    for field, values in axes:
+        points = [dict(point, **{field: value})
+                  for point in points for value in values]
+    return points
+
+
+def _apply_globals(program, sets) -> None:
+    for name, values in sets:
+        try:
+            program.write_global(name, _parse_values(values))
+        except KeyError:
+            raise ValueError(f"no such global {name!r}") from None
+
+
+def _compare_base_config(args, baseline_manifest=None):
+    """Resolve the config for a fresh xmt-compare run.
+
+    Explicit ``--config``/``--config-file`` wins; otherwise ``check``
+    reruns under the baseline's recorded (fully resolved) config so the
+    comparison isolates the toolchain change from any config drift.
+    """
+    if args.config_file:
+        from repro.sim.config import from_file
+
+        return from_file(args.config_file)
+    if args.config is not None:
+        return _CONFIGS[args.config]()
+    if baseline_manifest is not None:
+        cfg = XMTConfig(**baseline_manifest["config"])
+        cfg.validate()
+        return cfg
+    return _CONFIGS["fpga64"]()
+
+
+def _resolve_run(token: str, ledger_dir: Optional[str]):
+    """A diff operand: a run directory / manifest path, or a run-id
+    (prefix) looked up in ``--ledger``."""
+    from repro.sim.observability import Ledger, load_run
+
+    if os.path.exists(token):
+        return load_run(token)
+    if ledger_dir is None:
+        raise ValueError(f"{token!r} is not a path; pass --ledger DIR "
+                         f"to resolve run ids")
+    return Ledger(ledger_dir).load(token)
+
+
+def xmt_compare_main(argv: Optional[List[str]] = None) -> int:
+    """``xmt-compare``: diff, sweep and gate ledger-recorded runs.
+
+    Exit codes: 0 = ok, 1 = regression past threshold (``check``),
+    2 = bad input (unreadable files, unknown runs, schema mismatch).
+    """
+    from repro.sim.observability import Ledger, compare_runs
+    from repro.sim.observability.compare import SchemaError
+
+    parser = argparse.ArgumentParser(
+        prog="xmt-compare",
+        description="differential observability over the xmtsim "
+                    "experiment ledger (see MANUAL.md section 4.7)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_compile=False):
+        p.add_argument("--ledger", default=None, metavar="DIR",
+                       help="experiment ledger directory")
+        p.add_argument("--threshold", type=float, default=0.05,
+                       metavar="REL",
+                       help="relative delta below which a metric counts "
+                            "as unchanged (default 0.05 = 5%%)")
+        p.add_argument("--format", default="text",
+                       choices=("text", "json", "markdown"),
+                       help="report format")
+        p.add_argument("--top", type=int, default=20, metavar="N",
+                       help="rows per report section")
+        if with_compile:
+            p.add_argument("--config", default=None,
+                           choices=sorted(_CONFIGS),
+                           help="machine configuration for fresh runs")
+            p.add_argument("--config-file", default=None, metavar="PATH",
+                           help="JSON configuration file (overrides "
+                                "--config)")
+            p.add_argument("--max-cycles", type=int, default=None)
+            p.add_argument("--set", nargs=2, action="append", default=[],
+                           metavar=("GLOBAL", "VALUES"),
+                           help="write comma-separated values into a "
+                                "global before every run (repeatable)")
+            _add_compile_flags(p)
+
+    p_list = sub.add_parser("list", help="list the runs in a ledger")
+    p_list.add_argument("--ledger", required=True, metavar="DIR")
+
+    p_diff = sub.add_parser(
+        "diff", help="diff two recorded runs (A = baseline)")
+    p_diff.add_argument("run_a", help="run id/prefix (with --ledger) or "
+                                      "path to a run dir/manifest.json")
+    p_diff.add_argument("run_b", help="second run (see run_a)")
+    add_common(p_diff)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="fan one program across a config grid, record "
+                      "every run, and print the comparison table")
+    p_sweep.add_argument("program",
+                         help="assembly (.s/.asm) or XMTC source file")
+    p_sweep.add_argument("--vary", action="append", default=[],
+                         metavar="FIELD=V1,V2,...", required=True,
+                         help="sweep an XMTConfig field over values "
+                              "(repeatable; repeats form the cartesian "
+                              "product)")
+    add_common(p_sweep, with_compile=True)
+
+    p_check = sub.add_parser(
+        "check", help="run a program fresh and gate it against a "
+                      "committed baseline run (CI perf-regression gate)")
+    p_check.add_argument("program",
+                         help="assembly (.s/.asm) or XMTC source file")
+    p_check.add_argument("--baseline", required=True, metavar="PATH",
+                         help="baseline run directory (or its "
+                              "manifest.json)")
+    p_check.add_argument("--metric", action="append", default=[],
+                         metavar="NAME",
+                         help="additional lower-is-better gate metric "
+                              "from the flattened metric space (e.g. "
+                              "stats.icn.packages); cycles is always "
+                              "gated")
+    p_check.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline directory from the "
+                              "fresh run instead of gating")
+    add_common(p_check, with_compile=True)
+
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "list":
+            records = Ledger(args.ledger).list_runs()
+            if not records:
+                print(f"xmt-compare: no runs in {args.ledger}")
+                return 0
+            print(f"{'run id':<14} {'config':<10} {'cycles':>10}  "
+                  f"{'program':<12} label")
+            for r in records:
+                print(f"{r.run_id:<14} "
+                      f"{str(r.config_value('name')):<10} "
+                      f"{r.cycles:>10}  "
+                      f"{r.manifest['program']['sha256'][:10]:<12} "
+                      f"{r.manifest.get('label') or ''}")
+            return 0
+
+        if args.command == "diff":
+            rec_a = _resolve_run(args.run_a, args.ledger)
+            rec_b = _resolve_run(args.run_b, args.ledger)
+            comparison = compare_runs(rec_a, rec_b,
+                                      threshold=args.threshold)
+            print(comparison.render(args.format, top=args.top))
+            return 0
+
+        if args.command == "sweep":
+            return _compare_sweep(args)
+
+        return _compare_check(args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into head) -- not an error
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except (OSError, KeyError, ValueError, CompileError) as exc:
+        # SchemaError is a ValueError: bad payloads land here too
+        kind = "schema error" if isinstance(exc, SchemaError) else "error"
+        message = (exc.args[0] if isinstance(exc, (KeyError, ValueError))
+                   and exc.args else exc)
+        print(f"xmt-compare: {kind}: {message}", file=sys.stderr)
+        return 2
+
+
+def _compare_sweep(args) -> int:
+    from repro.sim.observability import (
+        Ledger,
+        instrumented_run,
+        render_sweep_table,
+    )
+
+    axes = _parse_vary(args.vary)
+    program, source = _load_program(args.program, _compile_options(args))
+    _apply_globals(program, args.set)
+    base = _compare_base_config(args)
+    ledger = Ledger(args.ledger) if args.ledger else None
+    records = []
+    for overrides in _grid(axes):
+        label = ",".join(f"{k}={v}" for k, v in overrides.items())
+        config = base.scaled(**overrides)
+        config.validate()
+        artifacts = instrumented_run(
+            program, config, source=source, program_path=args.program,
+            label=label, max_cycles=args.max_cycles)
+        record = (ledger.record_artifacts(artifacts) if ledger
+                  else artifacts.as_record())
+        print(f"xmt-compare: {label}: {record.cycles} cycles "
+              f"({record.run_id})", file=sys.stderr)
+        records.append(record)
+    print(render_sweep_table(records, [field for field, _ in axes],
+                             fmt=args.format))
+    if args.ledger:
+        print(f"xmt-compare: {len(records)} run(s) recorded in "
+              f"{args.ledger}; diff any pair with "
+              f"'xmt-compare diff ID ID --ledger {args.ledger}'",
+              file=sys.stderr)
+    return 0
+
+
+def _compare_check(args) -> int:
+    from repro.sim.observability import (
+        Ledger,
+        check_regressions,
+        compare_runs,
+        instrumented_run,
+        load_run,
+        write_run_dir,
+    )
+
+    # the baseline operand is a run directory unless it names the
+    # manifest file itself (a not-yet-existing directory stays a
+    # directory so --update-baseline can create it)
+    if args.baseline.endswith(".json"):
+        baseline_dir = os.path.dirname(args.baseline) or "."
+        manifest_path = args.baseline
+    else:
+        baseline_dir = args.baseline
+        manifest_path = os.path.join(args.baseline, "manifest.json")
+    baseline = None
+    if os.path.exists(manifest_path) or not args.update_baseline:
+        baseline = load_run(args.baseline)
+    program, source = _load_program(args.program, _compile_options(args))
+    _apply_globals(program, args.set)
+    config = _compare_base_config(
+        args, baseline.manifest if baseline is not None else None)
+    artifacts = instrumented_run(
+        program, config, source=source, program_path=args.program,
+        label="baseline" if args.update_baseline else "fresh",
+        max_cycles=args.max_cycles)
+    fresh = artifacts.as_record()
+    if args.update_baseline:
+        write_run_dir(baseline_dir, artifacts.manifest, artifacts.metrics,
+                      artifacts.profile)
+        print(f"xmt-compare: baseline {baseline_dir} updated "
+              f"({fresh.cycles} cycles, run {fresh.run_id})")
+        return 0
+    if args.ledger:
+        Ledger(args.ledger).record_artifacts(artifacts)
+    if (fresh.manifest["program"]["sha256"]
+            != baseline.manifest["program"]["sha256"]):
+        print("xmt-compare: warning: program differs from the baseline "
+              "run (stale baseline? rerun with --update-baseline)",
+              file=sys.stderr)
+    comparison = compare_runs(baseline, fresh, threshold=args.threshold)
+    print(comparison.render(args.format, top=args.top))
+    failures = check_regressions(comparison,
+                                 metrics=["cycles"] + args.metric)
+    if failures:
+        for failure in failures:
+            print(f"xmt-compare: {failure.format()}", file=sys.stderr)
+        return 1
+    print(f"xmt-compare: OK within +{100 * args.threshold:.1f}% "
+          f"of baseline {baseline.run_id}", file=sys.stderr)
     return 0
 
 
