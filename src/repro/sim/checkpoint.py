@@ -29,6 +29,7 @@ import heapq
 import pickle
 from typing import Optional
 
+from repro.isa.decode import decode_program
 from repro.sim.engine import Actor, PRIO_PLUGIN
 from repro.sim.functional import SimulationError
 from repro.sim.machine import Machine
@@ -97,7 +98,11 @@ def _detach_unpicklables(machine: Machine):
     sched = machine.scheduler
     detached = (machine.trace, machine.obs, machine.activity_plugins,
                 machine.filter_plugins, machine.filter_hook,
-                sched.check_hook, sched._heap, sched._cancelled)
+                sched.check_hook, sched._heap, sched._cancelled,
+                machine.decoded)
+    # the decode cache holds per-op handler closures (unpicklable) and
+    # is pure derived state: rebuilt from the program on restore
+    machine.decoded = None
     machine.trace = None
     machine.obs = None
     machine.activity_plugins = []
@@ -119,7 +124,8 @@ def _reattach(machine: Machine, detached) -> None:
     sched = machine.scheduler
     (machine.trace, machine.obs, machine.activity_plugins,
      machine.filter_plugins, machine.filter_hook,
-     sched.check_hook, sched._heap, sched._cancelled) = detached
+     sched.check_hook, sched._heap, sched._cancelled,
+     machine.decoded) = detached
 
 
 def load_bytes(payload: bytes) -> Machine:
@@ -130,6 +136,8 @@ def load_bytes(payload: bytes) -> Machine:
     # a snapshot taken at a pause must restore to a runnable machine
     machine.scheduler.stopped = False
     machine.pause_reason = None
+    # derived state: re-decode the program (never part of the pickle)
+    machine.decoded = decode_program(machine.program)
     return machine
 
 

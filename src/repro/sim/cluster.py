@@ -26,6 +26,7 @@ class Cluster:
             TCU(machine, self, cluster_id * cfg.tcus_per_cluster + i, i)
             for i in range(cfg.tcus_per_cluster)
         ]
+        self._tcu_ticks = [tcu.tick for tcu in self.tcus]
         self.domain = None  # set by the machine
         # shared-FU arbitration state
         self._fpu_pipelined = cfg.fpu_pipelined
@@ -36,6 +37,7 @@ class Cluster:
         self._mdu_busy_until = -1
         self.fpu_ops = 0
         self.mdu_ops = 0
+        self._counters = machine.stats.counters
 
     def try_issue_fu(self, fu: str, now: int, latency: int) -> bool:
         """Arbitrate the shared MDU/FPU; at most one issue per cycle, and
@@ -49,7 +51,7 @@ class Cluster:
             self._fpu_issued_at = now
             self._fpu_busy_until = now + latency * period
             self.fpu_ops += 1
-            self.machine.stats.inc("cluster.fpu_ops")
+            self._counters["cluster.fpu_ops"] += 1
             return True
         if fu == FU_MDU:
             if self._mdu_issued_at == now:
@@ -59,7 +61,7 @@ class Cluster:
             self._mdu_issued_at = now
             self._mdu_busy_until = now + latency * period
             self.mdu_ops += 1
-            self.machine.stats.inc("cluster.mdu_ops")
+            self._counters["cluster.mdu_ops"] += 1
             return True
         raise AssertionError(f"unknown shared FU {fu}")
 
@@ -69,8 +71,8 @@ class Cluster:
         # macro-actor efficiency argument of Section III-D).
         if not self.machine.parallel_active:
             return
-        for tcu in self.tcus:
-            tcu.tick(cycle)
+        for tick in self._tcu_ticks:
+            tick(cycle)
 
     def invalidate_caches(self) -> None:
         self.ro_cache.invalidate()

@@ -255,6 +255,11 @@ class ClockDomain(Actor):
         self.period = period
         self.priority = priority
         self.components: List[Any] = []
+        #: flat list of bound ``tick`` methods, maintained by :meth:`add`
+        #: so the per-edge loop skips the attribute traversal per
+        #: component per cycle (bound methods pickle fine: checkpoints
+        #: restore them against the restored components)
+        self._ticks: List[Callable[[int], None]] = []
         self.cycle = 0
         self.enabled = True
         self.running = False
@@ -265,6 +270,7 @@ class ClockDomain(Actor):
     def add(self, component: Any) -> None:
         """Register a component exposing ``tick(cycle)``."""
         self.components.append(component)
+        self._ticks.append(component.tick)
 
     def start(self, scheduler: Scheduler, phase: int = 0) -> None:
         if self.running:
@@ -290,8 +296,8 @@ class ClockDomain(Actor):
             return
         if self.enabled:
             cycle = self.cycle
-            for component in self.components:
-                component.tick(cycle)
+            for tick in self._ticks:
+                tick(cycle)
             if self.on_tick is not None:
                 self.on_tick(cycle)
             self.cycle += 1

@@ -9,6 +9,14 @@ debugging tool for XMTC programs" -- but, as the paper notes, it cannot
 reveal concurrency bugs, because each spawn block executes its virtual
 threads one after the other on a single execution context.
 
+Execution runs over the pre-decoded micro-op form of the program
+(:mod:`repro.isa.decode`): each instruction is decoded exactly once at
+load time into a :class:`~repro.isa.decode.MicroOp` carrying its integer
+opcode, pre-resolved registers and operational definition, and the main
+loops dispatch through the flat :data:`HANDLERS` table -- the same
+opcode space the cycle-accurate processors dispatch on, so the two modes
+cannot diverge on instruction semantics, only on timing.
+
 The optional *race sanitizer* (:class:`repro.sim.plugins.RaceSanitizer`,
 passed as ``sanitizer=``) closes part of that gap: it records, per spawn
 region and per address, which virtual-thread ids loaded, stored and
@@ -23,17 +31,47 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.isa import instructions as I
+from repro.isa.decode import (
+    MicroOp,
+    N_OPCODES,
+    OP_ALU,
+    OP_ALU_IMM,
+    OP_ALU_SHARED,
+    OP_BRANCH,
+    OP_CHKID,
+    OP_FENCE,
+    OP_GETG,
+    OP_GETTCU,
+    OP_GETVT,
+    OP_HALT,
+    OP_JAL,
+    OP_JOIN,
+    OP_JR,
+    OP_JUMP,
+    OP_LI,
+    OP_LOAD,
+    OP_LOAD_RO,
+    OP_NOP,
+    OP_PREFETCH,
+    OP_PRINT,
+    OP_PS,
+    OP_PSM,
+    OP_SETG,
+    OP_SPAWN,
+    OP_STORE,
+    OP_STORE_NB,
+    OP_UNARY,
+    OP_UNARY_SHARED,
+    decode_program,
+)
 from repro.isa.program import Program
-from repro.isa.registers import NUM_GLOBAL_REGS, NUM_REGS, REG_SP, REG_ZERO
+from repro.isa.registers import NUM_GLOBAL_REGS, NUM_REGS, REG_RA, REG_SP, REG_ZERO
 from repro.isa.semantics import (
-    BRANCH_CONDS,
     TrapError,
     check_word_addr,
-    eval_binop,
     format_print,
     to_signed,
     to_unsigned,
-    UNOPS,
 )
 
 #: Default top-of-stack for the Master TCU's serial stack.
@@ -63,7 +101,14 @@ class Memory:
 
 
 class CoreState:
-    """Register file + program counter of one execution context."""
+    """Register file + program counter of one execution context.
+
+    The register file is a fixed-size list indexed by the pre-resolved
+    register numbers on each micro-op.  ``$zero`` is hard-wired: *all*
+    architectural writes funnel through :meth:`write`, which discards
+    stores to register 0, so ``regs[0]`` is invariantly 0 and reads need
+    no special case.
+    """
 
     __slots__ = ("regs", "pc")
 
@@ -101,6 +146,161 @@ class SimulationError(Exception):
     """Raised when the simulated program traps or misbehaves."""
 
 
+# -- the functional dispatch table ---------------------------------------------
+#
+# One handler per opcode, indexed by ``MicroOp.code``.  Handlers advance
+# ``core.pc`` themselves (branches/jumps set it absolutely).  Control
+# opcodes (spawn/join/getvt/chkid/gettcu/halt) are context-dependent and
+# are intercepted by the main loops before dispatch; their table entries
+# trap so that reaching one through the table is a loud bug, never a
+# silent skip.
+
+def _h_alu(sim, core, u: MicroOp) -> None:
+    regs = core.regs
+    core.write(u.rd, u.fn(regs[u.rs], regs[u.rt]))
+    core.pc += 1
+
+
+def _h_alu_imm(sim, core, u: MicroOp) -> None:
+    core.write(u.rd, u.fn(core.regs[u.rs], u.imm))
+    core.pc += 1
+
+
+def _h_li(sim, core, u: MicroOp) -> None:
+    core.write(u.rd, u.imm)
+    core.pc += 1
+
+
+def _h_unary(sim, core, u: MicroOp) -> None:
+    core.write(u.rd, u.fn(core.regs[u.rs]))
+    core.pc += 1
+
+
+def _h_branch(sim, core, u: MicroOp) -> None:
+    regs = core.regs
+    if u.fn(regs[u.rs], regs[u.rt] if u.rt >= 0 else 0):
+        core.pc = u.target
+    else:
+        core.pc += 1
+
+
+def _h_jump(sim, core, u: MicroOp) -> None:
+    core.pc = u.target
+
+
+def _h_jal(sim, core, u: MicroOp) -> None:
+    core.write(REG_RA, to_unsigned(core.pc + 1))
+    core.pc = u.target
+
+
+def _h_jr(sim, core, u: MicroOp) -> None:
+    core.pc = to_unsigned(core.regs[u.rs])
+
+
+def _h_load(sim, core, u: MicroOp) -> None:
+    addr = to_unsigned(core.regs[u.rs] + u.imm)
+    if sim.sanitizer is not None:
+        sim.sanitizer.on_load(addr, u.ins)
+    core.write(u.rd, sim.memory.load(addr))
+    core.pc += 1
+
+
+def _h_store(sim, core, u: MicroOp) -> None:
+    regs = core.regs
+    addr = to_unsigned(regs[u.rs] + u.imm)
+    if sim.sanitizer is not None:
+        sim.sanitizer.on_store(addr, u.ins)
+    sim.memory.store(addr, regs[u.rt])
+    core.pc += 1
+
+
+def _h_psm(sim, core, u: MicroOp) -> None:
+    regs = core.regs
+    addr = to_unsigned(regs[u.rs] + u.imm)
+    if sim.sanitizer is not None:
+        sim.sanitizer.on_psm(addr, u.ins)
+    core.write(u.rd, sim.memory.psm(addr, to_signed(regs[u.rd])))
+    core.pc += 1
+
+
+def _h_prefetch(sim, core, u: MicroOp) -> None:
+    core.pc += 1  # timing hint only
+
+
+def _h_ps(sim, core, u: MicroOp) -> None:
+    amount = core.regs[u.rd]
+    old = sim.global_regs[u.imm]
+    sim.global_regs[u.imm] = (old + amount) & 0xFFFFFFFF
+    core.write(u.rd, old)
+    core.pc += 1
+
+
+def _h_getg(sim, core, u: MicroOp) -> None:
+    core.write(u.rd, sim.global_regs[u.imm])
+    core.pc += 1
+
+
+def _h_setg(sim, core, u: MicroOp) -> None:
+    sim.global_regs[u.imm] = core.regs[u.rd]
+    core.pc += 1
+
+
+def _h_fence(sim, core, u: MicroOp) -> None:
+    core.pc += 1  # ordering is trivially satisfied in functional mode
+
+
+def _h_nop(sim, core, u: MicroOp) -> None:
+    core.pc += 1
+
+
+def _h_print(sim, core, u: MicroOp) -> None:
+    fmt = sim.program.strings[u.imm]
+    regs = core.regs
+    sim.output.append(format_print(fmt, [regs[r] for r in u.reads]))
+    core.pc += 1
+
+
+def _make_control_trap(what: str):
+    def handler(sim, core, u: MicroOp) -> None:
+        raise TrapError(f"{what} dispatched through the functional table")
+    return handler
+
+
+HANDLERS: List[Callable] = [None] * N_OPCODES
+HANDLERS[OP_ALU] = _h_alu
+HANDLERS[OP_ALU_SHARED] = _h_alu    # shared-FU timing is a cycle-mode concern
+HANDLERS[OP_ALU_IMM] = _h_alu_imm
+HANDLERS[OP_LI] = _h_li
+HANDLERS[OP_UNARY] = _h_unary
+HANDLERS[OP_UNARY_SHARED] = _h_unary
+HANDLERS[OP_BRANCH] = _h_branch
+HANDLERS[OP_JUMP] = _h_jump
+HANDLERS[OP_JAL] = _h_jal
+HANDLERS[OP_JR] = _h_jr
+HANDLERS[OP_LOAD] = _h_load
+HANDLERS[OP_LOAD_RO] = _h_load      # lwro: same value, different cache path
+HANDLERS[OP_STORE] = _h_store
+HANDLERS[OP_STORE_NB] = _h_store
+HANDLERS[OP_PSM] = _h_psm
+HANDLERS[OP_PREFETCH] = _h_prefetch
+HANDLERS[OP_PS] = _h_ps
+HANDLERS[OP_GETG] = _h_getg
+HANDLERS[OP_SETG] = _h_setg
+HANDLERS[OP_FENCE] = _h_fence
+HANDLERS[OP_NOP] = _h_nop
+HANDLERS[OP_PRINT] = _h_print
+HANDLERS[OP_GETVT] = _make_control_trap("getvt")
+HANDLERS[OP_GETTCU] = _make_control_trap("gettcu")
+HANDLERS[OP_CHKID] = _make_control_trap("chkid")
+HANDLERS[OP_SPAWN] = _make_control_trap("spawn")
+HANDLERS[OP_JOIN] = _make_control_trap("join")
+HANDLERS[OP_HALT] = _make_control_trap("halt")
+
+# every opcode must have a handler; a new opcode without one fails the
+# import, not the first program that happens to use it
+assert all(h is not None for h in HANDLERS), "functional HANDLERS incomplete"
+
+
 class FunctionalSimulator:
     """Executes a :class:`Program` in fast functional mode."""
 
@@ -109,6 +309,7 @@ class FunctionalSimulator:
                  on_instruction: Optional[Callable[[I.Instruction, CoreState], None]] = None,
                  sanitizer=None):
         self.program = program
+        self.decoded = decode_program(program)
         #: optional dynamic race sanitizer (duck-typed like
         #: :class:`repro.sim.plugins.RaceSanitizer`): notified of spawn
         #: region boundaries, granted thread ids and memory traffic
@@ -136,9 +337,12 @@ class FunctionalSimulator:
         Used by phase sampling (Section III-F): the cycle-accurate
         machine hands its live memory / global registers / output list
         to a functional executor to fast-forward a parallel section.
+        The decode cache is shared too -- both modes read the same
+        micro-ops.
         """
         sim = cls.__new__(cls)
         sim.program = program
+        sim.decoded = decode_program(program)
         sim.memory = memory
         sim.global_regs = global_regs
         sim.master = CoreState(pc=program.entry)
@@ -178,51 +382,59 @@ class FunctionalSimulator:
 
     # -- execution ---------------------------------------------------------------
 
-    def _bump(self, ins: I.Instruction) -> None:
+    def _bump(self, u: MicroOp) -> None:
         self.instructions_executed += 1
         counts = self.instruction_counts
-        counts[ins.op] = counts.get(ins.op, 0) + 1
+        counts[u.op] = counts.get(u.op, 0) + 1
         if (self.max_instructions is not None
                 and self.instructions_executed > self.max_instructions):
             raise SimulationError(
                 f"instruction budget exceeded ({self.max_instructions}); "
                 "likely an infinite loop")
         if self.on_instruction is not None:
-            self.on_instruction(ins, self._current_core)
+            self.on_instruction(u.ins, self._current_core)
 
-    def _trap(self, ins: I.Instruction, message: str) -> "SimulationError":
+    def _trap(self, u, message: str) -> "SimulationError":
         return SimulationError(
-            f"trap at text index {ins.index} (asm line {ins.line}, {ins.op}): {message}")
+            f"trap at text index {u.index} (asm line {u.line}, {u.op}): {message}")
 
     def _exec_serial(self, core: CoreState) -> None:
         """Serial execution on the Master until halt; spawns serialize."""
         program = self.program
-        instrs = program.instructions
-        n = len(instrs)
+        uops = self.decoded.uops
+        n = len(uops)
+        handlers = HANDLERS
         self._current_core = core
         while not self._halted:
-            if not 0 <= core.pc < n:
-                raise SimulationError(f"PC out of range: {core.pc}")
-            ins = instrs[core.pc]
-            self._bump(ins)
-            op = ins.op
-            if op == "spawn":
-                low = to_signed(core.read(ins.rs))
-                high = to_signed(core.read(ins.rt))
-                region = program.region_for_spawn(core.pc)
+            pc = core.pc
+            if not 0 <= pc < n:
+                raise SimulationError(f"PC out of range: {pc}")
+            u = uops[pc]
+            self._bump(u)
+            code = u.code
+            if code < OP_GETVT:  # the common, mode-independent group
+                try:
+                    handlers[code](self, core, u)
+                except TrapError as exc:
+                    raise self._trap(u, str(exc)) from None
+                continue
+            if code == OP_SPAWN:
+                regs = core.regs
+                low = to_signed(regs[u.rs])
+                high = to_signed(regs[u.rt])
+                region = program.region_for_spawn(pc)
                 self._run_spawn_serialized(core, region, low, high)
                 core.pc = region.join_index + 1
                 self._current_core = core
                 continue
-            if op == "join":
-                raise self._trap(ins, "join reached in serial flow "
-                                      "(fell through into a spawn region?)")
-            if op in ("getvt", "chkid", "gettcu"):
-                raise self._trap(ins, f"{op} outside a spawn region")
-            if op == "halt":
+            if code == OP_HALT:
                 self._halted = True
                 return
-            self._step(core, ins)
+            if code == OP_JOIN:
+                raise self._trap(u, "join reached in serial flow "
+                                    "(fell through into a spawn region?)")
+            # getvt / chkid / gettcu
+            raise self._trap(u, f"{u.op} outside a spawn region")
 
     def _run_spawn_serialized(self, master: CoreState, region, low: int, high: int) -> None:
         """Serialize a spawn block: one context runs all virtual threads.
@@ -235,117 +447,60 @@ class FunctionalSimulator:
         tcu = CoreState(pc=region.start)
         tcu.copy_from(master)
         counter = low
-        instrs = self.program.instructions
+        uops = self.decoded.uops
+        n = len(uops)
+        handlers = HANDLERS
+        parallel_calls = self.program.parallel_calls
+        region_start = region.start
+        region_join = region.join_index
         self._current_core = tcu
         sanitizer = self.sanitizer
         if sanitizer is not None:
             sanitizer.region_begin(region)
         while True:
-            if not region.contains(tcu.pc):
-                if tcu.pc == region.join_index:
+            pc = tcu.pc
+            if not region_start <= pc < region_join:
+                if pc == region_join:
                     raise SimulationError(
                         "TCU flowed into join without a chkid park "
-                        f"(text index {tcu.pc})")
-                if not self.program.parallel_calls:
+                        f"(text index {pc})")
+                if not parallel_calls:
                     # The XMT hardware cannot execute instructions that
                     # were not broadcast -- exactly the Fig. 9 basic-block
                     # layout hazard the compiler post-pass must prevent.
                     raise SimulationError(
                         "control left the spawn region to text index "
-                        f"{tcu.pc} (basic-block layout bug? see paper "
+                        f"{pc} (basic-block layout bug? see paper "
                         "Fig. 9)")
-                if not 0 <= tcu.pc < len(instrs):
-                    raise SimulationError(f"TCU PC out of range: {tcu.pc}")
-            ins = instrs[tcu.pc]
-            self._bump(ins)
-            op = ins.op
-            if op == "getvt":
-                tcu.write(ins.rd, to_unsigned(counter))
+                if not 0 <= pc < n:
+                    raise SimulationError(f"TCU PC out of range: {pc}")
+            u = uops[pc]
+            self._bump(u)
+            code = u.code
+            if code < OP_GETVT:
+                try:
+                    handlers[code](self, tcu, u)
+                except TrapError as exc:
+                    raise self._trap(u, str(exc)) from None
+                continue
+            if code == OP_GETVT:
+                tcu.write(u.rd, to_unsigned(counter))
                 if sanitizer is not None:
                     sanitizer.set_thread(counter)
                 counter += 1
-                tcu.pc += 1
+                tcu.pc = pc + 1
                 continue
-            if op == "gettcu":
-                tcu.write(ins.rd, 0)  # one serialized context
-                tcu.pc += 1
-                continue
-            if op == "chkid":
-                vt = to_signed(tcu.read(ins.rs))
+            if code == OP_CHKID:
+                vt = to_signed(tcu.regs[u.rs])
                 if vt > high:
                     if sanitizer is not None:
                         sanitizer.region_end()
                     return  # all virtual threads done; hardware joins
-                tcu.pc += 1
+                tcu.pc = pc + 1
                 continue
-            if op in ("spawn", "halt", "join"):
-                raise self._trap(ins, f"{op} inside a spawn region")
-            self._step(tcu, ins)
-
-    # one instruction, shared by serial and spawn paths --------------------------
-
-    def _step(self, core: CoreState, ins: I.Instruction) -> None:
-        op = ins.op
-        try:
-            if isinstance(ins, I.ALUOp):
-                core.write(ins.rd, eval_binop(op, core.read(ins.rs), core.read(ins.rt)))
-            elif isinstance(ins, I.ALUImm):
-                core.write(ins.rd, eval_binop(op, core.read(ins.rs), ins.imm))
-            elif isinstance(ins, I.LoadImm):
-                core.write(ins.rd, ins.imm)
-            elif isinstance(ins, I.UnaryOp):
-                core.write(ins.rd, UNOPS[op](core.read(ins.rs)))
-            elif isinstance(ins, I.Load):
-                addr = to_unsigned(core.read(ins.base) + ins.offset)
-                if self.sanitizer is not None:
-                    self.sanitizer.on_load(addr, ins)
-                core.write(ins.rd, self.memory.load(addr))
-            elif isinstance(ins, I.Store):
-                addr = to_unsigned(core.read(ins.base) + ins.offset)
-                if self.sanitizer is not None:
-                    self.sanitizer.on_store(addr, ins)
-                self.memory.store(addr, core.read(ins.rt))
-            elif isinstance(ins, I.Psm):
-                addr = to_unsigned(core.read(ins.base) + ins.offset)
-                if self.sanitizer is not None:
-                    self.sanitizer.on_psm(addr, ins)
-                old = self.memory.psm(addr, to_signed(core.read(ins.rd)))
-                core.write(ins.rd, old)
-            elif isinstance(ins, I.Ps):
-                if ins.mode == "ps":
-                    amount = core.read(ins.rd)
-                    old = self.global_regs[ins.greg]
-                    self.global_regs[ins.greg] = (old + amount) & 0xFFFFFFFF
-                    core.write(ins.rd, old)
-                elif ins.mode == "get":
-                    core.write(ins.rd, self.global_regs[ins.greg])
-                else:  # set
-                    self.global_regs[ins.greg] = core.read(ins.rd)
-            elif isinstance(ins, I.Branch):
-                a = core.read(ins.rs)
-                b = core.read(ins.rt) if ins.rt >= 0 else 0
-                if BRANCH_CONDS[op](a, b):
-                    core.pc = ins.target
-                    return
-            elif isinstance(ins, I.Jump):
-                if op == "jal":
-                    core.write(31, to_unsigned(core.pc + 1))
-                core.pc = ins.target
-                return
-            elif isinstance(ins, I.JumpReg):
-                core.pc = to_unsigned(core.read(ins.rs))
-                return
-            elif isinstance(ins, I.Prefetch):
-                pass  # timing hint only
-            elif isinstance(ins, I.Fence):
-                pass  # ordering is trivially satisfied in functional mode
-            elif isinstance(ins, I.Nop):
-                pass
-            elif isinstance(ins, I.Print):
-                fmt = self.program.strings[ins.fmt_id]
-                self.output.append(format_print(fmt, [core.read(r) for r in ins.regs]))
-            else:  # pragma: no cover - assembler prevents this
-                raise TrapError(f"unhandled instruction {op}")
-        except TrapError as exc:
-            raise self._trap(ins, str(exc)) from None
-        core.pc += 1
+            if code == OP_GETTCU:
+                tcu.write(u.rd, 0)  # one serialized context
+                tcu.pc = pc + 1
+                continue
+            # spawn / halt / join
+            raise self._trap(u, f"{u.op} inside a spawn region")

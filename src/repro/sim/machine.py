@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.isa.decode import decode_program
 from repro.isa.program import Program
 from repro.isa.registers import NUM_GLOBAL_REGS, REG_SP
 from repro.sim.cluster import Cluster
@@ -121,6 +122,10 @@ class Machine:
     def __init__(self, program: Program, config: Optional[XMTConfig] = None,
                  plugins=(), trace=None, observability=None):
         self.program = program
+        #: the shared decode of the program: one MicroOp per instruction,
+        #: read-only across the Master and all TCUs (decoded once here,
+        #: stripped from checkpoints and rebuilt on restore)
+        self.decoded = decode_program(program)
         self.config = config or fpga64()
         self.config.validate()
         cfg = self.config
@@ -258,10 +263,12 @@ class Machine:
     def note_progress(self) -> None:
         self.last_progress = self.scheduler.now
 
-    def count_instruction(self, ins) -> None:
+    def count_instruction(self, u) -> None:
+        # the keys are interned on the MicroOp at decode time; this is
+        # called once per issued instruction on every processor
         stats = self.stats.counters
-        stats[f"instructions.{ins.op}"] += 1
-        stats[f"instr_class.{ins.fu}"] += 1
+        stats[u.stat_key] += 1
+        stats[u.class_key] += 1
 
     def emit_output(self, text: str) -> None:
         self.output.append(text)

@@ -12,9 +12,9 @@ implements the memory model's ordering at spawn boundaries.
 
 from __future__ import annotations
 
-from repro.isa import instructions as I
+from repro.isa.decode import MicroOp, OP_CHKID, OP_GETVT, OP_JOIN
 from repro.isa.registers import REG_ZERO
-from repro.isa.semantics import to_signed, to_unsigned
+from repro.isa.semantics import to_signed
 from repro.sim import packages as P
 from repro.sim.cache import MasterCache
 from repro.sim.engine import TimedQueue
@@ -24,6 +24,10 @@ from repro.sim.tcu import ProcessorBase
 
 class MasterTCU(ProcessorBase):
     kind = "master"
+    # Write-buffer semantics: master stores retire asynchronously;
+    # ordering to the same address is preserved by the FIFO path and
+    # spawn/fence drain the buffer.
+    _store_kind = P.STORE_NB
 
     def __init__(self, machine):
         super().__init__(machine, tcu_id=-1)
@@ -49,12 +53,6 @@ class MasterTCU(ProcessorBase):
             return True
         return False
 
-    def _store_blocks(self, ins: I.Store) -> bool:
-        # Write-buffer semantics: master stores retire asynchronously;
-        # ordering to the same address is preserved by the FIFO path and
-        # spawn/fence drain the buffer.
-        return False
-
     def describe_state(self) -> dict:
         d = super().describe_state()
         if self.halted:
@@ -65,16 +63,16 @@ class MasterTCU(ProcessorBase):
 
     # -- master cache ----------------------------------------------------------
 
-    def _try_local_load(self, now: int, ins: I.Load, addr: int) -> bool:
+    def _try_local_load(self, now: int, u: MicroOp, addr: int) -> bool:
         if not self.cache.probe_read(addr):
             return False
         value = self.machine.memory.load(addr)
         latency = self.cache.hit_latency
         if latency <= 1:
-            self.core.write(ins.rd, value)
-        elif ins.rd != REG_ZERO:
-            self.pending_regs.add(ins.rd)
-            self.deliver(now + latency * self._period(), ("reg", ins.rd, value))
+            self.core.write(u.rd, value)
+        elif u.rd != REG_ZERO:
+            self.pending_regs.add(u.rd)
+            self.deliver(now + latency * self._period(), ("reg", u.rd, value))
         return True
 
     def _on_load_reply(self, pkg: P.Package) -> None:
@@ -92,17 +90,17 @@ class MasterTCU(ProcessorBase):
 
     # -- spawn / halt / resume -----------------------------------------------------
 
-    def _issue_spawn(self, now: int, ins: I.Spawn) -> None:
+    def _issue_spawn(self, now: int, u: MicroOp) -> None:
         if self.outstanding_loads or self.outstanding_stores:
             # memory operations are ordered with respect to the beginning
             # of the spawn: drain the write buffer first
             self._stall("spawn_drain")
             return
-        self._count_issue(ins)
+        self._count_issue(u)
         machine = self.machine
         region = machine.program.region_for_spawn(self.core.pc)
-        low = to_signed(self.core.read(ins.rs))
-        high = to_signed(self.core.read(ins.rt))
+        low = to_signed(self.core.regs[u.rs])
+        high = to_signed(self.core.regs[u.rt])
         self.cache.invalidate()
         n_threads = max(0, high - low + 1)
         sampler = machine.sampler
@@ -132,18 +130,18 @@ class MasterTCU(ProcessorBase):
         self.core.pc = pc
         self.active = True
 
-    def _issue_halt(self, now: int, ins: I.Halt) -> None:
+    def _issue_halt(self, now: int, u: MicroOp) -> None:
         if self.outstanding_loads or self.outstanding_stores:
             self._stall("halt_drain")
             return
-        self._count_issue(ins)
+        self._count_issue(u)
         self.halted = True
         self.machine.halt(now)
 
     # -- the clock edge --------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        now = self.machine.scheduler.now
+        now = self._sched.now
         if self.inbox:
             self._drain_inbox(now)
         if not self.active or self.halted:
@@ -159,13 +157,14 @@ class MasterTCU(ProcessorBase):
             return
         self._issue(now)
 
-    def _check_fetch(self, pc: int) -> I.Instruction:
-        instrs = self.machine.program.instructions
-        if not 0 <= pc < len(instrs):
+    def _check_fetch(self, pc: int) -> MicroOp:
+        uops = self.machine.decoded.uops
+        if not 0 <= pc < len(uops):
             raise SimulationError(f"Master PC out of range: {pc}")
-        ins = instrs[pc]
-        if ins.op in ("getvt", "chkid"):
-            raise self._trap(ins, f"{ins.op} in serial code")
-        if ins.op == "join":
-            raise self._trap(ins, "fell through into a spawn region")
-        return ins
+        u = uops[pc]
+        code = u.code
+        if code == OP_GETVT or code == OP_CHKID:
+            raise self._trap(u, f"{u.op} in serial code")
+        if code == OP_JOIN:
+            raise self._trap(u, "fell through into a spawn region")
+        return u

@@ -9,6 +9,14 @@ become :class:`~repro.sim.packages.Package` objects that travel through
 the cluster send port, the ICN and a shared-cache module, and expire
 when the response returns to the commit stage -- the package life cycle
 of Section III-A.
+
+The issue slot is the simulator's hottest code.  Processors execute the
+pre-decoded micro-op stream (:mod:`repro.isa.decode`): every fetch
+returns a :class:`~repro.isa.decode.MicroOp` whose integer opcode
+indexes a flat per-instance table of bound handler methods, whose
+pre-resolved ``reads``/``wr`` feed the scoreboard without re-calling the
+instruction's classification methods, and whose ``fn`` slot carries the
+operational definition shared with the functional mode.
 """
 
 from __future__ import annotations
@@ -18,18 +26,80 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.isa import instructions as I
-from repro.isa.registers import REG_ZERO
-from repro.isa.semantics import (
-    BRANCH_CONDS,
-    TrapError,
-    eval_binop,
-    format_print,
-    to_signed,
-    to_unsigned,
-    UNOPS,
+from repro.isa.decode import (
+    MicroOp,
+    N_OPCODES,
+    OP_ALU,
+    OP_ALU_IMM,
+    OP_ALU_SHARED,
+    OP_BRANCH,
+    OP_CHKID,
+    OP_FENCE,
+    OP_GETG,
+    OP_GETTCU,
+    OP_GETVT,
+    OP_HALT,
+    OP_JAL,
+    OP_JOIN,
+    OP_JR,
+    OP_JUMP,
+    OP_LI,
+    OP_LOAD,
+    OP_LOAD_RO,
+    OP_NOP,
+    OP_PREFETCH,
+    OP_PRINT,
+    OP_PS,
+    OP_PSM,
+    OP_SETG,
+    OP_SPAWN,
+    OP_STORE,
+    OP_STORE_NB,
+    OP_UNARY,
+    OP_UNARY_SHARED,
 )
+from repro.isa.registers import REG_RA, REG_ZERO
+from repro.isa.semantics import TrapError, format_print, to_signed, to_unsigned
 from repro.sim import packages as P
 from repro.sim.functional import CoreState, SimulationError
+
+#: opcode -> handler method name; resolved to bound methods per instance
+#: by :meth:`ProcessorBase._build_handlers` (so subclass overrides of the
+#: ``_issue_*`` hooks are respected).  Built as a dict keyed on the named
+#: constants, flattened to a list indexed by opcode.
+_HANDLER_NAMES_BY_CODE = {
+    OP_ALU: "_h_aluop",
+    OP_ALU_SHARED: "_h_alu_shared",
+    OP_ALU_IMM: "_h_aluimm",
+    OP_LI: "_h_loadimm",
+    OP_UNARY: "_h_unary",
+    OP_UNARY_SHARED: "_h_unary_shared",
+    OP_BRANCH: "_h_branch",
+    OP_JUMP: "_h_jump",
+    OP_JAL: "_h_jal",
+    OP_JR: "_h_jumpreg",
+    OP_LOAD: "_h_load",
+    OP_LOAD_RO: "_h_load",
+    OP_STORE: "_h_store",
+    OP_STORE_NB: "_h_store_nb",
+    OP_PSM: "_h_psm",
+    OP_PREFETCH: "_h_prefetch",
+    OP_PS: "_h_ps",
+    OP_GETG: "_h_getg",
+    OP_SETG: "_h_setg",
+    OP_FENCE: "_h_fence",
+    OP_NOP: "_h_nop",
+    OP_PRINT: "_h_print",
+    OP_GETVT: "_issue_getvt",
+    OP_GETTCU: "_issue_gettcu",
+    OP_CHKID: "_issue_chkid",
+    OP_SPAWN: "_issue_spawn",
+    OP_JOIN: "_h_join",
+    OP_HALT: "_issue_halt",
+}
+assert sorted(_HANDLER_NAMES_BY_CODE) == list(range(N_OPCODES)), \
+    "processor handler table incomplete"
+_HANDLER_NAMES: List[str] = [_HANDLER_NAMES_BY_CODE[c] for c in range(N_OPCODES)]
 
 
 class ProcessorBase:
@@ -37,6 +107,9 @@ class ProcessorBase:
 
     #: stats key prefix ("tcu" or "master")
     kind = "tcu"
+    #: package kind for a blocking ``sw`` (the Master's write buffer
+    #: makes every store non-blocking; see MasterTCU)
+    _store_kind = P.STORE
 
     def __init__(self, machine, tcu_id: int):
         self.machine = machine
@@ -49,8 +122,27 @@ class ProcessorBase:
         self.wait_store_ack = False
         self.stall_until = -1
         self.inbox: List[Tuple[int, int, object]] = []
-        self._retry: Optional[Tuple[P.Package, I.Instruction]] = None
+        self._retry: Optional[Tuple[P.Package, MicroOp]] = None
         self.instructions_issued = 0
+        #: stall cause -> interned stats key ("tcu.stall.memory", ...)
+        self._stall_keys: Dict[str, str] = {}
+        # hot-path caches: the counter dict and scheduler live as long as
+        # the machine (checkpoints preserve identity through the pickle
+        # memo); the latencies are fixed once the config validates
+        self._counters = machine.stats.counters
+        self._sched = machine.scheduler
+        # interned keys for the stall causes hit every blocked cycle
+        kind = self.kind
+        self._k_memory = kind + ".stall.memory"
+        self._k_fu = kind + ".stall.fu"
+        self._k_latency = kind + ".stall.latency"
+        self._k_store_ack = kind + ".stall.store_ack"
+        self._k_drain = kind + ".stall.drain"
+        cfg = machine.config
+        self._mdu_latency = cfg.mdu_latency
+        self._fpu_latency = cfg.fpu_latency
+        self._alu_extra = cfg.alu_latency - 1
+        self._branch_extra = cfg.branch_latency - 1
         self._build_handlers()
 
     # -- delivery -------------------------------------------------------------
@@ -117,20 +209,23 @@ class ProcessorBase:
     def _stall(self, cause: str) -> None:
         """Count a wasted issue slot; the profiler charges the cycle to
         the instruction the processor is blocked at (``core.pc``)."""
-        machine = self.machine
-        machine.stats.inc(f"{self.kind}.stall.{cause}")
-        if machine.obs is not None:
-            machine.obs.processor_stalled(self, cause)
+        key = self._stall_keys.get(cause)
+        if key is None:
+            key = self._stall_keys[cause] = f"{self.kind}.stall.{cause}"
+        self._counters[key] += 1
+        obs = self.machine.obs
+        if obs is not None:
+            obs.processor_stalled(self, cause)
 
-    def _sources_ready(self, ins: I.Instruction) -> bool:
+    def _sources_ready(self, u: MicroOp) -> bool:
         pending = self.pending_regs
         if not pending:
             return True
-        for r in ins.reads():
+        for r in u.reads:
             if r in pending:
                 return False
-        rd = ins.writes()
-        return rd is None or rd not in pending
+        wr = u.wr
+        return wr < 0 or wr not in pending
 
     def _period(self) -> int:
         return self.domain_period()
@@ -138,9 +233,9 @@ class ProcessorBase:
     def domain_period(self) -> int:
         raise NotImplementedError
 
-    def _trap(self, ins: I.Instruction, message: str) -> SimulationError:
+    def _trap(self, u, message: str) -> SimulationError:
         return SimulationError(
-            f"trap at text index {ins.index} (asm line {ins.line}, {ins.op}) "
+            f"trap at text index {u.index} (asm line {u.line}, {u.op}) "
             f"on {self.kind} {self.tcu_id}: {message}")
 
     # -- resilience hooks -------------------------------------------------------
@@ -174,250 +269,256 @@ class ProcessorBase:
     def _push_package(self, now: int, pkg: P.Package) -> bool:
         raise NotImplementedError
 
-    def _try_local_load(self, now: int, ins: I.Load, addr: int) -> bool:
+    def _try_local_load(self, now: int, u: MicroOp, addr: int) -> bool:
         """Service a load locally (prefetch buffer / master cache).
         Returns True if handled."""
         return False
 
-    def _store_blocks(self, ins: I.Store) -> bool:
-        return not ins.nonblocking
-
     # -- the issue slot ---------------------------------------------------------
 
-    def _check_fetch(self, pc: int) -> I.Instruction:
+    def _check_fetch(self, pc: int) -> MicroOp:
         raise NotImplementedError
 
     def _issue(self, now: int) -> None:
         """Try to issue one instruction this cycle."""
-        core = self.core
         if self._retry is not None:
-            pkg, ins = self._retry
+            pkg, u = self._retry
             if not self._push_package(now, pkg):
                 self._stall("send_queue")
                 return
             self._retry = None
-            self._apply_mem_issue(now, pkg, ins)
+            self._apply_mem_issue(now, pkg, u)
             return
 
-        ins = self._check_fetch(core.pc)
-        if not self._sources_ready(ins):
+        u = self._check_fetch(self.core.pc)
+        if not self._sources_ready(u):
             self._stall("memory")
             return
-        self._dispatch(now, ins)
+        self._handlers[u.code](now, u)
 
-    def _count_issue(self, ins: I.Instruction) -> None:
+    def _count_issue(self, u: MicroOp) -> None:
         self.instructions_issued += 1
+        counters = self._counters
+        counters[u.stat_key] += 1
+        counters[u.class_key] += 1
         machine = self.machine
-        machine.count_instruction(ins)
-        machine.note_progress()
+        machine.last_progress = self._sched.now
         if machine.obs is not None:
-            machine.obs.instruction_issued(self, ins)
+            machine.obs.instruction_issued(self, u)
 
     # -- dispatch ------------------------------------------------------------------
     #
-    # Issue dispatch goes through a per-instance table of bound methods
-    # keyed on the instruction's concrete class: the issue slot is the
-    # simulator's hottest code, and the table replaces a long isinstance
-    # chain (respecting subclass overrides of the _issue_* hooks).
-
-    #: instruction class -> handler method name
-    _HANDLER_NAMES = {
-        I.ALUOp: "_h_aluop",
-        I.ALUImm: "_h_aluimm",
-        I.LoadImm: "_h_loadimm",
-        I.UnaryOp: "_h_unary",
-        I.Branch: "_h_branch",
-        I.Jump: "_h_jump",
-        I.JumpReg: "_h_jumpreg",
-        I.Load: "_issue_mem",
-        I.Store: "_issue_mem",
-        I.Psm: "_issue_mem",
-        I.Prefetch: "_issue_mem",
-        I.Ps: "_h_ps",
-        I.GetVT: "_issue_getvt",
-        I.ChkID: "_issue_chkid",
-        I.GetTCU: "_issue_gettcu",
-        I.Spawn: "_issue_spawn",
-        I.Halt: "_issue_halt",
-        I.Fence: "_h_fence",
-        I.Print: "_h_print",
-        I.Nop: "_h_nop",
-        I.Join: "_h_join",
-    }
+    # Issue dispatch goes through a per-instance flat list of bound
+    # methods indexed by the micro-op's integer opcode (built from
+    # _HANDLER_NAMES so subclasses override by redefining the method).
 
     def _build_handlers(self) -> None:
-        self._handlers = {cls: getattr(self, name)
-                          for cls, name in self._HANDLER_NAMES.items()}
+        self._handlers = [getattr(self, name) for name in _HANDLER_NAMES]
 
-    def _dispatch(self, now: int, ins: I.Instruction) -> None:
-        handler = self._handlers.get(type(ins))
-        if handler is None:  # pragma: no cover - assembler prevents this
-            raise self._trap(ins, "unhandled instruction kind")
-        handler(now, ins)
-
-    def _alu_tail(self, now: int, ins: I.Instruction) -> None:
+    def _alu_tail(self, now: int) -> None:
         self.core.pc += 1
-        cfg = self.machine.config
-        if cfg.alu_latency > 1:
-            self.stall_until = now + (cfg.alu_latency - 1) * self._period()
+        extra = self._alu_extra
+        if extra > 0:
+            self.stall_until = now + extra * self._period()
 
-    def _shared_fu(self, now: int, ins, value_fn) -> None:
-        cfg = self.machine.config
-        latency = cfg.mdu_latency if ins.fu == I.FU_MDU else cfg.fpu_latency
-        if not self._try_issue_fu(ins.fu, now, latency):
+    def _h_aluop(self, now: int, u: MicroOp) -> None:
+        core = self.core
+        self._count_issue(u)
+        regs = core.regs
+        try:
+            core.write(u.rd, u.fn(regs[u.rs], regs[u.rt]))
+        except TrapError as exc:
+            raise self._trap(u, str(exc)) from None
+        self._alu_tail(now)
+
+    def _h_alu_shared(self, now: int, u: MicroOp) -> None:
+        # arbitrate *before* touching operands: on contention-heavy
+        # workloads most attempts stall, and the stall path must stay
+        # cheap (no closures, no evaluation)
+        latency = self._mdu_latency if u.fu == I.FU_MDU else self._fpu_latency
+        if not self._try_issue_fu(u.fu, now, latency):
             self._stall("fu")
             return
-        self._count_issue(ins)
+        self._count_issue(u)
+        regs = self.core.regs
         try:
-            value = value_fn()
+            value = u.fn(regs[u.rs], regs[u.rt])
         except TrapError as exc:
-            raise self._trap(ins, str(exc)) from None
-        if ins.rd != REG_ZERO:
-            self.pending_regs.add(ins.rd)
-        self.deliver(now + latency * self._period(), ("reg", ins.rd, value))
+            raise self._trap(u, str(exc)) from None
+        rd = u.rd
+        if rd != REG_ZERO:
+            self.pending_regs.add(rd)
+        self.deliver(now + latency * self._period(), ("reg", rd, value))
         self.core.pc += 1
 
-    def _h_aluop(self, now: int, ins: I.ALUOp) -> None:
+    def _h_unary(self, now: int, u: MicroOp) -> None:
         core = self.core
-        if ins._fu != I.FU_ALU:
-            self._shared_fu(now, ins, lambda: eval_binop(
-                ins.op, core.read(ins.rs), core.read(ins.rt)))
+        self._count_issue(u)
+        try:
+            core.write(u.rd, u.fn(core.regs[u.rs]))
+        except TrapError as exc:
+            raise self._trap(u, str(exc)) from None
+        self._alu_tail(now)
+
+    def _h_unary_shared(self, now: int, u: MicroOp) -> None:
+        latency = self._mdu_latency if u.fu == I.FU_MDU else self._fpu_latency
+        if not self._try_issue_fu(u.fu, now, latency):
+            self._stall("fu")
             return
-        self._count_issue(ins)
+        self._count_issue(u)
         try:
-            core.write(ins.rd,
-                       eval_binop(ins.op, core.read(ins.rs), core.read(ins.rt)))
+            value = u.fn(self.core.regs[u.rs])
         except TrapError as exc:
-            raise self._trap(ins, str(exc)) from None
-        self._alu_tail(now, ins)
+            raise self._trap(u, str(exc)) from None
+        rd = u.rd
+        if rd != REG_ZERO:
+            self.pending_regs.add(rd)
+        self.deliver(now + latency * self._period(), ("reg", rd, value))
+        self.core.pc += 1
 
-    def _h_unary(self, now: int, ins: I.UnaryOp) -> None:
+    def _h_aluimm(self, now: int, u: MicroOp) -> None:
         core = self.core
-        if ins._fu != I.FU_ALU:
-            self._shared_fu(now, ins, lambda: UNOPS[ins.op](core.read(ins.rs)))
-            return
-        self._count_issue(ins)
+        self._count_issue(u)
         try:
-            core.write(ins.rd, UNOPS[ins.op](core.read(ins.rs)))
+            core.write(u.rd, u.fn(core.regs[u.rs], u.imm))
         except TrapError as exc:
-            raise self._trap(ins, str(exc)) from None
-        self._alu_tail(now, ins)
+            raise self._trap(u, str(exc)) from None
+        self._alu_tail(now)
 
-    def _h_aluimm(self, now: int, ins: I.ALUImm) -> None:
+    def _h_loadimm(self, now: int, u: MicroOp) -> None:
+        self._count_issue(u)
+        self.core.write(u.rd, u.imm)
+        self._alu_tail(now)
+
+    def _h_branch(self, now: int, u: MicroOp) -> None:
         core = self.core
-        self._count_issue(ins)
-        try:
-            core.write(ins.rd, eval_binop(ins.op, core.read(ins.rs), ins.imm))
-        except TrapError as exc:
-            raise self._trap(ins, str(exc)) from None
-        self._alu_tail(now, ins)
-
-    def _h_loadimm(self, now: int, ins: I.LoadImm) -> None:
-        self._count_issue(ins)
-        self.core.write(ins.rd, ins.imm)
-        self._alu_tail(now, ins)
-
-    def _h_branch(self, now: int, ins: I.Branch) -> None:
-        core = self.core
-        self._count_issue(ins)
-        a = core.read(ins.rs)
-        b = core.read(ins.rt) if ins.rt >= 0 else 0
-        if BRANCH_CONDS[ins.op](a, b):
-            core.pc = ins.target
+        self._count_issue(u)
+        regs = core.regs
+        if u.fn(regs[u.rs], regs[u.rt] if u.rt >= 0 else 0):
+            core.pc = u.target
         else:
             core.pc += 1
-        cfg = self.machine.config
-        if cfg.branch_latency > 1:
-            self.stall_until = now + (cfg.branch_latency - 1) * self._period()
+        extra = self._branch_extra
+        if extra > 0:
+            self.stall_until = now + extra * self._period()
 
-    def _h_jump(self, now: int, ins: I.Jump) -> None:
+    def _h_jump(self, now: int, u: MicroOp) -> None:
+        self._count_issue(u)
+        self.core.pc = u.target
+
+    def _h_jal(self, now: int, u: MicroOp) -> None:
         core = self.core
-        self._count_issue(ins)
-        if ins.op == "jal":
-            core.write(31, to_unsigned(core.pc + 1))
-        core.pc = ins.target
+        self._count_issue(u)
+        core.write(REG_RA, to_unsigned(core.pc + 1))
+        core.pc = u.target
 
-    def _h_jumpreg(self, now: int, ins: I.JumpReg) -> None:
-        self._count_issue(ins)
-        self.core.pc = to_unsigned(self.core.read(ins.rs))
+    def _h_jumpreg(self, now: int, u: MicroOp) -> None:
+        self._count_issue(u)
+        self.core.pc = to_unsigned(self.core.regs[u.rs])
 
-    def _h_ps(self, now: int, ins: I.Ps) -> None:
+    def _ps_common(self, now: int, u: MicroOp, kind: str) -> None:
         core = self.core
-        self._count_issue(ins)
-        kind = {"ps": P.PS, "get": P.PS_GET, "set": P.PS_SET}[ins.mode]
+        self._count_issue(u)
         pkg = P.Package(kind, self.tcu_id, self.cluster_id(),
-                        addr=ins.greg, value=core.read(ins.rd),
-                        rd=ins.rd, issue_time=now)
+                        addr=u.imm, value=core.regs[u.rd],
+                        rd=u.rd, issue_time=now)
         self.machine.ps_unit.in_queue.push(now, pkg)
-        if ins.mode != "set" and ins.rd != REG_ZERO:
-            self.pending_regs.add(ins.rd)
+        if kind != P.PS_SET and u.rd != REG_ZERO:
+            self.pending_regs.add(u.rd)
         core.pc += 1
 
-    def _h_fence(self, now: int, ins: I.Fence) -> None:
+    def _h_ps(self, now: int, u: MicroOp) -> None:
+        self._ps_common(now, u, P.PS)
+
+    def _h_getg(self, now: int, u: MicroOp) -> None:
+        self._ps_common(now, u, P.PS_GET)
+
+    def _h_setg(self, now: int, u: MicroOp) -> None:
+        self._ps_common(now, u, P.PS_SET)
+
+    def _h_fence(self, now: int, u: MicroOp) -> None:
         if self.outstanding_loads or self.outstanding_stores:
             self._stall("fence")
             return
-        self._count_issue(ins)
+        self._count_issue(u)
         self._on_fence(now)
         self.core.pc += 1
 
-    def _h_print(self, now: int, ins: I.Print) -> None:
-        core = self.core
-        self._count_issue(ins)
+    def _h_print(self, now: int, u: MicroOp) -> None:
+        regs = self.core.regs
+        self._count_issue(u)
         machine = self.machine
-        fmt = machine.program.strings[ins.fmt_id]
+        fmt = machine.program.strings[u.imm]
         try:
-            machine.emit_output(
-                format_print(fmt, [core.read(r) for r in ins.regs]))
+            machine.emit_output(format_print(fmt, [regs[r] for r in u.reads]))
         except TrapError as exc:
-            raise self._trap(ins, str(exc)) from None
-        core.pc += 1
+            raise self._trap(u, str(exc)) from None
+        self.core.pc += 1
 
-    def _h_nop(self, now: int, ins: I.Nop) -> None:
-        self._count_issue(ins)
-        self._alu_tail(now, ins)
+    def _h_nop(self, now: int, u: MicroOp) -> None:
+        self._count_issue(u)
+        self._alu_tail(now)
 
-    def _h_join(self, now: int, ins: I.Join) -> None:
-        raise self._trap(ins, "join executed directly")
+    def _h_join(self, now: int, u: MicroOp) -> None:
+        raise self._trap(u, "join executed directly")
 
     # -- memory instructions --------------------------------------------------------
 
-    def _issue_mem(self, now: int, ins: I.MemAccess) -> None:
+    def _h_load(self, now: int, u: MicroOp) -> None:
         core = self.core
-        addr = to_unsigned(core.read(ins.base) + ins.offset)
-        if isinstance(ins, I.Load):
-            if self._try_local_load(now, ins, addr):
-                self._count_issue(ins)
-                core.pc += 1
-                return
-            pkg = P.Package(P.RO_FILL if ins.readonly else P.LOAD, self.tcu_id,
-                            self.cluster_id(), addr=addr, rd=ins.rd, issue_time=now)
-        elif isinstance(ins, I.Store):
-            kind = P.STORE_NB if not self._store_blocks(ins) else P.STORE
-            pkg = P.Package(kind, self.tcu_id, self.cluster_id(), addr=addr,
-                            value=core.read(ins.rt), issue_time=now)
-        elif isinstance(ins, I.Psm):
-            pkg = P.Package(P.PSM, self.tcu_id, self.cluster_id(), addr=addr,
-                            value=core.read(ins.rd), rd=ins.rd, issue_time=now)
-        elif isinstance(ins, I.Prefetch):
-            if not self._want_prefetch(addr):
-                self._count_issue(ins)
-                core.pc += 1
-                return
-            pkg = P.Package(P.PREFETCH, self.tcu_id, self.cluster_id(), addr=addr,
-                            issue_time=now)
-        else:  # pragma: no cover
-            raise self._trap(ins, "unhandled memory instruction")
-        pkg.src_line = ins.src_line
+        addr = to_unsigned(core.regs[u.rs] + u.imm)
+        if self._try_local_load(now, u, addr):
+            self._count_issue(u)
+            core.pc += 1
+            return
+        pkg = P.Package(P.RO_FILL if u.code == OP_LOAD_RO else P.LOAD,
+                        self.tcu_id, self.cluster_id(), addr=addr, rd=u.rd,
+                        issue_time=now)
+        self._send_mem(now, pkg, u)
+
+    def _h_store(self, now: int, u: MicroOp) -> None:
+        regs = self.core.regs
+        pkg = P.Package(self._store_kind, self.tcu_id, self.cluster_id(),
+                        addr=to_unsigned(regs[u.rs] + u.imm),
+                        value=regs[u.rt], issue_time=now)
+        self._send_mem(now, pkg, u)
+
+    def _h_store_nb(self, now: int, u: MicroOp) -> None:
+        regs = self.core.regs
+        pkg = P.Package(P.STORE_NB, self.tcu_id, self.cluster_id(),
+                        addr=to_unsigned(regs[u.rs] + u.imm),
+                        value=regs[u.rt], issue_time=now)
+        self._send_mem(now, pkg, u)
+
+    def _h_psm(self, now: int, u: MicroOp) -> None:
+        regs = self.core.regs
+        pkg = P.Package(P.PSM, self.tcu_id, self.cluster_id(),
+                        addr=to_unsigned(regs[u.rs] + u.imm),
+                        value=regs[u.rd], rd=u.rd, issue_time=now)
+        self._send_mem(now, pkg, u)
+
+    def _h_prefetch(self, now: int, u: MicroOp) -> None:
+        core = self.core
+        addr = to_unsigned(core.regs[u.rs] + u.imm)
+        if not self._want_prefetch(addr):
+            self._count_issue(u)
+            core.pc += 1
+            return
+        pkg = P.Package(P.PREFETCH, self.tcu_id, self.cluster_id(), addr=addr,
+                        issue_time=now)
+        self._send_mem(now, pkg, u)
+
+    def _send_mem(self, now: int, pkg: P.Package, u: MicroOp) -> None:
+        pkg.src_line = u.src_line
         if not self._push_package(now, pkg):
-            self._retry = (pkg, ins)
+            self._retry = (pkg, u)
             self._stall("send_queue")
             return
-        self._apply_mem_issue(now, pkg, ins)
+        self._apply_mem_issue(now, pkg, u)
 
-    def _apply_mem_issue(self, now: int, pkg: P.Package, ins: I.MemAccess) -> None:
+    def _apply_mem_issue(self, now: int, pkg: P.Package, u: MicroOp) -> None:
         """Bookkeeping once the package is accepted by the send port."""
-        self._count_issue(ins)
+        self._count_issue(u)
         kind = pkg.kind
         if kind in (P.LOAD, P.RO_FILL, P.PSM):
             if pkg.rd != REG_ZERO:
@@ -459,20 +560,20 @@ class ProcessorBase:
     def _try_issue_fu(self, fu: str, now: int, latency: int) -> bool:
         raise NotImplementedError
 
-    def _issue_getvt(self, now: int, ins: I.GetVT) -> None:
-        raise self._trap(ins, "getvt outside parallel mode")
+    def _issue_getvt(self, now: int, u: MicroOp) -> None:
+        raise self._trap(u, "getvt outside parallel mode")
 
-    def _issue_chkid(self, now: int, ins: I.ChkID) -> None:
-        raise self._trap(ins, "chkid outside parallel mode")
+    def _issue_chkid(self, now: int, u: MicroOp) -> None:
+        raise self._trap(u, "chkid outside parallel mode")
 
-    def _issue_gettcu(self, now: int, ins) -> None:
-        raise self._trap(ins, "gettcu outside parallel mode")
+    def _issue_gettcu(self, now: int, u: MicroOp) -> None:
+        raise self._trap(u, "gettcu outside parallel mode")
 
-    def _issue_spawn(self, now: int, ins: I.Spawn) -> None:
-        raise self._trap(ins, "spawn is a Master-only instruction")
+    def _issue_spawn(self, now: int, u: MicroOp) -> None:
+        raise self._trap(u, "spawn is a Master-only instruction")
 
-    def _issue_halt(self, now: int, ins: I.Halt) -> None:
-        raise self._trap(ins, "halt is a Master-only instruction")
+    def _issue_halt(self, now: int, u: MicroOp) -> None:
+        raise self._trap(u, "halt is a Master-only instruction")
 
 
 class TCU(ProcessorBase):
@@ -491,6 +592,10 @@ class TCU(ProcessorBase):
         self.local_id = local_id
         self.park_state = TCU.PARKED
         self.region = None
+        # region bounds, cached by start_region so the per-tick
+        # containment check is two int compares
+        self._region_start = 0
+        self._region_join = 0
         cfg = machine.config
         self._blocking_loads = cfg.tcu_blocking_loads
         #: set while a blocking load/psm reply is outstanding
@@ -517,6 +622,49 @@ class TCU(ProcessorBase):
     def _try_issue_fu(self, fu: str, now: int, latency: int) -> bool:
         return self.cluster.try_issue_fu(fu, now, latency)
 
+    def _h_alu_shared(self, now: int, u: MicroOp) -> None:
+        # contention-heavy: most attempts lose the per-cycle arbitration,
+        # so the losing path is kept to one call and one counter bump
+        latency = self._mdu_latency if u.fu == I.FU_MDU else self._fpu_latency
+        if not self.cluster.try_issue_fu(u.fu, now, latency):
+            self._counters[self._k_fu] += 1
+            machine = self.machine
+            if machine.obs is not None:
+                machine.obs.processor_stalled(self, "fu")
+            return
+        self._count_issue(u)
+        regs = self.core.regs
+        try:
+            value = u.fn(regs[u.rs], regs[u.rt])
+        except TrapError as exc:
+            raise self._trap(u, str(exc)) from None
+        rd = u.rd
+        if rd != REG_ZERO:
+            self.pending_regs.add(rd)
+        self.deliver(now + latency * self.cluster.domain.period,
+                     ("reg", rd, value))
+        self.core.pc += 1
+
+    def _h_unary_shared(self, now: int, u: MicroOp) -> None:
+        latency = self._mdu_latency if u.fu == I.FU_MDU else self._fpu_latency
+        if not self.cluster.try_issue_fu(u.fu, now, latency):
+            self._counters[self._k_fu] += 1
+            machine = self.machine
+            if machine.obs is not None:
+                machine.obs.processor_stalled(self, "fu")
+            return
+        self._count_issue(u)
+        try:
+            value = u.fn(self.core.regs[u.rs])
+        except TrapError as exc:
+            raise self._trap(u, str(exc)) from None
+        rd = u.rd
+        if rd != REG_ZERO:
+            self.pending_regs.add(rd)
+        self.deliver(now + latency * self.cluster.domain.period,
+                     ("reg", rd, value))
+        self.core.pc += 1
+
     def _push_package(self, now: int, pkg: P.Package) -> bool:
         if self.cluster.send_queue.push(now, pkg):
             self.machine.icn_pending += 1
@@ -528,6 +676,8 @@ class TCU(ProcessorBase):
     def start_region(self, region, master_regs: List[int]) -> None:
         """Broadcast arrival: copy master registers, reset local state."""
         self.region = region
+        self._region_start = region.start
+        self._region_join = region.join_index
         self.core.regs[:] = master_regs
         self.core.regs[REG_ZERO] = 0
         self.core.pc = region.start
@@ -539,8 +689,8 @@ class TCU(ProcessorBase):
         self._pf_waiters.clear()
         self._pf_cancelled.clear()
 
-    def _apply_mem_issue(self, now, pkg, ins) -> None:
-        super()._apply_mem_issue(now, pkg, ins)
+    def _apply_mem_issue(self, now, pkg, u) -> None:
+        super()._apply_mem_issue(now, pkg, u)
         if self._blocking_loads and pkg.kind in (P.LOAD, P.RO_FILL, P.PSM):
             # lightweight in-order core: stall until the reply returns
             self.wait_load = True
@@ -556,23 +706,23 @@ class TCU(ProcessorBase):
         d["wait_load"] = self.wait_load
         return d
 
-    def _issue_getvt(self, now: int, ins: I.GetVT) -> None:
-        self._count_issue(ins)
-        pkg = P.Package(P.GETVT, self.tcu_id, self.cluster_id(), rd=ins.rd,
+    def _issue_getvt(self, now: int, u: MicroOp) -> None:
+        self._count_issue(u)
+        pkg = P.Package(P.GETVT, self.tcu_id, self.cluster_id(), rd=u.rd,
                         issue_time=now)
         self.machine.spawn_unit.in_queue.push(now, pkg)
-        if ins.rd != REG_ZERO:
-            self.pending_regs.add(ins.rd)
+        if u.rd != REG_ZERO:
+            self.pending_regs.add(u.rd)
         self.core.pc += 1
 
-    def _issue_gettcu(self, now: int, ins) -> None:
-        self._count_issue(ins)
-        self.core.write(ins.rd, self.tcu_id)
+    def _issue_gettcu(self, now: int, u: MicroOp) -> None:
+        self._count_issue(u)
+        self.core.write(u.rd, self.tcu_id)
         self.core.pc += 1
 
-    def _issue_chkid(self, now: int, ins: I.ChkID) -> None:
-        self._count_issue(ins)
-        vt = to_signed(self.core.read(ins.rs))
+    def _issue_chkid(self, now: int, u: MicroOp) -> None:
+        self._count_issue(u)
+        vt = to_signed(self.core.regs[u.rs])
         if vt > self.machine.spawn_unit.high:
             # drain outstanding memory operations, then park (the memory
             # model orders all operations before the end of the spawn)
@@ -644,31 +794,31 @@ class TCU(ProcessorBase):
             self._pf_pending.discard(pkg.addr)
             self._pf_cancelled.add(pkg.addr)
 
-    def _try_local_load(self, now: int, ins: I.Load, addr: int) -> bool:
-        if ins.readonly:
+    def _try_local_load(self, now: int, u: MicroOp, addr: int) -> bool:
+        if u.code == OP_LOAD_RO:
             ro = self.cluster.ro_cache
             if ro.lookup(addr):
                 # tags-only: values it may serve are spawn-invariant
                 value = self.machine.memory.load(addr)
-                if ins.rd != REG_ZERO:
-                    self.pending_regs.add(ins.rd)
+                if u.rd != REG_ZERO:
+                    self.pending_regs.add(u.rd)
                     self.deliver(now + ro.hit_latency * self._period(),
-                                 ("reg", ins.rd, value))
+                                 ("reg", u.rd, value))
                 return True
             return False
         buffer = self.prefetch_buffer
         if addr in buffer:
             if self._pf_lru:
                 buffer.move_to_end(addr)
-            self.core.write(ins.rd, buffer[addr])
+            self.core.write(u.rd, buffer[addr])
             self._stat("prefetch.hit")
             return True
         if addr in self._pf_pending:
             # the prefetch is in flight: wait for it instead of sending
             # a duplicate request (the pending entry acts as an MSHR)
-            if ins.rd != REG_ZERO:
-                self.pending_regs.add(ins.rd)
-            self._pf_waiters.setdefault(addr, []).append(ins.rd)
+            if u.rd != REG_ZERO:
+                self.pending_regs.add(u.rd)
+            self._pf_waiters.setdefault(addr, []).append(u.rd)
             self.outstanding_loads += 1
             if self._blocking_loads:
                 self.wait_load = True
@@ -685,12 +835,18 @@ class TCU(ProcessorBase):
     # -- the clock edge --------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        now = self.machine.scheduler.now
+        # The hottest loop in the simulator: fetch, scoreboard and
+        # dispatch are inlined here (rather than going through _issue /
+        # _check_fetch / _sources_ready) to keep one TCU-cycle at a
+        # handful of attribute lookups.
+        now = self._sched.now
         if self.inbox:
             self._drain_inbox(now)
-        if self.park_state == TCU.PARKED:
-            return
-        if self.park_state == TCU.DRAINING:
+        state = self.park_state
+        if state != TCU.RUNNING:
+            if state == TCU.PARKED:
+                return
+            # DRAINING
             if (not self.outstanding_loads and not self.outstanding_stores
                     and not self.pending_regs):
                 self.park_state = TCU.PARKED
@@ -699,27 +855,56 @@ class TCU(ProcessorBase):
             else:
                 self._stall("drain")
             return
+        machine = self.machine
         if self.wait_store_ack:
-            self._stall("store_ack")
+            self._counters[self._k_store_ack] += 1
+            if machine.obs is not None:
+                machine.obs.processor_stalled(self, "store_ack")
             return
         if self.wait_load:
-            self._stall("memory")
+            self._counters[self._k_memory] += 1
+            if machine.obs is not None:
+                machine.obs.processor_stalled(self, "memory")
             return
         if self.stall_until > now:
-            self._stall("latency")
+            self._counters[self._k_latency] += 1
+            if machine.obs is not None:
+                machine.obs.processor_stalled(self, "latency")
             return
-        if self.region is not None and self._retry is None:
-            pc = self.core.pc
-            if not self.region.contains(pc):
-                if not self.machine.program.parallel_calls:
-                    raise SimulationError(
-                        f"TCU {self.tcu_id}: control left the spawn region "
-                        f"to text index {pc} (basic-block layout bug? "
-                        "paper Fig. 9)")
-                if not 0 <= pc < len(self.machine.program.instructions):
-                    raise SimulationError(
-                        f"TCU {self.tcu_id}: PC out of range: {pc}")
-        self._issue(now)
+        if self._retry is not None:
+            self._issue(now)
+            return
+        pc = self.core.pc
+        if not self._region_start <= pc < self._region_join:
+            self._check_escape(pc)
+        u = machine.decoded.uops[pc]
+        pending = self.pending_regs
+        if pending:
+            wr = u.wr
+            if wr >= 0 and wr in pending:
+                self._counters[self._k_memory] += 1
+                if machine.obs is not None:
+                    machine.obs.processor_stalled(self, "memory")
+                return
+            for r in u.reads:
+                if r in pending:
+                    self._counters[self._k_memory] += 1
+                    if machine.obs is not None:
+                        machine.obs.processor_stalled(self, "memory")
+                    return
+        self._handlers[u.code](now, u)
 
-    def _check_fetch(self, pc: int) -> I.Instruction:
-        return self.machine.program.instructions[pc]
+    def _check_escape(self, pc: int) -> None:
+        """The PC left the broadcast region (legal only with the
+        parallel-calls convention of the compiler)."""
+        if not self.machine.program.parallel_calls:
+            raise SimulationError(
+                f"TCU {self.tcu_id}: control left the spawn region "
+                f"to text index {pc} (basic-block layout bug? "
+                "paper Fig. 9)")
+        if not 0 <= pc < len(self.machine.program.instructions):
+            raise SimulationError(
+                f"TCU {self.tcu_id}: PC out of range: {pc}")
+
+    def _check_fetch(self, pc: int) -> MicroOp:
+        return self.machine.decoded.uops[pc]

@@ -68,6 +68,9 @@ class Trace:
     # -- hooks called by the machine -----------------------------------------
 
     def on_issue(self, proc, ins) -> None:
+        # cycle-accurate processors issue MicroOps; render the original
+        # Instruction carried on the micro-op
+        ins = getattr(ins, "ins", ins)
         if not self._want(proc.tcu_id, ins.op):
             return
         now = proc.machine.scheduler.now
