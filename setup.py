@@ -18,6 +18,7 @@ setup(
             "xmtc-lint=repro.toolchain.cli:xmtc_lint_main",
             "xmt-prof=repro.toolchain.cli:xmt_prof_main",
             "xmt-compare=repro.toolchain.cli:xmt_compare_main",
+            "xmt-campaign=repro.toolchain.cli:xmt_campaign_main",
         ]
     }
 )

@@ -1,0 +1,59 @@
+"""Fault-tolerant campaign engine: many runs, supervised, resumable.
+
+The simulator is the paper's *instrument*; this package is what points
+it at a design space.  A campaign is a list of run requests (a sweep
+grid or a JSONL queue) driven by a supervisor that shards them across
+forked workers, enforces per-run budgets through the watchdog,
+reschedules dead or hung workers with exponential backoff, dedups
+against the experiment ledger (so a killed campaign resumes where it
+died), and streams typed outcomes to a JSONL results file.  Exposed on
+the command line as ``xmt-campaign``; ``xmt-compare sweep`` is a thin
+client of the same engine.
+
+See MANUAL 4.9 for the operational guide and
+:mod:`~repro.sim.campaign.engine` for the design notes.
+"""
+
+from repro.sim.campaign.chaos import ChaosMonkey
+from repro.sim.campaign.engine import (
+    EXIT_PARTIAL,
+    OUTCOME_STATUSES,
+    CampaignEngine,
+    CampaignResult,
+    RunOutcome,
+    campaign_id_for,
+    run_requests,
+)
+from repro.sim.campaign.requests import (
+    BUILTIN_CONFIGS,
+    PreparedRun,
+    RunBudgets,
+    RunRequest,
+    dump_queue,
+    fingerprint_of_manifest,
+    grid_requests,
+    load_queue,
+    request_fingerprint,
+)
+from repro.sim.campaign.worker import run_attempt
+
+__all__ = [
+    "BUILTIN_CONFIGS",
+    "CampaignEngine",
+    "CampaignResult",
+    "ChaosMonkey",
+    "EXIT_PARTIAL",
+    "OUTCOME_STATUSES",
+    "PreparedRun",
+    "RunBudgets",
+    "RunOutcome",
+    "RunRequest",
+    "campaign_id_for",
+    "dump_queue",
+    "fingerprint_of_manifest",
+    "grid_requests",
+    "load_queue",
+    "request_fingerprint",
+    "run_attempt",
+    "run_requests",
+]

@@ -1,0 +1,62 @@
+"""Chaos mode: seeded SIGKILL injection against campaign workers.
+
+The supervisor's crash-recovery path is only trustworthy if it is
+exercised, so the engine can run with a chaos monkey that murders its
+own workers.  Design constraints:
+
+- **deterministic**: all decisions come from one seeded RNG, so a chaos
+  campaign is reproducible end to end;
+- **guaranteed to terminate**: a request is never killed more often
+  than the retry budget allows, so every run keeps at least one
+  unmolested attempt and a chaos campaign over healthy programs always
+  completes with the full result set;
+- **mid-flight**: the kill is scheduled a short random delay after
+  spawn, landing while the simulation is (usually) in progress -- the
+  hard case, since a half-done run must leave no partial ledger state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+
+class ChaosMonkey:
+    """Plans worker SIGKILLs for the supervisor to carry out."""
+
+    def __init__(self, kills: int, seed: int = 0,
+                 max_delay_s: float = 0.05,
+                 kill_probability: float = 0.6):
+        #: total kill budget across the campaign
+        self.budget = kills
+        self.seed = seed
+        self.max_delay_s = max_delay_s
+        self.kill_probability = kill_probability
+        self._rng = random.Random(seed)
+        #: planned kills per request fingerprint (bounds retries eaten)
+        self._planned: Dict[str, int] = {}
+        #: kills actually delivered (a fast run can outrace its kill)
+        self.kills_delivered = 0
+
+    def plan_kill(self, fingerprint: str, spawn_time: float,
+                  retries_left: int) -> Optional[float]:
+        """Decide at spawn whether (and when) to kill this attempt.
+
+        Returns the absolute monotonic time of the kill, or ``None``.
+        ``retries_left`` is how many further attempts the request has
+        after this one; we only plan a kill when the request could still
+        complete afterwards, which is what makes chaos campaigns
+        guaranteed to converge.
+        """
+        if self.budget <= 0 or retries_left <= 0:
+            return None
+        if self._planned.get(fingerprint, 0) >= retries_left:
+            return None
+        if self._rng.random() >= self.kill_probability:
+            return None
+        self.budget -= 1
+        self._planned[fingerprint] = self._planned.get(fingerprint, 0) + 1
+        return spawn_time + self._rng.uniform(0.0, self.max_delay_s)
+
+    def record_delivery(self) -> None:
+        self.kills_delivered += 1

@@ -1,0 +1,652 @@
+"""The fault-tolerant campaign supervisor.
+
+``CampaignEngine`` takes a list of run requests and drives them to a
+complete, typed result set no matter what the individual runs do:
+
+- **dedup before work**: every request reduces to a fingerprint
+  (:mod:`~repro.sim.campaign.requests`) that is also derivable from a
+  recorded ledger manifest, so any request the ledger already answers
+  is a ``cached`` outcome with zero simulation -- which is also the
+  resume story: re-invoking a killed campaign skips everything that
+  finished before the kill;
+- **supervised workers**: each attempt is a separate forked process
+  that publishes its verdict by atomically renaming a result file into
+  place; the supervisor polls for worker exit, so a crash, a SIGKILL or
+  a hang past the parent-side deadline all look the same -- a dead
+  worker with no verdict -- and are rescheduled with exponential
+  backoff up to ``max_retries``;
+- **single-writer ledger**: only the supervisor records manifests, so
+  no worker death can corrupt the ledger;
+- **typed outcomes, streamed**: every run ends as exactly one of
+  ``ok | cached | failed | timeout | gave-up``, appended to a JSONL
+  results file the moment it is known (tailing the file shows campaign
+  progress live; a killed campaign leaves a valid prefix);
+- **graceful degradation**: permanently failing runs become ``failed``/
+  ``timeout``/``gave-up`` outcomes in an otherwise complete campaign,
+  never a hang or a crash of the campaign itself.
+
+Because the simulator is deterministic, a chaos campaign (workers
+SIGKILLed at random, see :mod:`~repro.sim.campaign.chaos`) produces
+cycle counts bit-identical to a serial run of the same grid -- the
+property ``tests/test_campaign.py`` locks in.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import shutil
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sim.campaign.chaos import ChaosMonkey
+from repro.sim.campaign.requests import (
+    PreparedRun,
+    RunBudgets,
+    RunRequest,
+    fingerprint_of_manifest,
+)
+from repro.sim.campaign.worker import run_attempt, worker_entry
+from repro.sim.config import XMTConfig
+from repro.sim.observability.ledger import (
+    Ledger,
+    RunRecord,
+    canonical_json,
+    load_manifest,
+    sha256_text,
+)
+
+SCHEMA_RESULT = "xmt-campaign-result/1"
+
+#: every run ends as exactly one of these
+OUTCOME_STATUSES = ("ok", "cached", "failed", "timeout", "gave-up")
+
+#: campaigns with any non-ok outcome exit with this (matches xmtsim's
+#: partial-result code: some results exist, some are missing)
+EXIT_PARTIAL = 5
+
+
+@dataclass
+class RunOutcome:
+    """Final, typed verdict for one campaign request."""
+
+    index: int
+    label: str
+    fingerprint: str
+    status: str                        # one of OUTCOME_STATUSES
+    attempts: int
+    run_id: str = ""
+    cycles: Optional[int] = None
+    instructions: Optional[int] = None
+    error_type: str = ""
+    error: str = ""
+    dump_summary: Optional[str] = None
+    worker_pids: List[int] = field(default_factory=list)
+    #: the recorded (or cache-hit) ledger entry, when the run succeeded
+    record: Optional[RunRecord] = None
+    output: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        data = {
+            "schema": SCHEMA_RESULT,
+            "index": self.index,
+            "label": self.label,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "attempts": self.attempts,
+            "run_id": self.run_id,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+        }
+        if self.error_type:
+            data["error_type"] = self.error_type
+            data["error"] = self.error
+        if self.dump_summary:
+            data["dump_summary"] = self.dump_summary
+        if self.worker_pids:
+            data["worker_pids"] = self.worker_pids
+        return data
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign knows about itself."""
+
+    campaign_id: str
+    outcomes: List[RunOutcome]
+    workers: int
+    serial: bool
+    wall_seconds: float
+    attempts_total: int
+    retries_total: int
+    workers_died: int
+    chaos_kills: int
+    results_path: Optional[str] = None
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {name: 0 for name in OUTCOME_STATUSES}
+        for outcome in self.outcomes:
+            counts[outcome.status] += 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        bad = set(OUTCOME_STATUSES) - {"ok", "cached"}
+        return not any(o.status in bad for o in self.outcomes)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        hits = sum(1 for o in self.outcomes if o.status == "cached")
+        return hits / len(self.outcomes)
+
+    @property
+    def executed(self) -> int:
+        """Simulations actually performed (attempts that ran to a
+        verdict or died; cache hits cost zero)."""
+        return self.attempts_total
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else EXIT_PARTIAL
+
+    def format(self) -> str:
+        counts = self.counts
+        n = len(self.outcomes)
+        mode = "serial" if self.serial else f"{self.workers} workers"
+        lines = [f"campaign {self.campaign_id}: {n} runs, {mode}, "
+                 f"{self.wall_seconds:.2f} s wall"]
+        lines.append("  " + "  ".join(
+            f"{name}: {counts[name]}" for name in OUTCOME_STATUSES))
+        throughput = (self.attempts_total / self.wall_seconds
+                      if self.wall_seconds > 0 else 0.0)
+        lines.append(
+            f"  attempts: {self.attempts_total} "
+            f"(retries: {self.retries_total}, workers died: "
+            f"{self.workers_died}), cache-hit ratio: "
+            f"{100.0 * self.cache_hit_ratio:.0f}%, "
+            f"throughput: {throughput:.2f} attempts/s")
+        if self.chaos_kills:
+            lines.append(f"  chaos: {self.chaos_kills} workers SIGKILLed")
+        failures = [o for o in self.outcomes
+                    if o.status not in ("ok", "cached")]
+        if failures:
+            lines.append("failures:")
+            for o in failures:
+                what = f"{o.error_type}: {o.error}" if o.error_type \
+                    else "worker died"
+                lines.append(f"  {o.label or o.fingerprint}: {o.status} "
+                             f"after {o.attempts} attempt"
+                             f"{'s' if o.attempts != 1 else ''} ({what})")
+        return "\n".join(lines)
+
+    def to_summary(self) -> Dict[str, Any]:
+        return {
+            "schema": "xmt-campaign-summary/1",
+            "campaign_id": self.campaign_id,
+            "runs": len(self.outcomes),
+            "counts": self.counts,
+            "workers": self.workers,
+            "serial": self.serial,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "attempts_total": self.attempts_total,
+            "retries_total": self.retries_total,
+            "workers_died": self.workers_died,
+            "chaos_kills": self.chaos_kills,
+            "cache_hit_ratio": round(self.cache_hit_ratio, 4),
+        }
+
+
+def campaign_id_for(prepared: Sequence[PreparedRun]) -> str:
+    """Content address of the request set (invariant under resume)."""
+    return sha256_text(canonical_json(
+        [p.fingerprint for p in prepared]))[:12]
+
+
+class _Attempt:
+    """Supervisor-side state of one in-flight worker."""
+
+    def __init__(self, prepared: PreparedRun, attempt: int, process,
+                 result_path: str, deadline: Optional[float],
+                 kill_at: Optional[float]):
+        self.prepared = prepared
+        self.attempt = attempt
+        self.process = process
+        self.result_path = result_path
+        self.deadline = deadline
+        self.kill_at = kill_at
+        self.deadline_killed = False
+        self.chaos_killed = False
+
+
+class CampaignEngine:
+    """Drives a request list to a complete set of typed outcomes."""
+
+    def __init__(self, requests: Sequence[RunRequest], *,
+                 ledger: Optional[Ledger] = None,
+                 results_path: Optional[str] = None,
+                 base_config: Optional[XMTConfig] = None,
+                 compile_options=None,
+                 workers: int = 2,
+                 serial: bool = False,
+                 max_retries: int = 2,
+                 backoff_s: float = 0.25,
+                 backoff_cap_s: float = 4.0,
+                 wall_budget_s: Optional[float] = None,
+                 event_budget: Optional[int] = None,
+                 max_cycles: Optional[int] = None,
+                 attempt_deadline_s: Optional[float] = None,
+                 chaos: Optional[ChaosMonkey] = None,
+                 on_outcome: Optional[Callable[[RunOutcome], None]] = None):
+        self.requests = list(requests)
+        self.ledger = ledger
+        self.results_path = results_path
+        self.base_config = base_config
+        self.compile_options = compile_options
+        self.workers = max(1, workers)
+        # serial must be explicit: a single *supervised* worker is still
+        # a process pool (attempt deadlines need an out-of-process kill)
+        self.serial = bool(serial)
+        self.max_retries = max(0, max_retries)
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.budgets = RunBudgets(max_cycles=max_cycles,
+                                  wall_limit_s=wall_budget_s,
+                                  max_events=event_budget)
+        # parent-side hard deadline per attempt: a worker hanging past
+        # its own watchdog budget (or with no budget set) still dies
+        if attempt_deadline_s is not None:
+            self.attempt_deadline_s: Optional[float] = attempt_deadline_s
+        elif wall_budget_s is not None:
+            self.attempt_deadline_s = wall_budget_s * 3.0 + 10.0
+        else:
+            self.attempt_deadline_s = None
+        self.chaos = chaos
+        self.on_outcome = on_outcome
+
+        #: keyed by request index (unique even if two requests collide
+        #: on fingerprint), so no outcome can shadow another
+        self._outcomes: Dict[int, RunOutcome] = {}
+        self._attempts_total = 0
+        self._workers_died = 0
+        self._results_fh = None
+        self._attempts_log_fh = None
+
+    # -- preparation ---------------------------------------------------------
+
+    def _load_program(self, path: str):
+        """Compile/assemble one program (cached per distinct path)."""
+        from repro.isa.assembler import assemble
+        from repro.xmtc.compiler import compile_source
+
+        with open(path) as fh:
+            text = fh.read()
+        if path.endswith(".s") or path.endswith(".asm"):
+            program = assemble(text)
+            if self.compile_options is not None:
+                program.parallel_calls = self.compile_options.parallel_calls
+            return program, None
+        return compile_source(text, self.compile_options), text
+
+    def prepare(self) -> List[PreparedRun]:
+        """Load programs, resolve configs, fingerprint every request.
+
+        Raises (``OSError``/``ValueError``/``CompileError``/...) on
+        malformed requests -- bad input is a campaign-level error, not a
+        per-run failure.
+        """
+        programs: Dict[str, Any] = {}
+        prepared: List[PreparedRun] = []
+        for position, request in enumerate(self.requests):
+            request.index = position
+            if request.program not in programs:
+                programs[request.program] = self._load_program(
+                    request.program)
+            program, source = programs[request.program]
+            try:
+                prepared.append(PreparedRun.prepare(
+                    request, program, source, self.base_config))
+            except TypeError as exc:
+                # e.g. an unknown config-override field
+                raise ValueError(
+                    f"request {request.label or position}: {exc}")
+        return prepared
+
+    def _dedup_index(self) -> Dict[str, RunRecord]:
+        """Fingerprint -> record for every readable ledger run.
+
+        Scans defensively: a ledger shared with older tools (or a
+        partially synced one) may contain unreadable entries; those
+        simply never produce cache hits.
+        """
+        index: Dict[str, RunRecord] = {}
+        if self.ledger is None:
+            return index
+        runs_dir = self.ledger.runs_dir
+        if not os.path.isdir(runs_dir):
+            return index
+        for run_id in sorted(os.listdir(runs_dir)):
+            manifest_path = os.path.join(runs_dir, run_id, "manifest.json")
+            try:
+                manifest = load_manifest(manifest_path)
+            except (OSError, ValueError, json.JSONDecodeError):
+                continue
+            if manifest.get("fault"):
+                continue  # injected runs never answer clean requests
+            index[fingerprint_of_manifest(manifest)] = RunRecord(
+                run_id=manifest.get("run_id") or run_id,
+                manifest=manifest,
+                path=os.path.join(runs_dir, run_id))
+        return index
+
+    # -- result/attempt streaming --------------------------------------------
+
+    def _open_streams(self, campaign_id: str) -> None:
+        if self.results_path:
+            parent = os.path.dirname(os.path.abspath(self.results_path))
+            os.makedirs(parent, exist_ok=True)
+            self._results_fh = open(self.results_path, "w")
+        if self.ledger is not None:
+            log_path = os.path.join(self.ledger.campaign_dir(campaign_id),
+                                    "attempts.jsonl")
+            self._attempts_log_fh = open(log_path, "a")
+
+    def _close_streams(self) -> None:
+        for fh in (self._results_fh, self._attempts_log_fh):
+            if fh is not None:
+                fh.close()
+        self._results_fh = None
+        self._attempts_log_fh = None
+
+    def _log_attempt(self, prepared: PreparedRun, attempt: int,
+                     event: str, *, worker_pid: Optional[int] = None,
+                     error: str = "", backoff_s: float = 0.0) -> None:
+        if self._attempts_log_fh is None:
+            return
+        line = {"fingerprint": prepared.fingerprint,
+                "label": prepared.request.label,
+                "attempt": attempt, "event": event,
+                "unix_time": round(time.time(), 3)}
+        if worker_pid is not None:
+            line["worker_pid"] = worker_pid
+        if error:
+            line["error"] = error
+        if backoff_s:
+            line["backoff_s"] = round(backoff_s, 4)
+        self._attempts_log_fh.write(json.dumps(line) + "\n")
+        self._attempts_log_fh.flush()
+
+    def _finalize(self, prepared: PreparedRun, status: str, attempts: int,
+                  *, payload: Optional[Dict[str, Any]] = None,
+                  record: Optional[RunRecord] = None,
+                  error_type: str = "", error: str = "",
+                  dump_summary: Optional[str] = None,
+                  worker_pids: Optional[List[int]] = None) -> RunOutcome:
+        run_id = ""
+        cycles = instructions = None
+        output = ""
+        if payload is not None and payload.get("status") == "ok":
+            manifest = payload["manifest"]
+            output = payload.get("output", "")
+            if self.ledger is not None:
+                record = self.ledger.record(manifest,
+                                            payload.get("metrics"),
+                                            payload.get("profile"))
+            else:
+                record = RunRecord(run_id=manifest["run_id"],
+                                   manifest=manifest,
+                                   _metrics=payload.get("metrics"),
+                                   _profile=payload.get("profile"))
+        if record is not None:
+            run_id = record.run_id
+            cycles = record.manifest.get("cycles")
+            instructions = record.manifest.get("instructions")
+        outcome = RunOutcome(
+            index=prepared.request.index,
+            label=prepared.request.label,
+            fingerprint=prepared.fingerprint,
+            status=status, attempts=attempts, run_id=run_id,
+            cycles=cycles, instructions=instructions,
+            error_type=error_type, error=error,
+            dump_summary=dump_summary,
+            worker_pids=worker_pids or [], record=record, output=output)
+        self._outcomes[prepared.request.index] = outcome
+        if self._results_fh is not None:
+            self._results_fh.write(json.dumps(outcome.to_json()) + "\n")
+            self._results_fh.flush()
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
+        return outcome
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        started = time.perf_counter()
+        prepared = self.prepare()
+        campaign_id = campaign_id_for(prepared)
+        dedup = self._dedup_index()
+        self._open_streams(campaign_id)
+        try:
+            fresh: List[PreparedRun] = []
+            for prep in prepared:
+                hit = dedup.get(prep.fingerprint)
+                if hit is not None:
+                    self._finalize(prep, "cached", 0, record=hit)
+                else:
+                    fresh.append(prep)
+            if fresh:
+                if self.serial or not self._fork_available():
+                    self._run_serial(fresh)
+                else:
+                    self._run_pool(fresh)
+        finally:
+            self._close_streams()
+        outcomes = sorted(self._outcomes.values(), key=lambda o: o.index)
+        retries = sum(max(0, o.attempts - 1) for o in outcomes)
+        result = CampaignResult(
+            campaign_id=campaign_id,
+            outcomes=outcomes,
+            workers=1 if self.serial else self.workers,
+            serial=self.serial,
+            wall_seconds=time.perf_counter() - started,
+            attempts_total=self._attempts_total,
+            retries_total=retries,
+            workers_died=self._workers_died,
+            chaos_kills=(self.chaos.kills_delivered if self.chaos else 0),
+            results_path=self.results_path)
+        if self.ledger is not None:
+            summary_path = os.path.join(
+                self.ledger.campaign_dir(campaign_id), "summary.json")
+            with open(summary_path, "w") as fh:
+                json.dump(result.to_summary(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        return result
+
+    @staticmethod
+    def _fork_available() -> bool:
+        import multiprocessing
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_s * (2 ** (attempt - 1)), self.backoff_cap_s)
+
+    # serial mode: same classification, no processes -- the golden
+    # reference for the chaos test and the default for small sweeps
+    def _run_serial(self, fresh: List[PreparedRun]) -> None:
+        for prep in fresh:
+            attempts = 0
+            while True:
+                attempts += 1
+                self._attempts_total += 1
+                payload = run_attempt(prep, self.budgets, attempts,
+                                      isolate=False)
+                status = payload["status"]
+                self._log_attempt(prep, attempts, status,
+                                  worker_pid=payload.get("worker_pid"),
+                                  error=payload.get("error", ""))
+                if status == "ok":
+                    self._finalize(prep, "ok", attempts, payload=payload)
+                    break
+                if attempts > self.max_retries:
+                    self._finalize(
+                        prep, status, attempts,
+                        error_type=payload.get("error_type", ""),
+                        error=payload.get("error", ""),
+                        dump_summary=payload.get("dump_summary"))
+                    break
+                # deterministic failures recur; retrying in-process is
+                # cheap insurance against host-side flakiness only
+                time.sleep(self._backoff(attempts))
+
+    def _run_pool(self, fresh: List[PreparedRun]) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        workdir = tempfile.mkdtemp(prefix="xmt-campaign-")
+        pending: List[PreparedRun] = list(fresh)
+        retry_heap: List[tuple] = []  # (not_before, seq, prepared, attempt)
+        running: Dict[int, _Attempt] = {}
+        pids: Dict[str, List[int]] = {p.fingerprint: [] for p in fresh}
+        seq = 0
+        try:
+            while pending or retry_heap or running:
+                now = time.monotonic()
+                # spawn: due retries first (they are older), then fresh
+                while len(running) < self.workers:
+                    item = None
+                    if retry_heap and retry_heap[0][0] <= now:
+                        _, _, prep, attempt = heapq.heappop(retry_heap)
+                        item = (prep, attempt)
+                    elif pending:
+                        item = (pending.pop(0), 1)
+                    if item is None:
+                        break
+                    prep, attempt = item
+                    self._spawn(ctx, workdir, running, prep, attempt, now)
+                # enforce chaos kills and parent-side deadlines
+                for att in running.values():
+                    alive = att.process.is_alive()
+                    if (att.kill_at is not None and now >= att.kill_at
+                            and alive):
+                        os.kill(att.process.pid, signal.SIGKILL)
+                        att.chaos_killed = True
+                        att.kill_at = None
+                        if self.chaos is not None:
+                            self.chaos.record_delivery()
+                    if (att.deadline is not None and now >= att.deadline
+                            and att.process.is_alive()):
+                        os.kill(att.process.pid, signal.SIGKILL)
+                        att.deadline_killed = True
+                        att.deadline = None
+                # reap finished workers
+                for pid in list(running):
+                    att = running[pid]
+                    if att.process.is_alive():
+                        continue
+                    att.process.join()
+                    del running[pid]
+                    pids[att.prepared.fingerprint].append(pid)
+                    self._settle(att, retry_heap, pids, seq)
+                    seq += 1
+                time.sleep(0.004)
+        finally:
+            for att in running.values():
+                if att.process.is_alive():
+                    att.process.terminate()
+                att.process.join()
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def _spawn(self, ctx, workdir: str, running: Dict[int, "_Attempt"],
+               prep: PreparedRun, attempt: int, now: float) -> None:
+        result_path = os.path.join(
+            workdir, f"{prep.fingerprint}.{attempt}.json")
+        process = ctx.Process(
+            target=worker_entry,
+            args=(prep, self.budgets, attempt, result_path),
+            daemon=True)
+        process.start()
+        self._attempts_total += 1
+        deadline = (now + self.attempt_deadline_s
+                    if self.attempt_deadline_s is not None else None)
+        kill_at = None
+        if self.chaos is not None:
+            retries_left = self.max_retries - (attempt - 1)
+            kill_at = self.chaos.plan_kill(prep.fingerprint, now,
+                                           retries_left)
+        running[process.pid] = _Attempt(prep, attempt, process,
+                                        result_path, deadline, kill_at)
+        self._log_attempt(prep, attempt, "spawned",
+                          worker_pid=process.pid)
+
+    def _settle(self, att: "_Attempt", retry_heap: List[tuple],
+                pids: Dict[str, List[int]], seq: int) -> None:
+        """Classify a reaped worker and either finalize or reschedule."""
+        prep = att.prepared
+        payload: Optional[Dict[str, Any]] = None
+        if os.path.exists(att.result_path):
+            try:
+                with open(att.result_path) as fh:
+                    payload = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                payload = None  # impossible with atomic rename, but safe
+
+        if payload is not None and payload.get("status") == "ok":
+            self._log_attempt(prep, att.attempt, "ok",
+                              worker_pid=att.process.pid)
+            self._finalize(prep, "ok", att.attempt, payload=payload,
+                           worker_pids=pids[prep.fingerprint])
+            return
+
+        if payload is not None:
+            status = payload.get("status", "failed")
+            error_type = payload.get("error_type", "")
+            error = payload.get("error", "")
+            dump_summary = payload.get("dump_summary")
+        elif att.deadline_killed:
+            status = "timeout"
+            error_type = "WorkerDeadline"
+            error = (f"worker pid {att.process.pid} exceeded the "
+                     f"per-attempt deadline and was killed")
+            dump_summary = None
+        else:
+            status = "failed"
+            error_type = "WorkerDied"
+            error = (f"worker pid {att.process.pid} died without a "
+                     f"verdict (exit code {att.process.exitcode})")
+            dump_summary = None
+            self._workers_died += 1
+
+        self._log_attempt(prep, att.attempt,
+                          "worker-died" if payload is None else status,
+                          worker_pid=att.process.pid, error=error)
+
+        if att.attempt <= self.max_retries:
+            backoff = self._backoff(att.attempt)
+            heapq.heappush(retry_heap,
+                           (time.monotonic() + backoff, seq, prep,
+                            att.attempt + 1))
+            self._log_attempt(prep, att.attempt, "rescheduled",
+                              backoff_s=backoff)
+            return
+
+        # retry budget exhausted: degrade gracefully to a typed outcome.
+        # A deadline kill is a *diagnosed* timeout; only a death with no
+        # verdict and no diagnosis ends as "gave-up".
+        if payload is not None or att.deadline_killed:
+            final = status
+        else:
+            final = "gave-up"
+        self._finalize(prep, final, att.attempt,
+                       error_type=error_type, error=error,
+                       dump_summary=dump_summary,
+                       worker_pids=pids[prep.fingerprint])
+
+
+def run_requests(requests: Sequence[RunRequest], **kwargs) -> CampaignResult:
+    """One-shot facade over :class:`CampaignEngine`."""
+    return CampaignEngine(requests, **kwargs).run()

@@ -1,0 +1,120 @@
+"""One campaign attempt, executed in a (usually forked) worker process.
+
+The worker contract is deliberately minimal so that no failure mode can
+corrupt shared state:
+
+- the worker receives a :class:`~repro.sim.campaign.requests.PreparedRun`
+  by fork inheritance (nothing is pickled, no queue is shared);
+- it runs the simulation with watchdog-enforced budgets and classifies
+  the outcome into a typed payload (``ok | failed | timeout``);
+- it reports by **atomically renaming a result file into place** --
+  a half-written file can never be observed, and a worker SIGKILLed at
+  any instant simply leaves no result, which the supervisor detects via
+  the process exit status and reschedules.
+
+The ledger is never touched from a worker: the supervisor is the single
+writer, so a dying worker cannot leave a truncated manifest behind.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.sim.campaign.requests import PreparedRun, RunBudgets
+
+SCHEMA_ATTEMPT = "xmt-campaign-attempt/1"
+
+
+def atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` so readers see either nothing or all of it."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
+                *, isolate: bool = True) -> Dict[str, Any]:
+    """Execute one attempt and classify its outcome.
+
+    ``isolate=True`` means we own our copy of the program (a forked
+    child); serial in-process callers pass ``False`` so per-request
+    inputs are applied to a deep copy instead of mutating the shared
+    ``Program`` object.
+    """
+    import time
+
+    from repro.sim.functional import SimulationError
+    from repro.sim.observability.ledger import instrumented_run
+    from repro.sim.resilience.errors import SimulationBudgetExceeded
+
+    request = prepared.request
+    program = prepared.program
+    if request.inputs and not isolate:
+        program = copy.deepcopy(program)
+    try:
+        if request.inputs:
+            for name, values in request.inputs.items():
+                program.write_global(name, values)
+        artifacts = instrumented_run(
+            program, prepared.config,
+            source=prepared.source,
+            program_path=request.program,
+            seed=request.seed,
+            label=request.label or None,
+            max_cycles=(request.max_cycles if request.max_cycles is not None
+                        else budgets.max_cycles),
+            wall_limit_s=budgets.wall_limit_s,
+            max_events=budgets.max_events,
+            inputs=request.inputs or None)
+    except SimulationBudgetExceeded as exc:
+        return _failure_payload("timeout", exc, attempt)
+    except Exception as exc:
+        # compile errors, bad globals, simulation errors, stalls: all
+        # are per-run failures the supervisor decides how to retry
+        return _failure_payload("failed", exc, attempt)
+    manifest = dict(artifacts.manifest)
+    manifest["campaign"] = {"attempt": attempt, "worker_pid": os.getpid()}
+    return {
+        "schema": SCHEMA_ATTEMPT,
+        "status": "ok",
+        "attempt": attempt,
+        "worker_pid": os.getpid(),
+        "manifest": manifest,
+        "metrics": artifacts.metrics,
+        "profile": artifacts.profile,
+        "output": getattr(artifacts.result, "output", "") or "",
+    }
+
+
+def _failure_payload(status: str, exc: BaseException,
+                     attempt: int) -> Dict[str, Any]:
+    dump = getattr(exc, "dump", None)
+    dump_summary: Optional[str] = None
+    if dump is not None:
+        dump.worker_pid = os.getpid()
+        dump.attempt = attempt
+        dump_summary = dump.summary()
+    message = str(exc).splitlines()[0] if str(exc) else ""
+    return {
+        "schema": SCHEMA_ATTEMPT,
+        "status": status,
+        "attempt": attempt,
+        "worker_pid": os.getpid(),
+        "error_type": type(exc).__name__,
+        "error": message,
+        "dump_summary": dump_summary,
+    }
+
+
+def worker_entry(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
+                 result_path: str) -> None:
+    """Process target: run one attempt and publish the verdict."""
+    payload = run_attempt(prepared, budgets, attempt, isolate=True)
+    atomic_write_json(result_path, payload)

@@ -46,9 +46,11 @@ from typing import Any, Callable, Dict, List, Optional
 SCHEMA_RUN = "xmtsim-run/1"
 
 #: manifest fields excluded from the content address (host-dependent
-#: or informational -- two runs differing only here are the same run)
+#: or informational -- two runs differing only here are the same run).
+#: ``campaign`` carries attempt/worker bookkeeping: the same run executed
+#: by a different worker or on a retry is still the same run.
 _NON_IDENTITY_FIELDS = ("wall_seconds", "created_unix", "git_revision",
-                       "run_id")
+                       "run_id", "campaign")
 
 
 def sha256_text(text: str) -> str:
@@ -56,8 +58,19 @@ def sha256_text(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def _canonical(payload: Any) -> str:
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON used for every content hash in the ledger."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+_canonical = canonical_json
+
+
+def program_sha256(program) -> str:
+    """Content hash of what actually runs: the assembly text."""
+    asm_text = getattr(program, "source", None) or "\n".join(
+        repr(ins) for ins in program.instructions)
+    return sha256_text(asm_text)
 
 
 def config_fingerprint(config) -> Dict[str, Any]:
@@ -91,22 +104,28 @@ def build_manifest(program, config, *, cycles: int, instructions: int,
                    wall_seconds: float, source: Optional[str] = None,
                    program_path: Optional[str] = None,
                    seed: Optional[int] = None,
-                   label: Optional[str] = None) -> Dict[str, Any]:
+                   label: Optional[str] = None,
+                   inputs: Optional[Dict[str, Any]] = None,
+                   extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Assemble one ``xmtsim-run/1`` manifest (including its run id).
 
     ``source`` is the XMTC text when the program was compiled on the
     fly (its hash identifies the *input*; the assembly hash identifies
     what actually ran, so a compiler change shows up as a new program
     hash under an unchanged source hash).
+
+    ``inputs`` records global-memory initialisation (``--set`` values);
+    it is part of the run identity because the assembly hash does not
+    cover the data image.  ``extra`` merges additional identity fields
+    into the manifest (e.g. the fault spec of an injected run) -- both
+    are omitted when empty so pre-existing run ids stay stable.
     """
-    asm_text = getattr(program, "source", None) or "\n".join(
-        repr(ins) for ins in program.instructions)
     manifest: Dict[str, Any] = {
         "schema": SCHEMA_RUN,
         "label": label,
         "program": {
             "path": program_path,
-            "sha256": sha256_text(asm_text),
+            "sha256": program_sha256(program),
             "source_sha256": (sha256_text(source)
                               if source is not None else None),
             "n_instructions": len(program.instructions),
@@ -119,6 +138,10 @@ def build_manifest(program, config, *, cycles: int, instructions: int,
         "toolchain_version": toolchain_version(),
         "created_unix": round(time.time(), 3),
     }
+    if inputs:
+        manifest["inputs"] = inputs
+    if extra:
+        manifest.update(extra)
     manifest.update(config_fingerprint(config))
     manifest["run_id"] = manifest_run_id(manifest)
     return manifest
@@ -245,6 +268,17 @@ class Ledger:
     def _run_dir(self, run_id: str) -> str:
         return os.path.join(self.runs_dir, run_id)
 
+    @property
+    def campaigns_dir(self) -> str:
+        return os.path.join(self.root, "campaigns")
+
+    def campaign_dir(self, campaign_id: str) -> str:
+        """Per-campaign scratch area (attempt log, summary); created on
+        first use so a read-only ledger stays untouched."""
+        path = os.path.join(self.campaigns_dir, campaign_id)
+        os.makedirs(path, exist_ok=True)
+        return path
+
     # -- writing -------------------------------------------------------------
 
     def record(self, manifest: Dict[str, Any],
@@ -323,13 +357,20 @@ def instrumented_run(program, config, *, source: Optional[str] = None,
                      program_path: Optional[str] = None,
                      seed: Optional[int] = None,
                      label: Optional[str] = None,
-                     max_cycles: Optional[int] = None) -> RunArtifacts:
+                     max_cycles: Optional[int] = None,
+                     wall_limit_s: Optional[float] = None,
+                     max_events: Optional[int] = None,
+                     inputs: Optional[Dict[str, Any]] = None,
+                     extra: Optional[Dict[str, Any]] = None) -> RunArtifacts:
     """Run ``program`` under ``config`` with metrics + profiler attached
     and fold the outcome into ledger-ready artifacts.
 
-    The workhorse behind ``xmt-compare sweep``/``check``: one call per
-    grid point, each returning a manifest/metrics/profile bundle that
-    :meth:`Ledger.record_artifacts` persists.
+    The workhorse behind ``xmt-compare sweep``/``check`` and the
+    campaign engine: one call per grid point, each returning a
+    manifest/metrics/profile bundle that :meth:`Ledger.record_artifacts`
+    persists.  ``wall_limit_s``/``max_events`` are enforced by the
+    watchdog (raising ``SimulationBudgetExceeded``), giving campaign
+    workers hard per-run budgets.
     """
     from repro.sim.machine import Simulator
     from repro.sim.observability.core import Observability
@@ -341,12 +382,14 @@ def instrumented_run(program, config, *, source: Optional[str] = None,
                         profiler=CycleProfiler(program, source=source))
     sim = Simulator(program, config, observability=obs)
     start = time.perf_counter()
-    result = sim.run(max_cycles=max_cycles)
+    result = sim.run(max_cycles=max_cycles, wall_limit_s=wall_limit_s,
+                     max_events=max_events)
     wall = time.perf_counter() - start
     manifest = build_manifest(
         program, config, cycles=result.cycles,
         instructions=result.instructions, wall_seconds=wall,
-        source=source, program_path=program_path, seed=seed, label=label)
+        source=source, program_path=program_path, seed=seed, label=label,
+        inputs=inputs, extra=extra)
     return RunArtifacts(manifest=manifest,
                         metrics=export_metrics(sim.machine),
                         profile=obs.profiler.to_data(),

@@ -32,6 +32,7 @@ from repro.sim.resilience.faults import (
 )
 from repro.sim.resilience.recovery import (
     AttemptFailure,
+    PartialResult,
     RecoveryReport,
     run_resilient,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "FaultSpec",
     "InjectionRecord",
     "OUTCOMES",
+    "PartialResult",
     "RecoveryExhausted",
     "RecoveryReport",
     "ResilienceError",

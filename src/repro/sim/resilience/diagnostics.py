@@ -11,7 +11,7 @@ human-readable report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.sim import engine as E
 
@@ -54,15 +54,22 @@ class DiagnosticDump:
     recent_events: List[Dict[str, object]] = field(default_factory=list)
     #: current observability gauge values (when metrics were on)
     gauges: Dict[str, object] = field(default_factory=dict)
+    #: filled in by campaign workers: which OS process produced the dump
+    #: and which attempt of the run it belongs to
+    worker_pid: Optional[int] = None
+    attempt: Optional[int] = None
 
     def summary(self) -> str:
         """One-line digest (what the CLI prints on a non-zero exit)."""
         running = sum(1 for p in self.processors
                       if p.get("state") == "running")
+        origin = (f" [worker pid={self.worker_pid}, attempt={self.attempt}]"
+                  if self.worker_pid is not None else "")
         return (f"{self.reason} at {self.time_ps} ps (~cycle {self.cycles}): "
                 f"{self.instructions} instructions, "
                 f"{self.pending_events} pending events, "
-                f"{running}/{len(self.processors)} processors running")
+                f"{running}/{len(self.processors)} processors running"
+                + origin)
 
     def format(self) -> str:
         """Multi-line structured report."""

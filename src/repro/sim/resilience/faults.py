@@ -257,11 +257,32 @@ def _normalized(memory: Dict[int, int]) -> Dict[int, int]:
     return {addr: value for addr, value in memory.items() if value}
 
 
+def _record_injected_run(ledger, machine, *, seed: int, wall: float,
+                         fault: Optional[Dict[str, object]],
+                         cycles: int, instructions: int,
+                         label: str) -> None:
+    """Ledger entry for one campaign run, fault spec in the manifest.
+
+    The fault spec is an *identity* field: an injected run never
+    collides with (or cache-hits as) a clean run of the same program,
+    and ``xmt-compare list`` can tell the two apart.
+    """
+    from repro.sim.observability.ledger import build_manifest
+
+    extra = {"fault": fault} if fault is not None else None
+    manifest = build_manifest(
+        machine.program, machine.config, cycles=cycles,
+        instructions=instructions, wall_seconds=wall,
+        seed=seed, label=label, extra=extra)
+    ledger.record(manifest)
+
+
 def run_campaign(machine_factory: Callable[[], "object"],
                  n_injections: int,
                  seed: int,
                  sites: Sequence[str] = SITES,
-                 max_cycles: Optional[int] = None) -> CampaignReport:
+                 max_cycles: Optional[int] = None,
+                 ledger: Optional[object] = None) -> CampaignReport:
     """Run a seeded fault-injection campaign.
 
     ``machine_factory`` must build a *fresh, identical* machine on every
@@ -274,12 +295,25 @@ def run_campaign(machine_factory: Callable[[], "object"],
 
     Identical ``seed`` -> identical plan -> identical report, because
     the simulator itself is deterministic.
+
+    When a :class:`~repro.sim.observability.ledger.Ledger` is given,
+    the golden run and every injected run are recorded with the fault
+    spec and outcome embedded in the manifest.
     """
+    import time as _time
+
     for site in sites:
         if site not in SITES:
             raise ValueError(f"unknown injection site {site!r}")
     golden_machine = machine_factory()
+    start = _time.perf_counter()
     golden = golden_machine.run(max_cycles=max_cycles)
+    if ledger is not None:
+        _record_injected_run(
+            ledger, golden_machine, seed=seed,
+            wall=_time.perf_counter() - start, fault=None,
+            cycles=golden.cycles, instructions=golden.instructions,
+            label=f"campaign-golden seed={seed}")
     golden_memory = _normalized(golden.memory)
 
     limit = max_cycles
@@ -299,6 +333,8 @@ def run_campaign(machine_factory: Callable[[], "object"],
         machine.add_plugin(injector)
         detail = ""
         error = ""
+        start = _time.perf_counter()
+        result = None
         try:
             result = machine.run(max_cycles=limit)
         except (SimulationStalled, SimulationBudgetExceeded) as exc:
@@ -316,6 +352,17 @@ def run_campaign(machine_factory: Callable[[], "object"],
         counts[outcome] += 1
         records.append(InjectionRecord(index, site, cycle, outcome,
                                        detail, error))
+        if ledger is not None:
+            period = machine.config.cluster_period
+            _record_injected_run(
+                ledger, machine, seed=seed,
+                wall=_time.perf_counter() - start,
+                fault={"site": site, "cycle": cycle, "seed": detail_seed,
+                       "outcome": outcome, "detail": detail},
+                cycles=(result.cycles if result is not None
+                        else machine.scheduler.now // period),
+                instructions=machine.stats.instruction_total(),
+                label=f"fault #{index:03d} {site}@{cycle}")
     return CampaignReport(seed=seed, injections=n_injections,
                           golden_cycles=golden.cycles,
                           counts=counts, records=records)

@@ -41,6 +41,37 @@ class AttemptFailure:
 
 
 @dataclass
+class PartialResult:
+    """What a resilient run salvaged after exhausting its retries.
+
+    The graceful-degradation counterpart of ``CycleResult``: how far the
+    run got, what it printed, and the full failure history -- enough for
+    the CLI (exit code 5) and the campaign engine to report the final
+    typed failure without re-deriving it from the report internals.
+    """
+
+    cycles: int
+    instructions: int
+    output: str
+    retries_used: int
+    last_checkpoint_cycle: int
+    failures: List[AttemptFailure] = field(default_factory=list)
+
+    @property
+    def final_failure(self) -> Optional[AttemptFailure]:
+        return self.failures[-1] if self.failures else None
+
+    def format(self) -> str:
+        line = (f"partial result: {self.cycles} cycles, "
+                f"{self.instructions} instructions after "
+                f"{self.retries_used} retries")
+        last = self.final_failure
+        if last is not None:
+            line += f"; final failure: {last.error_type}: {last.message}"
+        return line
+
+
+@dataclass
 class RecoveryReport:
     """Outcome of :func:`run_resilient` -- complete or partial."""
 
@@ -55,6 +86,23 @@ class RecoveryReport:
     partial_cycles: int = 0
     partial_instructions: int = 0
     partial_output: str = ""
+
+    def partial(self) -> Optional[PartialResult]:
+        """The salvaged state as a :class:`PartialResult` (``None`` when
+        the run completed normally)."""
+        if self.completed:
+            return None
+        return PartialResult(
+            cycles=self.partial_cycles,
+            instructions=self.partial_instructions,
+            output=self.partial_output,
+            retries_used=self.retries_used,
+            last_checkpoint_cycle=self.last_checkpoint_cycle,
+            failures=list(self.failures))
+
+    @property
+    def final_failure(self) -> Optional[AttemptFailure]:
+        return self.failures[-1] if self.failures else None
 
     def format(self) -> str:
         lines = []

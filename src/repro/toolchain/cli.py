@@ -1,7 +1,8 @@
 """Command-line entry points: ``xmtcc`` (compiler), ``xmtsim``
 (simulator) -- the two tools of the paper's title -- plus ``xmtc-lint``
-(static analyzer), ``xmt-prof`` (profile reports) and ``xmt-compare``
-(experiment ledger diffs), as executables.
+(static analyzer), ``xmt-prof`` (profile reports), ``xmt-compare``
+(experiment ledger diffs) and ``xmt-campaign`` (fault-tolerant
+multi-run campaigns), as executables.
 
     xmtcc program.c -o program.s [-O2] [--cluster 4] [--no-prefetch] ...
     xmtsim program.s [--config fpga64] [--mode cycle|functional]
@@ -10,6 +11,8 @@
     xmtc-lint program.c [--json] [--dynamic] [--check-shipped]
     xmt-prof report profile.json [--top 30]
     xmt-compare {list,diff,sweep,check} ... [--ledger DIR]
+    xmt-campaign program.c --vary f=v1,v2 --workers 4 --ledger DIR
+    xmt-campaign --queue runs.jsonl --workers 4 --ledger DIR
 
 ``xmtsim`` accepts either assembly (``.s``) or XMTC source (anything
 else), compiling the latter on the fly, so the two-step and one-step
@@ -18,7 +21,10 @@ and the memory-model linter (see MANUAL.md section 7) over XMTC
 sources; ``--dynamic`` re-checks each program at runtime with the
 functional simulator's race sanitizer.  ``xmt-compare`` diffs runs
 recorded with ``--ledger``, sweeps config grids and gates CI against
-committed baselines (MANUAL.md section 4.7).
+committed baselines (MANUAL.md section 4.7).  ``xmt-campaign`` shards a
+sweep grid or a JSONL queue of run requests across supervised worker
+processes with retry/backoff, ledger dedup (resume-after-kill) and
+typed per-run outcomes (MANUAL.md section 4.9).
 """
 
 from __future__ import annotations
@@ -424,10 +430,19 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
         if args.mode != "cycle":
             print("xmtsim: --campaign requires --mode cycle", file=sys.stderr)
             return 2
+        campaign_ledger = None
+        if args.ledger:
+            from repro.sim.observability import Ledger
+
+            campaign_ledger = Ledger(args.ledger)
         report = run_campaign(lambda: Machine(program, machine_config),
                               args.campaign, seed=args.campaign_seed,
-                              max_cycles=args.max_cycles)
+                              max_cycles=args.max_cycles,
+                              ledger=campaign_ledger)
         print(report.format())
+        if campaign_ledger is not None:
+            print(f"xmtsim: recorded golden + {args.campaign} injected "
+                  f"run(s) in ledger {args.ledger}", file=sys.stderr)
         return 0
 
     trace = None
@@ -507,7 +522,19 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
             sim = Simulator(program, machine_config, plugins=plugins,
                             trace=trace, observability=observability)
             run_started = _time.perf_counter()
+            final_machine = sim.machine
             if args.checkpoint_every > 0 or args.max_retries is not None:
+                # rollback builds a *new* machine from the checkpoint;
+                # checkpoints strip observability, so re-attach it (the
+                # fault plug-ins stay detached on purpose: planned
+                # faults are transient and must not replay)
+                obs_facade = sim.machine.obs
+
+                def _reattach(machine):
+                    if obs_facade is not None:
+                        machine.obs = obs_facade
+                        obs_facade.attach(machine)
+
                 report = run_resilient(
                     sim.machine,
                     checkpoint_every=args.checkpoint_every,
@@ -515,10 +542,18 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                                  else args.max_retries),
                     max_cycles=args.max_cycles,
                     wall_limit_s=args.wall_limit,
-                    max_events=args.event_budget)
+                    max_events=args.event_budget,
+                    reattach=_reattach if obs_facade is not None else None)
                 print(report.format(), file=sys.stderr)
+                if report.machine is not None:
+                    final_machine = report.machine
                 if not report.completed:
-                    sys.stdout.write(report.partial_output)
+                    partial = report.partial()
+                    print(f"xmtsim: {partial.format()}", file=sys.stderr)
+                    sys.stdout.write(partial.output)
+                    if observability is not None:
+                        _write_observability(args, observability,
+                                             final_machine)
                     return 5
                 result = report.result
             else:
@@ -533,7 +568,8 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
             if args.stats:
                 print(result.stats.report(), file=sys.stderr)
             if observability is not None:
-                code = _write_observability(args, observability, sim.machine)
+                code = _write_observability(args, observability,
+                                            final_machine)
                 if code:
                     return code
             if args.ledger:
@@ -544,13 +580,13 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                 )
 
                 manifest = build_manifest(
-                    program, sim.machine.config, cycles=result.cycles,
+                    program, final_machine.config, cycles=result.cycles,
                     instructions=result.instructions,
                     wall_seconds=run_wall, source=xmtc_source,
                     program_path=args.program, label=args.run_label)
                 try:
                     record = Ledger(args.ledger).record(
-                        manifest, export_metrics(sim.machine),
+                        manifest, export_metrics(final_machine),
                         observability.profiler.to_data())
                 except OSError as exc:
                     print(f"xmtsim: {exc}", file=sys.stderr)
@@ -720,6 +756,10 @@ def xmt_compare_main(argv: Optional[List[str]] = None) -> int:
                          help="sweep an XMTConfig field over values "
                               "(repeatable; repeats form the cartesian "
                               "product)")
+    p_sweep.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="shard the sweep across N supervised "
+                              "worker processes via the campaign engine "
+                              "(default 1 = in-process)")
     add_common(p_sweep, with_compile=True)
 
     p_check = sub.add_parser(
@@ -752,11 +792,15 @@ def xmt_compare_main(argv: Optional[List[str]] = None) -> int:
             print(f"{'run id':<14} {'config':<10} {'cycles':>10}  "
                   f"{'program':<12} label")
             for r in records:
+                fault = r.manifest.get("fault")
+                marker = (f"  [injected {fault['site']}@{fault['cycle']}"
+                          f" -> {fault.get('outcome', '?')}]"
+                          if fault else "")
                 print(f"{r.run_id:<14} "
                       f"{str(r.config_value('name')):<10} "
                       f"{r.cycles:>10}  "
                       f"{r.manifest['program']['sha256'][:10]:<12} "
-                      f"{r.manifest.get('label') or ''}")
+                      f"{r.manifest.get('label') or ''}{marker}")
             return 0
 
         if args.command == "diff":
@@ -788,30 +832,40 @@ def xmt_compare_main(argv: Optional[List[str]] = None) -> int:
 
 
 def _compare_sweep(args) -> int:
-    from repro.sim.observability import (
-        Ledger,
-        instrumented_run,
-        render_sweep_table,
-    )
+    """Thin client of the campaign engine: expand the grid, run it
+    (in-process by default, supervised workers with ``--workers N``)
+    and render the comparison table."""
+    from repro.sim.campaign import CampaignEngine, grid_requests
+    from repro.sim.observability import Ledger, render_sweep_table
 
     axes = _parse_vary(args.vary)
-    program, source = _load_program(args.program, _compile_options(args))
-    _apply_globals(program, args.set)
-    base = _compare_base_config(args)
+    inputs = {name: _parse_values(values) for name, values in args.set}
+    requests = grid_requests(args.program, axes, inputs=inputs,
+                             max_cycles=args.max_cycles)
     ledger = Ledger(args.ledger) if args.ledger else None
-    records = []
-    for overrides in _grid(axes):
-        label = ",".join(f"{k}={v}" for k, v in overrides.items())
-        config = base.scaled(**overrides)
-        config.validate()
-        artifacts = instrumented_run(
-            program, config, source=source, program_path=args.program,
-            label=label, max_cycles=args.max_cycles)
-        record = (ledger.record_artifacts(artifacts) if ledger
-                  else artifacts.as_record())
-        print(f"xmt-compare: {label}: {record.cycles} cycles "
-              f"({record.run_id})", file=sys.stderr)
-        records.append(record)
+
+    def note(outcome):
+        if outcome.status in ("ok", "cached"):
+            suffix = " (cached)" if outcome.status == "cached" else ""
+            print(f"xmt-compare: {outcome.label}: {outcome.cycles} cycles "
+                  f"({outcome.run_id}){suffix}", file=sys.stderr)
+        else:
+            print(f"xmt-compare: {outcome.label}: {outcome.status}: "
+                  f"{outcome.error_type}: {outcome.error}", file=sys.stderr)
+
+    engine = CampaignEngine(
+        requests, ledger=ledger, base_config=_compare_base_config(args),
+        compile_options=_compile_options(args),
+        workers=args.workers, serial=args.workers <= 1,
+        max_retries=0, max_cycles=args.max_cycles, on_outcome=note)
+    result = engine.run()
+    bad = [o for o in result.outcomes if o.status not in ("ok", "cached")]
+    if bad:
+        raise ValueError(
+            f"{len(bad)} of {len(result.outcomes)} sweep run(s) failed: "
+            + "; ".join(f"{o.label}: {o.error_type}: {o.error}"
+                        for o in bad))
+    records = [o.record for o in result.outcomes]
     print(render_sweep_table(records, [field for field, _ in axes],
                              fmt=args.format))
     if args.ledger:
@@ -877,6 +931,172 @@ def _compare_check(args) -> int:
     print(f"xmt-compare: OK within +{100 * args.threshold:.1f}% "
           f"of baseline {baseline.run_id}", file=sys.stderr)
     return 0
+
+
+def xmt_campaign_main(argv: Optional[List[str]] = None) -> int:
+    """``xmt-campaign``: fault-tolerant multi-run campaigns.
+
+    Exit codes: 0 = every run ok or cached, 5 = campaign completed but
+    some runs ended failed/timeout/gave-up (partial results; the report
+    names each), 2 = bad input (unreadable program/queue, bad grid).
+    """
+    from repro.sim.campaign import (
+        CampaignEngine,
+        ChaosMonkey,
+        grid_requests,
+        load_queue,
+    )
+    from repro.sim.observability import Ledger
+
+    parser = argparse.ArgumentParser(
+        prog="xmt-campaign",
+        description="fault-tolerant campaign engine: shard a sweep grid "
+                    "or a JSONL run queue across supervised worker "
+                    "processes with retry/backoff, ledger dedup and "
+                    "typed per-run outcomes (MANUAL.md section 4.9)")
+    parser.add_argument("program", nargs="?", default=None,
+                        help="assembly (.s/.asm) or XMTC source file "
+                             "(grid mode; omit with --queue)")
+    parser.add_argument("--queue", default=None, metavar="FILE",
+                        help="JSONL queue of run requests (one JSON "
+                             "object per line; see MANUAL 4.9)")
+    parser.add_argument("--vary", action="append", default=[],
+                        metavar="FIELD=V1,V2,...",
+                        help="sweep an XMTConfig field over values "
+                             "(repeatable; repeats form the cartesian "
+                             "product)")
+    parser.add_argument("--config", default=None, choices=sorted(_CONFIGS),
+                        help="base machine configuration (default fpga64)")
+    parser.add_argument("--config-file", default=None, metavar="PATH",
+                        help="JSON configuration file (overrides --config)")
+    parser.add_argument("--set", nargs=2, action="append", default=[],
+                        metavar=("GLOBAL", "VALUES"),
+                        help="write comma-separated values into a global "
+                             "before every run (repeatable; recorded in "
+                             "the manifest, so it is part of the dedup "
+                             "identity)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed recorded in every run manifest")
+    parser.add_argument("--max-cycles", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker processes (default 2; 1 = serial "
+                             "in-process execution)")
+    parser.add_argument("--serial", action="store_true",
+                        help="force serial in-process execution")
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="reschedule a failed/dead run up to N times "
+                             "with exponential backoff (default 2)")
+    parser.add_argument("--backoff", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="base retry backoff; doubles per attempt "
+                             "(default 0.25)")
+    parser.add_argument("--wall-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-run host wall-clock budget, enforced "
+                             "in-worker by the watchdog")
+    parser.add_argument("--event-budget", type=int, default=None,
+                        metavar="N",
+                        help="per-run scheduler-event budget")
+    parser.add_argument("--attempt-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="supervisor-side hard deadline per attempt; "
+                             "a worker alive past it is SIGKILLed "
+                             "(default: 3x --wall-budget + 10 when a "
+                             "wall budget is set, else none)")
+    parser.add_argument("--ledger", default=None, metavar="DIR",
+                        help="record every completed run here AND dedup "
+                             "against it first -- re-invoking a killed "
+                             "campaign resumes where it died")
+    parser.add_argument("--results", default=None, metavar="PATH",
+                        help="stream typed per-run outcomes to PATH as "
+                             "JSONL while the campaign runs")
+    parser.add_argument("--chaos-kill", type=int, default=0, metavar="N",
+                        help="chaos mode: SIGKILL up to N workers "
+                             "mid-run (never a run's last allowed "
+                             "attempt, so healthy campaigns still "
+                             "complete)")
+    parser.add_argument("--chaos-seed", type=int, default=0, metavar="SEED",
+                        help="chaos RNG seed (same seed -> same kills)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-run progress lines")
+    _add_compile_flags(parser)
+    args = parser.parse_args(argv)
+
+    if (args.program is None) == (args.queue is None):
+        print("xmt-campaign: give a program (grid mode) or --queue FILE, "
+              "not both", file=sys.stderr)
+        return 2
+    if args.queue is not None and args.vary:
+        print("xmt-campaign: --vary only applies to grid mode",
+              file=sys.stderr)
+        return 2
+
+    try:
+        inputs = {name: _parse_values(values) for name, values in args.set}
+        if args.queue is not None:
+            requests = load_queue(args.queue)
+            if inputs:
+                for request in requests:
+                    request.inputs = dict(inputs, **request.inputs)
+        else:
+            requests = grid_requests(
+                args.program, _parse_vary(args.vary), inputs=inputs,
+                seed=args.seed, max_cycles=args.max_cycles)
+
+        base_config = None
+        if args.config_file:
+            from repro.sim.config import from_file
+
+            base_config = from_file(args.config_file)
+        elif args.config is not None:
+            base_config = _CONFIGS[args.config]()
+
+        chaos = (ChaosMonkey(kills=args.chaos_kill, seed=args.chaos_seed)
+                 if args.chaos_kill > 0 else None)
+
+        def note(outcome):
+            if args.quiet:
+                return
+            if outcome.status in ("ok", "cached"):
+                tag = " (cached)" if outcome.status == "cached" else ""
+                attempts = (f" [attempt {outcome.attempts}]"
+                            if outcome.attempts > 1 else "")
+                print(f"xmt-campaign: {outcome.label or outcome.index}: "
+                      f"{outcome.cycles} cycles ({outcome.run_id})"
+                      f"{tag}{attempts}", file=sys.stderr)
+            else:
+                print(f"xmt-campaign: {outcome.label or outcome.index}: "
+                      f"{outcome.status} after {outcome.attempts} "
+                      f"attempt{'s' if outcome.attempts != 1 else ''}: "
+                      f"{outcome.error_type}: {outcome.error}",
+                      file=sys.stderr)
+
+        engine = CampaignEngine(
+            requests,
+            ledger=Ledger(args.ledger) if args.ledger else None,
+            results_path=args.results,
+            base_config=base_config,
+            compile_options=_compile_options(args),
+            workers=args.workers,
+            serial=args.serial,
+            max_retries=args.max_retries,
+            backoff_s=args.backoff,
+            wall_budget_s=args.wall_budget,
+            event_budget=args.event_budget,
+            max_cycles=args.max_cycles,
+            attempt_deadline_s=args.attempt_deadline,
+            chaos=chaos,
+            on_outcome=note)
+        result = engine.run()
+    except (OSError, ValueError, CompileError) as exc:
+        print(f"xmt-campaign: error: {exc}", file=sys.stderr)
+        return 2
+
+    print(result.format())
+    if args.results:
+        print(f"xmt-campaign: streamed {len(result.outcomes)} outcome(s) "
+              f"to {args.results}", file=sys.stderr)
+    return result.exit_code()
 
 
 def xmt_prof_main(argv: Optional[List[str]] = None) -> int:

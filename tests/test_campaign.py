@@ -1,0 +1,348 @@
+"""The fault-tolerant campaign engine: requests, dedup, chaos, CLI.
+
+The load-bearing properties locked in here:
+
+- **chaos == serial**: a campaign whose workers are SIGKILLed at random
+  mid-run still completes every run, with cycle counts bit-identical to
+  serial execution of the same grid (the simulator is deterministic and
+  the supervisor loses nothing);
+- **resume-by-dedup**: re-invoking a completed campaign performs zero
+  new simulations -- every request is a ledger cache hit;
+- **graceful degradation**: a permanently failing run becomes a typed
+  outcome and the partial-results exit code, never a hang or traceback.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sim.campaign import (
+    CampaignEngine,
+    ChaosMonkey,
+    RunRequest,
+    dump_queue,
+    fingerprint_of_manifest,
+    grid_requests,
+    load_queue,
+)
+from repro.sim.observability import Ledger
+from repro.toolchain.cli import xmt_campaign_main
+
+SRC = """
+int A[8];
+int total = 0;
+int main() {
+    spawn(0, 7) { int v = A[$]; psm(v, total); }
+    printf("t=%d\\n", total);
+    return 0;
+}
+"""
+
+SPIN_ASM = """
+    .text
+main:
+spin:
+    j spin
+    halt
+"""
+
+GRID = [("dram_latency", [6, 10, 14, 18]), ("icn_return_width", [1, 2])]
+INPUTS = {"A": [1, 2, 3, 4, 5, 6, 7, 8]}
+
+
+@pytest.fixture
+def src_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+@pytest.fixture
+def spin_file(tmp_path):
+    path = tmp_path / "spin.s"
+    path.write_text(SPIN_ASM)
+    return str(path)
+
+
+def _grid8(src_file):
+    return grid_requests(src_file, GRID, config="tiny", inputs=dict(INPUTS))
+
+
+class TestRequests:
+    def test_grid_expansion_stable_order(self, src_file):
+        requests = _grid8(src_file)
+        assert len(requests) == 8
+        assert [r.index for r in requests] == list(range(8))
+        assert requests[0].label == "dram_latency=6,icn_return_width=1"
+        assert requests[-1].label == "dram_latency=18,icn_return_width=2"
+        # same grid -> same requests, position by position
+        again = _grid8(src_file)
+        assert [r.label for r in again] == [r.label for r in requests]
+
+    def test_fingerprint_matches_manifest(self, src_file):
+        """The dedup key derived from a request equals the one derived
+        from the manifest its run records -- the resume contract."""
+        requests = _grid8(src_file)[:1]
+        engine = CampaignEngine(requests, serial=True)
+        result = engine.run()
+        outcome = result.outcomes[0]
+        assert outcome.status == "ok"
+        assert fingerprint_of_manifest(outcome.record.manifest) == \
+            outcome.fingerprint
+
+    def test_fingerprint_sensitive_to_inputs(self, src_file):
+        base = RunRequest(program=src_file, config="tiny", label="x")
+        changed = RunRequest(program=src_file, config="tiny", label="x",
+                             inputs={"A": [9, 9, 9, 9, 9, 9, 9, 9]})
+        r1 = CampaignEngine([base], serial=True).prepare()[0]
+        r2 = CampaignEngine([changed], serial=True).prepare()[0]
+        assert r1.fingerprint != r2.fingerprint
+
+    def test_queue_roundtrip(self, src_file, tmp_path):
+        requests = _grid8(src_file)
+        path = str(tmp_path / "queue.jsonl")
+        dump_queue(requests, path)
+        loaded = load_queue(path)
+        assert [r.label for r in loaded] == [r.label for r in requests]
+        assert loaded[3].overrides == requests[3].overrides
+
+    def test_queue_bad_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        path.write_text('{"program": "a.c"}\n{"nope": 1}\n')
+        with pytest.raises(ValueError, match=r":2:"):
+            load_queue(str(path))
+
+    def test_queue_unknown_field_rejected(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        path.write_text('{"program": "a.c", "retries": 5}\n')
+        with pytest.raises(ValueError, match="unknown field"):
+            load_queue(str(path))
+
+    def test_unknown_config_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown config preset"):
+            RunRequest(program="a.c", config="mega")
+
+
+class TestSerialEngine:
+    def test_all_ok_and_recorded(self, src_file, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger"))
+        result = CampaignEngine(_grid8(src_file), ledger=ledger,
+                                serial=True).run()
+        assert result.ok
+        assert result.counts["ok"] == 8
+        assert len(ledger.list_runs()) == 8
+        # outcomes come back in request order with real cycle counts
+        assert [o.index for o in result.outcomes] == list(range(8))
+        assert all(o.cycles > 0 for o in result.outcomes)
+
+    def test_results_file_streams_jsonl(self, src_file, tmp_path):
+        results_path = str(tmp_path / "results.jsonl")
+        result = CampaignEngine(_grid8(src_file), serial=True,
+                                results_path=results_path).run()
+        with open(results_path) as fh:
+            lines = [json.loads(line) for line in fh]
+        assert len(lines) == 8
+        assert all(line["schema"] == "xmt-campaign-result/1"
+                   for line in lines)
+        assert ({line["label"] for line in lines}
+                == {o.label for o in result.outcomes})
+
+    def test_resume_by_dedup_zero_new_work(self, src_file, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger"))
+        first = CampaignEngine(_grid8(src_file), ledger=ledger,
+                               serial=True).run()
+        assert first.counts["ok"] == 8
+
+        again = CampaignEngine(_grid8(src_file), ledger=ledger,
+                               serial=True).run()
+        assert again.counts["cached"] == 8
+        assert again.attempts_total == 0          # zero new simulations
+        assert again.cache_hit_ratio == 1.0
+        assert again.campaign_id == first.campaign_id
+        # and the results are the same runs, bit for bit
+        assert ({(o.label, o.run_id, o.cycles) for o in again.outcomes}
+                == {(o.label, o.run_id, o.cycles) for o in first.outcomes})
+
+    def test_plain_xmtsim_run_is_a_cache_hit(self, src_file, tmp_path):
+        """Dedup is against the *ledger*, not against past campaigns: a
+        run recorded by plain ``xmtsim --ledger`` answers a matching
+        campaign request too."""
+        from repro.toolchain.cli import xmtsim_main
+
+        ledger_dir = str(tmp_path / "ledger")
+        assert xmtsim_main([src_file, "--config", "tiny",
+                            "--ledger", ledger_dir,
+                            "--run-label", "solo"]) == 0
+        request = RunRequest(program=src_file, config="tiny", label="solo")
+        result = CampaignEngine([request],
+                                ledger=Ledger(ledger_dir)).run()
+        assert result.counts["cached"] == 1
+
+
+class TestPoolEngine:
+    def test_chaos_campaign_bit_identical_to_serial(self, src_file,
+                                                    tmp_path):
+        """>= 8 runs, 2 workers, seeded random SIGKILLs mid-campaign:
+        everything completes and every cycle count equals serial."""
+        serial = CampaignEngine(_grid8(src_file), serial=True).run()
+        assert serial.counts["ok"] == 8
+        serial_cycles = {o.label: o.cycles for o in serial.outcomes}
+
+        chaos = ChaosMonkey(kills=3, seed=7, max_delay_s=0.01)
+        ledger = Ledger(str(tmp_path / "ledger"))
+        result = CampaignEngine(_grid8(src_file), ledger=ledger,
+                                workers=2, max_retries=3, backoff_s=0.01,
+                                chaos=chaos).run()
+        assert result.counts["ok"] == 8
+        assert result.chaos_kills >= 1, "chaos never fired"
+        assert result.attempts_total > 8, "no attempt was retried"
+        assert {o.label: o.cycles for o in result.outcomes} == serial_cycles
+        # the ledger holds exactly the 8 runs, no attempt duplicates
+        assert len(ledger.list_runs()) == 8
+
+    def test_worker_death_is_retried_and_attributed(self, src_file):
+        # zero delay: the SIGKILL lands on the first supervisor poll,
+        # while the worker is still compiling -- death is guaranteed
+        chaos = ChaosMonkey(kills=1, seed=3, max_delay_s=0.0,
+                            kill_probability=1.0)
+        result = CampaignEngine(_grid8(src_file)[:2], workers=2,
+                                max_retries=2, backoff_s=0.01,
+                                chaos=chaos).run()
+        assert result.ok
+        assert result.workers_died >= 1
+        killed = [o for o in result.outcomes if o.attempts > 1]
+        assert killed, "no outcome shows the retry"
+        assert all(len(o.worker_pids) >= 1 for o in killed)
+
+    def test_permanently_failing_run_degrades_gracefully(self, src_file,
+                                                         spin_file):
+        requests = [
+            RunRequest(program=src_file, config="tiny", label="good",
+                       inputs=dict(INPUTS)),
+            RunRequest(program=spin_file, config="tiny", label="spinner",
+                       max_cycles=2000),
+        ]
+        result = CampaignEngine(requests, workers=2, max_retries=1,
+                                backoff_s=0.01).run()
+        assert not result.ok
+        assert result.exit_code() == 5
+        by_label = {o.label: o for o in result.outcomes}
+        assert by_label["good"].status == "ok"
+        spinner = by_label["spinner"]
+        assert spinner.status == "timeout"
+        assert spinner.attempts == 2              # 1 + max_retries
+        assert spinner.error_type == "SimulationBudgetExceeded"
+        # the report names the run, its attempts and the typed failure
+        report = result.format()
+        assert "spinner: timeout after 2 attempts" in report
+        assert "SimulationBudgetExceeded" in report
+
+    def test_attempt_deadline_kills_hung_worker(self, spin_file):
+        """A worker that hangs past the supervisor-side deadline (here:
+        an unbounded spin with no cycle budget) is SIGKILLed and the
+        run ends as a typed timeout -- the campaign never hangs."""
+        request = RunRequest(program=spin_file, config="tiny",
+                             label="hang")
+        result = CampaignEngine([request], workers=1, serial=False,
+                                max_retries=0, backoff_s=0.01,
+                                attempt_deadline_s=1.0).run()
+        outcome = result.outcomes[0]
+        assert outcome.status == "timeout"
+        assert outcome.error_type == "WorkerDeadline"
+        assert result.exit_code() == 5
+
+
+class TestCampaignCLI:
+    def _argv(self, src_file, tmp_path, *extra):
+        return [src_file, "--config", "tiny",
+                "--vary", "dram_latency=6,10,14,18",
+                "--vary", "icn_return_width=1,2",
+                "--set", "A", "1,2,3,4,5,6,7,8",
+                "--ledger", str(tmp_path / "ledger"), *extra]
+
+    def test_grid_campaign_with_chaos(self, src_file, tmp_path, capsys):
+        rc = xmt_campaign_main(self._argv(
+            src_file, tmp_path, "--workers", "2",
+            "--chaos-kill", "2", "--chaos-seed", "7",
+            "--max-retries", "3", "--backoff", "0.01",
+            "--results", str(tmp_path / "results.jsonl")))
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "ok: 8" in captured.out
+        assert os.path.exists(str(tmp_path / "results.jsonl"))
+
+    def test_resume_is_all_cache_hits(self, src_file, tmp_path, capsys):
+        assert xmt_campaign_main(self._argv(
+            src_file, tmp_path, "--serial", "--quiet")) == 0
+        capsys.readouterr()
+        rc = xmt_campaign_main(self._argv(src_file, tmp_path,
+                                          "--workers", "2"))
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "cached: 8" in captured.out
+        assert "cache-hit ratio: 100%" in captured.out
+
+    def test_queue_mode(self, src_file, tmp_path, capsys):
+        queue = tmp_path / "queue.jsonl"
+        queue.write_text(
+            json.dumps({"program": os.path.basename(src_file),
+                        "config": "tiny", "label": "q0"}) + "\n"
+            + "# comment line\n"
+            + json.dumps({"program": os.path.basename(src_file),
+                          "config": "tiny", "label": "q1",
+                          "overrides": {"dram_latency": 30}}) + "\n")
+        rc = xmt_campaign_main(["--queue", str(queue), "--serial"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "ok: 2" in captured.out
+
+    def test_bad_queue_exits_2(self, tmp_path, capsys):
+        queue = tmp_path / "queue.jsonl"
+        queue.write_text("not json\n")
+        assert xmt_campaign_main(["--queue", str(queue)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_program_and_queue_mutually_exclusive(self, src_file,
+                                                  tmp_path, capsys):
+        queue = tmp_path / "q.jsonl"
+        queue.write_text('{"program": "x.c"}\n')
+        assert xmt_campaign_main([src_file, "--queue", str(queue)]) == 2
+        assert xmt_campaign_main([]) == 2
+
+    def test_partial_exit_code_and_report(self, spin_file, capsys):
+        rc = xmt_campaign_main([spin_file, "--config", "tiny",
+                                "--serial", "--max-cycles", "2000",
+                                "--max-retries", "1", "--backoff", "0.01"])
+        captured = capsys.readouterr()
+        assert rc == 5
+        assert "timeout" in captured.out
+        assert "SimulationBudgetExceeded" in captured.out
+
+
+class TestSweepThinClient:
+    def test_sweep_with_workers_matches_serial(self, src_file, tmp_path,
+                                               capsys):
+        from repro.toolchain.cli import xmt_compare_main
+
+        rc = xmt_compare_main(["sweep", src_file, "--config", "tiny",
+                               "--vary", "dram_latency=6,30",
+                               "--set", "A", "1,2,3,4,5,6,7,8",
+                               "--workers", "2",
+                               "--ledger", str(tmp_path / "ledger")])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "dram_latency" in captured.out
+        runs = Ledger(str(tmp_path / "ledger")).list_runs()
+        assert {r.config_value("dram_latency") for r in runs} == {6, 30}
+
+    def test_sweep_cache_hits_on_rerun(self, src_file, tmp_path, capsys):
+        from repro.toolchain.cli import xmt_compare_main
+
+        argv = ["sweep", src_file, "--config", "tiny",
+                "--vary", "dram_latency=6,30",
+                "--ledger", str(tmp_path / "ledger")]
+        assert xmt_compare_main(argv) == 0
+        capsys.readouterr()
+        assert xmt_compare_main(argv) == 0
+        assert "(cached)" in capsys.readouterr().err

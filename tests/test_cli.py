@@ -155,3 +155,115 @@ int main() { printf("%f %d\\n", X[1], flags); return 0; }
                           "--set", "flags", "0xFF"])
         assert rc == 0
         assert capsys.readouterr().out == "2.500000 255\n"
+
+
+SPIN_ASM = """
+    .text
+main:
+spin:
+    j spin
+    halt
+"""
+
+SPAWN_ASM = """
+    .data
+A:  .space 64
+    .text
+main:
+    li   $t0, 0
+    li   $t1, 15
+    spawn $t0, $t1
+vt:
+    getvt $k0
+    chkid $k0
+    la   $t2, A
+    slli $t3, $k0, 2
+    add  $t2, $t2, $t3
+    lw   $t4, 0($t2)
+    addi $t4, $t4, 1
+    sw   $t4, 0($t2)
+    j    vt
+    join
+    halt
+"""
+
+
+class TestExitCodeMatrix:
+    """The documented xmtsim exit codes, end to end: 0 = ok,
+    1 = compile/runtime error, 2 = bad input, 3 = stalled,
+    4 = budget exceeded, 5 = partial result (recovery exhausted)."""
+
+    @pytest.fixture
+    def spin_file(self, tmp_path):
+        path = tmp_path / "spin.s"
+        path.write_text(SPIN_ASM)
+        return str(path)
+
+    def test_exit_0_success(self, src_file, capsys):
+        assert xmtsim_main([src_file, "--config", "tiny"]) == 0
+
+    def test_exit_1_compile_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main() { return $; }")
+        assert xmtsim_main([str(bad), "--config", "tiny"]) == 1
+        assert "compile error" in capsys.readouterr().err
+
+    def test_exit_2_bad_input(self, capsys):
+        assert xmtsim_main(["/nonexistent.s", "--config", "tiny"]) == 2
+
+    def test_exit_2_bad_global(self, src_file, capsys):
+        assert xmtsim_main([src_file, "--set", "missing", "1"]) == 2
+
+    def test_exit_3_stalled(self, tmp_path, capsys):
+        prog = tmp_path / "spawn.s"
+        prog.write_text(SPAWN_ASM)
+        rc = xmtsim_main([str(prog), "--config", "tiny",
+                          "--watchdog", "500",
+                          "--inject", "icn.drop@38"])
+        assert rc == 3
+        assert "stalled" in capsys.readouterr().err
+
+    def test_exit_4_budget_exceeded(self, spin_file, capsys):
+        rc = xmtsim_main([spin_file, "--config", "tiny",
+                          "--max-cycles", "2000"])
+        assert rc == 4
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_exit_5_partial_result(self, spin_file, capsys):
+        rc = xmtsim_main([spin_file, "--config", "tiny",
+                          "--max-cycles", "2000", "--max-retries", "1"])
+        captured = capsys.readouterr()
+        assert rc == 5
+        # the retry report names the typed failure and the salvage
+        assert "FAILED" in captured.err
+        assert "partial result" in captured.err
+        assert "CycleLimit" in captured.err
+
+    def test_exit_5_still_writes_observability(self, spin_file, tmp_path,
+                                               capsys):
+        metrics_path = str(tmp_path / "partial-metrics.json")
+        rc = xmtsim_main([spin_file, "--config", "tiny",
+                          "--max-cycles", "2000", "--max-retries", "0",
+                          "--metrics-out", metrics_path])
+        assert rc == 5
+        # partial runs still flush their telemetry (the fix this class
+        # guards: the exit-5 path used to return before the writes)
+        import os
+        assert os.path.exists(metrics_path)
+
+    def test_resilient_completion_reattaches_observability(self, src_file,
+                                                           tmp_path, capsys):
+        metrics_path = str(tmp_path / "ok-metrics.json")
+        rc = xmtsim_main([src_file, "--config", "tiny",
+                          "--checkpoint-every", "50",
+                          "--metrics-out", metrics_path])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "resilient run completed" in captured.err
+        import json
+        with open(metrics_path) as fh:
+            data = json.load(fh)
+        # the registry stayed attached across checkpoints: the memory
+        # round-trip histograms only fill while obs hooks are live
+        assert "mem.latency.all" in data["histograms"]
+        assert data["histograms"]["mem.latency.all"]["count"] > 0

@@ -194,6 +194,50 @@ class TestFaultInjection:
             run_campaign(lambda: Machine(prog, tiny()), 1, seed=0,
                          sites=("alu.flip",))
 
+    def test_campaign_records_injected_runs_in_ledger(self, tmp_path):
+        from repro.sim.observability import Ledger
+
+        prog = assemble(SPAWN_ASM)
+        cfg = tiny(watchdog_cycles=500)
+        ledger = Ledger(str(tmp_path / "ledger"))
+        report = run_campaign(lambda: Machine(prog, cfg), 10, seed=2026,
+                              ledger=ledger)
+        runs = ledger.list_runs()
+        # the golden reference plus one manifest per injection
+        assert len(runs) == 11
+        injected = [r for r in runs if r.manifest.get("fault")]
+        golden = [r for r in runs if not r.manifest.get("fault")]
+        assert len(injected) == 10 and len(golden) == 1
+        assert "campaign-golden" in golden[0].manifest["label"]
+        # the fault spec travels in the manifest, typed outcome included
+        spec = injected[0].manifest["fault"]
+        assert {"site", "cycle", "seed", "outcome"} <= set(spec)
+        assert ({r.manifest["fault"]["outcome"] for r in injected}
+                <= set(OUTCOMES))
+        # the fault is *identity*: same campaign re-recorded is
+        # idempotent, a different seed lands in new run directories
+        run_campaign(lambda: Machine(prog, cfg), 10, seed=2026,
+                     ledger=ledger)
+        assert len(ledger.list_runs()) == 11
+
+    def test_compare_list_marks_injected_runs(self, tmp_path, capsys):
+        from repro.sim.observability import Ledger
+        from repro.toolchain.cli import xmt_compare_main
+
+        prog = assemble(SPAWN_ASM)
+        cfg = tiny(watchdog_cycles=500)
+        ledger_dir = str(tmp_path / "ledger")
+        run_campaign(lambda: Machine(prog, cfg), 5, seed=2026,
+                     ledger=Ledger(ledger_dir))
+        assert xmt_compare_main(["list", "--ledger", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        marked = [line for line in out.splitlines() if "[injected " in line]
+        assert len(marked) == 5, "injected runs not distinguished"
+        assert any("->" in line for line in marked)  # typed outcome shown
+        clean = [line for line in out.splitlines()
+                 if "campaign-golden" in line]
+        assert clean and all("[injected" not in line for line in clean)
+
 
 class TestCheckpointing:
     def test_unpicklable_plugin_no_longer_blocks_checkpoints(self):

@@ -161,3 +161,64 @@ class TestCheckpoint:
         assert restored.activity_plugins == []
         # original keeps its plug-in
         assert machine.activity_plugins == [rec]
+
+
+class TestObsWatchdogCheckpoint:
+    """Checkpointing while observability is attached AND a watchdog is
+    armed -- the three layers interact (obs is stripped on save, the
+    watchdog's stall-detection events travel inside the checkpoint, and
+    budget hooks are re-armed on the next run)."""
+
+    def _obs(self):
+        from repro.sim.observability import MetricsRegistry, Observability
+
+        return Observability(metrics=MetricsRegistry())
+
+    def test_checkpoint_under_obs_and_watchdog_resumes_identical(self):
+        reference = Simulator(
+            assemble(ASM), tiny(watchdog_cycles=2000)).run(max_cycles=500_000)
+
+        obs = self._obs()
+        machine = Machine(assemble(ASM), tiny(watchdog_cycles=2000),
+                          observability=obs)
+        payload = CP.run_with_checkpoint(machine, checkpoint_cycle=300)
+        assert payload is not None
+
+        # checkpoints strip the observability facade...
+        restored = CP.load_bytes(payload)
+        assert restored.obs is None
+        # ...and re-attaching a fresh one works on the restored machine
+        obs2 = self._obs()
+        restored.obs = obs2
+        obs2.attach(restored)
+        result = restored.run(max_cycles=500_000)
+        assert result.cycles == reference.cycles
+        assert result.instructions == reference.instructions
+        assert result.read_global("A") == reference.read_global("A")
+        # the re-attached metrics actually collected on the resumed leg
+        assert obs2.metrics.histograms or obs2.metrics.counters
+
+        # the original machine (obs still attached) also continues
+        result2 = machine.run(max_cycles=500_000)
+        assert result2.cycles == reference.cycles
+        assert machine.obs is obs
+
+    def test_restored_watchdog_still_trips_with_obs_attached(self):
+        from repro.sim.resilience import SimulationStalled
+
+        obs = self._obs()
+        machine = Machine(assemble(ASM), tiny(watchdog_cycles=150),
+                          observability=obs)
+        payload = CP.run_with_checkpoint(machine, checkpoint_cycle=300)
+        assert payload is not None
+
+        restored = CP.load_bytes(payload)
+        obs2 = self._obs()
+        restored.obs = obs2
+        obs2.attach(restored)
+        # freeze all instruction retirement: the watchdog armed inside
+        # the checkpoint must still detect the deadlock after restore
+        restored.domains["clusters"].disable()
+        with pytest.raises(SimulationStalled) as excinfo:
+            restored.run(max_cycles=500_000)
+        assert excinfo.value.dump is not None
