@@ -1,0 +1,13 @@
+// The guard is an affine equation in $ ($+1 == 3 holds for exactly one
+// thread), so the guarded store is single-threaded.  Before the affine
+// guard analysis this was a false positive: the comparison value is
+// not a literal $ == K, so the old syntactic check could not see it.
+// xmtc-lint-expect: clean
+int sc = 0;
+int main() {
+    spawn(0, 7) {
+        if ($ + 1 == 3) { sc = 9; }
+    }
+    printf("%d\n", sc);
+    return 0;
+}

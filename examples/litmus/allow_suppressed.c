@@ -1,0 +1,13 @@
+// A deliberate benign race (all threads store the same constant) with
+// an explicit suppression: the linter must honor allow(...) and report
+// nothing.
+// xmtc-lint-expect: clean
+int flag = 0;
+int main() {
+    spawn(0, 7) {
+        // xmtc-lint: allow(race.write-write)
+        flag = 1;
+    }
+    printf("%d\n", flag);
+    return 0;
+}

@@ -1,0 +1,13 @@
+// The callee's store goes to a uniform index (3 for every caller), so
+// the composed interprocedural access still races.
+// xmtc-lint-expect: race.call-effect
+// xmtc-lint-options: parallel_calls
+int arr[8];
+void put(int i, int v) { arr[i] = v; }
+int main() {
+    spawn(0, 7) {
+        put(3, $);
+    }
+    printf("%d\n", arr[3]);
+    return 0;
+}

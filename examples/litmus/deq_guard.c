@@ -1,0 +1,11 @@
+// The $ == 3 guard means exactly one thread executes the store, so the
+// "uniform" scalar write cannot race.
+// xmtc-lint-expect: clean
+int sc = 0;
+int main() {
+    spawn(0, 7) {
+        if ($ == 3) { sc = 42; }
+    }
+    printf("%d\n", sc);
+    return 0;
+}

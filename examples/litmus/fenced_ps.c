@@ -1,0 +1,15 @@
+// The same store+ps pattern as unfenced_ps.c, but with the default
+// fence insertion enabled the compiler orders the store before the
+// prefix-sum and no violation exists.
+// xmtc-lint-expect: clean
+int arr[12];
+psBaseReg int base = 1;
+int main() {
+    spawn(0, 7) {
+        arr[$] = $ * 2;
+        int t = 1;
+        ps(t, base);
+    }
+    printf("%d %d\n", arr[1], base);
+    return 0;
+}

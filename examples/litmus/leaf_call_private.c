@@ -1,0 +1,15 @@
+// The callee stores through its parameter; composing its summary with
+// the caller's argument ($+1) yields a thread-private affine index.
+// Before interprocedural summaries every call with a global effect was
+// conservatively flagged -- this file was a false positive.
+// xmtc-lint-expect: clean
+// xmtc-lint-options: parallel_calls
+int arr[12];
+void put(int i, int v) { arr[i] = v; }
+int main() {
+    spawn(0, 7) {
+        put($ + 1, $ * 2);
+    }
+    printf("%d\n", arr[3]);
+    return 0;
+}

@@ -1,0 +1,10 @@
+// The baseline clean program: every thread owns exactly its slot.
+// xmtc-lint-expect: clean
+int A[8];
+int main() {
+    spawn(0, 7) {
+        A[$] = $ * 5 + 1;
+    }
+    printf("%d\n", A[2]);
+    return 0;
+}

@@ -1,0 +1,11 @@
+// A constant offset keeps slots disjoint ($+2 is still injective in $);
+// the array is sized for the shift.
+// xmtc-lint-expect: clean
+int A[12];
+int main() {
+    spawn(0, 7) {
+        A[$ + 2] = $;
+    }
+    printf("%d\n", A[5]);
+    return 0;
+}

@@ -1,0 +1,15 @@
+// The prefix-sum hands every claiming thread a unique slot, so the
+// stores through the claimed index are disjoint by construction.
+// xmtc-lint-expect: clean
+int arr[12];
+int in0[12];
+psBaseReg int base = 1;
+int main() {
+    for (int i = 0; i < 12; i++) { in0[i] = (i * 7 + 4) % 13; }
+    spawn(0, 7) {
+        int t = 1;
+        if (in0[$] > 5) { ps(t, base); arr[t] = in0[$]; }
+    }
+    printf("%d\n", base);
+    return 0;
+}

@@ -1,0 +1,12 @@
+// All updates to the accumulator go through psm, the coordinated
+// read-modify-write -- no plain store, no race.
+// xmtc-lint-expect: clean
+int total = 0;
+int main() {
+    spawn(0, 7) {
+        int t = $ + 1;
+        psm(t, total);
+    }
+    printf("%d\n", total);
+    return 0;
+}

@@ -1,0 +1,13 @@
+// psm coordinates concurrent updates to sc only if *every* writer uses
+// it; mixing a plain store back in reintroduces the race.
+// xmtc-lint-expect: race.write-write
+int sc = 0;
+int main() {
+    spawn(0, 7) {
+        int t = 1;
+        psm(t, sc);
+        sc = $;
+    }
+    printf("%d\n", sc);
+    return 0;
+}

@@ -1,0 +1,14 @@
+// Thread i writes arr[i] but reads arr[7-i]; the index forms differ,
+// so no disjointness proof exists (thread 3 reads what thread 4
+// writes) and the read-write race is reported.
+// xmtc-lint-expect: race.read-write
+int arr[12];
+int out[12];
+int main() {
+    spawn(0, 7) {
+        arr[$] = $ + 1;
+        out[$] = arr[7 - $];
+    }
+    printf("%d\n", out[1]);
+    return 0;
+}

@@ -1,0 +1,14 @@
+// Thread i writes arr[i] and reads arr[i+1], which thread i+1 is
+// concurrently writing: a read-write race, and with non-blocking
+// stores the read may also observe an in-flight store.
+// xmtc-lint-expect: race.read-write, mm.nb-read
+int arr[12];
+int out[12];
+int main() {
+    spawn(0, 7) {
+        arr[$] = $ * 2;
+        out[$] = arr[$ + 1];
+    }
+    printf("%d\n", out[2]);
+    return 0;
+}

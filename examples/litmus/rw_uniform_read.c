@@ -1,0 +1,13 @@
+// One thread writes the scalar while every thread reads it: the reads
+// race with thread 0's store.
+// xmtc-lint-expect: race.read-write
+int sc = 0;
+int out[8];
+int main() {
+    spawn(0, 7) {
+        if ($ == 0) { sc = 7; }
+        out[$] = sc;
+    }
+    printf("%d\n", out[3]);
+    return 0;
+}

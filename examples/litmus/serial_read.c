@@ -1,0 +1,15 @@
+// Reading a shared array that is only written before the spawn is
+// safe; each thread writes only its own output slot.
+// xmtc-lint-expect: clean
+int in0[12];
+int out[8];
+int main() {
+    for (int i = 0; i < 12; i++) { in0[i] = (i * 3 + 2) % 13; }
+    spawn(0, 7) {
+        int t = 0;
+        for (int j = 0; j < 4; j++) { t = t + in0[j]; }
+        out[$] = t;
+    }
+    printf("%d\n", out[6]);
+    return 0;
+}

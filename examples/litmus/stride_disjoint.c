@@ -1,0 +1,13 @@
+// 2$ and 2$+1 interleave without colliding: the affine analysis proves
+// delta 1 is not divisible by stride 2.  A plain "both look private"
+// heuristic cannot make this distinction from ww_overlap_neighbor.c.
+// xmtc-lint-expect: clean
+int A[18];
+int main() {
+    spawn(0, 7) {
+        A[2 * $] = $;
+        A[2 * $ + 1] = $ * 7;
+    }
+    printf("%d %d\n", A[4], A[5]);
+    return 0;
+}

@@ -1,0 +1,16 @@
+// With memory fences compiled out, the non-blocking store to arr may
+// still be in flight when the prefix-sum (a synchronization point)
+// executes: the ps is unfenced.
+// xmtc-lint-expect: mm.unfenced-ps
+// xmtc-lint-options: no_memory_fences
+int arr[12];
+psBaseReg int base = 1;
+int main() {
+    spawn(0, 7) {
+        arr[$] = $ * 2;
+        int t = 1;
+        ps(t, base);
+    }
+    printf("%d %d\n", arr[1], base);
+    return 0;
+}

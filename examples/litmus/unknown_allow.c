@@ -1,0 +1,13 @@
+// The allow(...) names a check id that does not exist (a typo of
+// race.write-write): it suppresses nothing and must itself be flagged
+// so the typo cannot silently disarm the linter.
+// xmtc-lint-expect: lint.unknown-allow
+int A[8];
+int main() {
+    spawn(0, 7) {
+        // xmtc-lint: allow(race.writewrite)
+        A[$] = $;
+    }
+    printf("%d\n", A[1]);
+    return 0;
+}

@@ -1,0 +1,11 @@
+// A constant array index is uniform across threads: all eight threads
+// collide on A[3].
+// xmtc-lint-expect: race.write-write
+int A[8];
+int main() {
+    spawn(0, 7) {
+        A[3] = $ * 2;
+    }
+    printf("%d\n", A[3]);
+    return 0;
+}

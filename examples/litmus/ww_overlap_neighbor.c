@@ -1,0 +1,14 @@
+// A[$] and A[$+1] look thread-private in isolation, but thread i's
+// second store lands on thread i+1's slot.  The affine analysis proves
+// the overlap (delta 1, coefficient 1); the old flag heuristic
+// classified both as private and missed it.
+// xmtc-lint-expect: race.write-write
+int A[12];
+int main() {
+    spawn(0, 7) {
+        A[$] = $;
+        A[$ + 1] = $ * 3;
+    }
+    printf("%d\n", A[4]);
+    return 0;
+}

@@ -1,0 +1,11 @@
+// Every thread stores its id to the same scalar: the canonical
+// write-write race ("last writer wins" is not a defined outcome).
+// xmtc-lint-expect: race.write-write
+int winner;
+int main() {
+    spawn(0, 7) {
+        winner = $;
+    }
+    printf("%d\n", winner);
+    return 0;
+}

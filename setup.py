@@ -16,6 +16,7 @@ setup(
             "xmtcc=repro.toolchain.cli:xmtcc_main",
             "xmtsim=repro.toolchain.cli:xmtsim_main",
             "xmtc-lint=repro.toolchain.cli:xmtc_lint_main",
+            "xmtc-fuzz=repro.toolchain.cli:xmtc_fuzz_main",
             "xmt-prof=repro.toolchain.cli:xmt_prof_main",
             "xmt-compare=repro.toolchain.cli:xmt_compare_main",
             "xmt-campaign=repro.toolchain.cli:xmt_campaign_main",

@@ -89,6 +89,8 @@ class RunOutcome:
     #: the recorded (or cache-hit) ledger entry, when the run succeeded
     record: Optional[RunRecord] = None
     output: str = ""
+    #: dynamic race-sanitizer findings (``--sanitize`` runs only)
+    sanitizer: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> Dict[str, Any]:
         data = {
@@ -109,6 +111,8 @@ class RunOutcome:
             data["dump_summary"] = self.dump_summary
         if self.worker_pids:
             data["worker_pids"] = self.worker_pids
+        if self.sanitizer is not None:
+            data["sanitizer"] = self.sanitizer
         return data
 
 
@@ -241,6 +245,7 @@ class CampaignEngine:
                  event_budget: Optional[int] = None,
                  max_cycles: Optional[int] = None,
                  attempt_deadline_s: Optional[float] = None,
+                 sanitize: bool = False,
                  chaos: Optional[ChaosMonkey] = None,
                  on_outcome: Optional[Callable[[RunOutcome], None]] = None):
         self.requests = list(requests)
@@ -266,6 +271,7 @@ class CampaignEngine:
             self.attempt_deadline_s = wall_budget_s * 3.0 + 10.0
         else:
             self.attempt_deadline_s = None
+        self.sanitize = bool(sanitize)
         self.chaos = chaos
         self.on_outcome = on_outcome
 
@@ -390,7 +396,9 @@ class CampaignEngine:
         run_id = ""
         cycles = instructions = None
         output = ""
+        sanitizer = None
         if payload is not None and payload.get("status") == "ok":
+            sanitizer = payload.get("sanitizer")
             manifest = payload["manifest"]
             output = payload.get("output", "")
             if self.ledger is not None:
@@ -406,6 +414,8 @@ class CampaignEngine:
             run_id = record.run_id
             cycles = record.manifest.get("cycles")
             instructions = record.manifest.get("instructions")
+            if sanitizer is None:
+                sanitizer = record.manifest.get("sanitizer")
         outcome = RunOutcome(
             index=prepared.request.index,
             label=prepared.request.label,
@@ -414,7 +424,8 @@ class CampaignEngine:
             cycles=cycles, instructions=instructions,
             error_type=error_type, error=error,
             dump_summary=dump_summary,
-            worker_pids=worker_pids or [], record=record, output=output)
+            worker_pids=worker_pids or [], record=record, output=output,
+            sanitizer=sanitizer)
         self._outcomes[prepared.request.index] = outcome
         if self._results_fh is not None:
             self._results_fh.write(json.dumps(outcome.to_json()) + "\n")
@@ -484,7 +495,8 @@ class CampaignEngine:
                 attempts += 1
                 self._attempts_total += 1
                 payload = run_attempt(prep, self.budgets, attempts,
-                                      isolate=False)
+                                      isolate=False,
+                                      sanitize=self.sanitize)
                 status = payload["status"]
                 self._log_attempt(prep, attempts, status,
                                   worker_pid=payload.get("worker_pid"),
@@ -567,7 +579,7 @@ class CampaignEngine:
             workdir, f"{prep.fingerprint}.{attempt}.json")
         process = ctx.Process(
             target=worker_entry,
-            args=(prep, self.budgets, attempt, result_path),
+            args=(prep, self.budgets, attempt, result_path, self.sanitize),
             daemon=True)
         process.start()
         self._attempts_total += 1

@@ -39,14 +39,40 @@ def atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
     os.replace(tmp, path)
 
 
+def _sanitize_pass(program) -> Dict[str, Any]:
+    """Run the program once under the functional simulator with the
+    dynamic :class:`~repro.sim.plugins.RaceSanitizer` attached and
+    summarize the findings.  The caller owns ``program`` (inputs
+    already applied); the run is independent of the cycle-accurate
+    measurement run and never perturbs its results."""
+    from repro.sim.functional import FunctionalSimulator
+    from repro.sim.plugins import RaceSanitizer
+
+    sanitizer = RaceSanitizer()
+    FunctionalSimulator(program, sanitizer=sanitizer).run()
+    return {
+        "clean": sanitizer.clean,
+        "races": len(sanitizer.races),
+        "kinds": sorted({r.kind for r in sanitizer.races}),
+        "findings": [
+            {"kind": r.kind, "addr": r.addr, "tsids": list(r.tsids),
+             "lines": list(r.lines)}
+            for r in sanitizer.races
+        ],
+    }
+
+
 def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
-                *, isolate: bool = True) -> Dict[str, Any]:
+                *, isolate: bool = True,
+                sanitize: bool = False) -> Dict[str, Any]:
     """Execute one attempt and classify its outcome.
 
     ``isolate=True`` means we own our copy of the program (a forked
     child); serial in-process callers pass ``False`` so per-request
     inputs are applied to a deep copy instead of mutating the shared
-    ``Program`` object.
+    ``Program`` object.  ``sanitize=True`` additionally runs the
+    dynamic race sanitizer and attaches its findings to the payload and
+    (as a non-identity field) the manifest.
     """
     import time
 
@@ -73,6 +99,7 @@ def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
             wall_limit_s=budgets.wall_limit_s,
             max_events=budgets.max_events,
             inputs=request.inputs or None)
+        sanitizer_summary = _sanitize_pass(program) if sanitize else None
     except SimulationBudgetExceeded as exc:
         return _failure_payload("timeout", exc, attempt)
     except Exception as exc:
@@ -81,7 +108,11 @@ def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
         return _failure_payload("failed", exc, attempt)
     manifest = dict(artifacts.manifest)
     manifest["campaign"] = {"attempt": attempt, "worker_pid": os.getpid()}
-    return {
+    if sanitizer_summary is not None:
+        # run_id is content-addressed over identity fields only, so the
+        # sanitizer verdict rides along without changing the identity
+        manifest["sanitizer"] = sanitizer_summary
+    payload = {
         "schema": SCHEMA_ATTEMPT,
         "status": "ok",
         "attempt": attempt,
@@ -91,6 +122,9 @@ def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
         "profile": artifacts.profile,
         "output": getattr(artifacts.result, "output", "") or "",
     }
+    if sanitizer_summary is not None:
+        payload["sanitizer"] = sanitizer_summary
+    return payload
 
 
 def _failure_payload(status: str, exc: BaseException,
@@ -114,7 +148,8 @@ def _failure_payload(status: str, exc: BaseException,
 
 
 def worker_entry(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
-                 result_path: str) -> None:
+                 result_path: str, sanitize: bool = False) -> None:
     """Process target: run one attempt and publish the verdict."""
-    payload = run_attempt(prepared, budgets, attempt, isolate=True)
+    payload = run_attempt(prepared, budgets, attempt, isolate=True,
+                          sanitize=sanitize)
     atomic_write_json(result_path, payload)

@@ -155,6 +155,10 @@ def xmtc_lint_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--examples", default=None, metavar="DIR",
                         help="with --check-shipped: also lint the SOURCE "
                              "programs of the example scripts in DIR")
+    parser.add_argument("--litmus", default=None, metavar="DIR",
+                        help="with --check-shipped: verify the annotated "
+                             "litmus corpus in DIR against its "
+                             "xmtc-lint-expect comments")
     parser.add_argument("--quiet", action="store_true",
                         help="print only error-severity findings")
     _add_compile_flags(parser)
@@ -163,13 +167,15 @@ def xmtc_lint_main(argv: Optional[List[str]] = None) -> int:
     if args.check_shipped:
         from repro.xmtc.analysis.linter import collect_example_sources
 
-        if args.examples and not os.path.isdir(args.examples):
-            print(f"xmtc-lint: --examples: not a directory: "
-                  f"{args.examples}", file=sys.stderr)
-            return 2
+        for flag, value in (("--examples", args.examples),
+                            ("--litmus", args.litmus)):
+            if value and not os.path.isdir(value):
+                print(f"xmtc-lint: {flag}: not a directory: {value}",
+                      file=sys.stderr)
+                return 2
         extra = (collect_example_sources(args.examples)
                  if args.examples else ())
-        ok, lines = check_shipped(extra)
+        ok, lines = check_shipped(extra, litmus_dir=args.litmus)
         print("\n".join(lines))
         return 0 if ok else 1
     if not args.sources:
@@ -212,6 +218,100 @@ def xmtc_lint_main(argv: Optional[List[str]] = None) -> int:
         print(f"xmtc-lint: {n_err} error(s), {n_warn} warning(s) in "
               f"{len(args.sources)} file(s)")
     return 1 if has_errors(all_diags) else 0
+
+
+def _parse_seed_spec(spec: str) -> List[int]:
+    """``"0..63"`` (inclusive range), ``"128"`` (count from 0), or a
+    comma list ``"3,17,99"``."""
+    spec = spec.strip()
+    if ".." in spec:
+        lo_text, hi_text = spec.split("..", 1)
+        lo, hi = int(lo_text), int(hi_text)
+        if hi < lo:
+            raise ValueError(f"empty seed range {spec!r}")
+        return list(range(lo, hi + 1))
+    if "," in spec:
+        return [int(tok) for tok in spec.split(",") if tok.strip()]
+    count = int(spec)
+    if count <= 0:
+        raise ValueError(f"seed count must be positive, got {spec!r}")
+    return list(range(count))
+
+
+def xmtc_fuzz_main(argv: Optional[List[str]] = None) -> int:
+    """``xmtc-fuzz``: analysis soundness fuzzing over generated XMTC.
+
+    Runs every seed's program through the static analyses, the dynamic
+    race sanitizer, and the functional-vs-cycle-accurate differential,
+    classifying each static verdict as TP/FP/FN/TN against the
+    generator's planted ground truth.
+
+    Exit codes: 0 = sound and FP rate within threshold, 1 = any FN /
+    harness bug / FP rate above threshold, 2 = bad usage.
+    """
+    from repro.xmtc.fuzz.harness import run_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="xmtc-fuzz",
+        description="differential soundness fuzzer for the XMTC race "
+                    "detector and memory-model linter")
+    parser.add_argument("--seeds", default="0..63", metavar="SPEC",
+                        help="seed range 'LO..HI' (inclusive), count 'N', "
+                             "or comma list (default 0..63)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="stream per-seed outcomes to this JSONL file")
+    parser.add_argument("--fp-threshold", type=float, default=0.10,
+                        metavar="RATE",
+                        help="maximum tolerated false-positive rate over "
+                             "clean-labeled programs (default 0.10)")
+    parser.add_argument("--no-differential", action="store_true",
+                        help="skip the functional-vs-cycle-accurate oracle "
+                             "(faster; race verdicts unaffected)")
+    parser.add_argument("--emit-failing", default=None, metavar="DIR",
+                        help="write the XMTC source of every FN/FP/bug "
+                             "seed into DIR for triage")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the summary")
+    args = parser.parse_args(argv)
+
+    try:
+        seeds = _parse_seed_spec(args.seeds)
+    except ValueError as exc:
+        print(f"xmtc-fuzz: --seeds: {exc}", file=sys.stderr)
+        return 2
+    if args.emit_failing:
+        os.makedirs(args.emit_failing, exist_ok=True)
+
+    def note(outcome):
+        interesting = outcome.verdict in ("fn", "fp", "bug")
+        if not args.quiet or interesting:
+            extra = f" [{outcome.error}]" if outcome.error else ""
+            print(f"seed {outcome.seed:>6}: {outcome.verdict.upper():<3} "
+                  f"planted={outcome.planted or '-':<18} "
+                  f"static={','.join(outcome.static_checks) or '-'} "
+                  f"dynamic={','.join(outcome.dynamic_races) or '-'}"
+                  f"{extra}")
+        if interesting and args.emit_failing:
+            from repro.xmtc.fuzz.generator import generate
+
+            path = os.path.join(args.emit_failing,
+                                f"seed-{outcome.seed}.c")
+            with open(path, "w") as fh:
+                fh.write(generate(outcome.seed).source)
+
+    summary = run_campaign(seeds, jsonl_path=args.out,
+                           fp_threshold=args.fp_threshold,
+                           differential=not args.no_differential,
+                           on_outcome=note)
+    counts = summary["counts"]
+    print(f"xmtc-fuzz: {summary['seeds']} seeds: "
+          f"tp: {counts['tp']}  tn: {counts['tn']}  "
+          f"fp: {counts['fp']}  fn: {counts['fn']}  "
+          f"bug: {counts['bug']}  unsound: {summary['unsound']}  "
+          f"fp-rate: {summary['fp_rate']:.2%} "
+          f"(threshold {summary['fp_threshold']:.2%})")
+    print("xmtc-fuzz: " + ("SOUND" if summary["ok"] else "UNSOUND/FAILED"))
+    return 0 if summary["ok"] else 1
 
 
 def _parse_values(text: str):
@@ -1017,6 +1117,10 @@ def xmt_campaign_main(argv: Optional[List[str]] = None) -> int:
                              "complete)")
     parser.add_argument("--chaos-seed", type=int, default=0, metavar="SEED",
                         help="chaos RNG seed (same seed -> same kills)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="additionally run each program under the "
+                             "dynamic race sanitizer and record its "
+                             "findings in the result payload/manifest")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-run progress lines")
     _add_compile_flags(parser)
@@ -1061,9 +1165,14 @@ def xmt_campaign_main(argv: Optional[List[str]] = None) -> int:
                 tag = " (cached)" if outcome.status == "cached" else ""
                 attempts = (f" [attempt {outcome.attempts}]"
                             if outcome.attempts > 1 else "")
+                races = ""
+                if outcome.sanitizer and not outcome.sanitizer.get("clean"):
+                    kinds = ",".join(outcome.sanitizer.get("kinds", []))
+                    races = (f" RACES: {outcome.sanitizer.get('races')}"
+                             f" [{kinds}]")
                 print(f"xmt-campaign: {outcome.label or outcome.index}: "
                       f"{outcome.cycles} cycles ({outcome.run_id})"
-                      f"{tag}{attempts}", file=sys.stderr)
+                      f"{tag}{attempts}{races}", file=sys.stderr)
             else:
                 print(f"xmt-campaign: {outcome.label or outcome.index}: "
                       f"{outcome.status} after {outcome.attempts} "
@@ -1085,6 +1194,7 @@ def xmt_campaign_main(argv: Optional[List[str]] = None) -> int:
             event_budget=args.event_budget,
             max_cycles=args.max_cycles,
             attempt_deadline_s=args.attempt_deadline,
+            sanitize=args.sanitize,
             chaos=chaos,
             on_outcome=note)
         result = engine.run()

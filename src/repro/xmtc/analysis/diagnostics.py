@@ -23,6 +23,23 @@ from typing import Dict, List, Optional, Sequence
 
 SEVERITIES = ("error", "warning", "note")
 
+#: every check id a suppression comment can legitimately name.  An
+#: ``allow(...)`` with a name outside this set suppresses nothing and
+#: is reported as ``lint.unknown-allow`` so typos cannot hide silently.
+KNOWN_CHECKS = frozenset({
+    "race.write-write",
+    "race.read-write",
+    "race.call-effect",
+    "mm.nb-read",
+    "mm.unfenced-ps",
+    "mm.unsafe-lwro",
+    "ro.disabled-store",
+    "dyn.race.write-write",
+    "dyn.race.read-write",
+    "dyn.race.psm-write",
+    "lint.unknown-allow",
+})
+
 _ALLOW_RE = re.compile(r"xmtc-lint:\s*allow\(([^)]*)\)")
 
 
@@ -110,3 +127,27 @@ def apply_suppressions(diags: List[Diagnostic], source: str
             continue
         kept.append(d)
     return kept
+
+
+def suppression_diagnostics(source: str, filename: str = "<source>"
+                            ) -> List[Diagnostic]:
+    """``lint.unknown-allow`` warnings for every ``allow(...)`` rule
+    name that is not a known check id (see :data:`KNOWN_CHECKS`).  A
+    typo'd suppression masks nothing, so it must be loud rather than
+    silently inert."""
+    diags: List[Diagnostic] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        checks = _allowed_checks(text)
+        if checks is None:
+            continue
+        for name in checks:
+            if name == "*" or name in KNOWN_CHECKS:
+                continue
+            known = ", ".join(sorted(KNOWN_CHECKS))
+            diags.append(Diagnostic(
+                check="lint.unknown-allow", severity="warning",
+                message=(f"suppression names unknown rule '{name}'; it "
+                         f"suppresses nothing"),
+                line=lineno, source_file=filename,
+                hint=f"known rules: * (all), {known}"))
+    return diags

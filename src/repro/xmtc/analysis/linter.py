@@ -18,6 +18,7 @@ from repro.xmtc.analysis.diagnostics import (
     Diagnostic,
     apply_suppressions,
     sort_diagnostics,
+    suppression_diagnostics,
 )
 from repro.xmtc.analysis.memmodel import check_memory_model
 from repro.xmtc.analysis.races import check_races
@@ -44,6 +45,7 @@ def lint_source(source: str, options=None, filename: str = "<source>"
     for note in result.optimizer_report.get("lint_notes", ()):
         note.source_file = filename
         diags.append(note)
+    diags.extend(suppression_diagnostics(source, filename))
     diags = apply_suppressions(diags, source)
     return sort_diagnostics(diags)
 
@@ -132,10 +134,90 @@ def collect_example_sources(directory):
     return pairs
 
 
-def check_shipped(example_sources=()):
+def collect_litmus_cases(directory):
+    """Load the curated litmus corpus: every ``*.c`` under ``directory``
+    with its expected-diagnostic annotations.
+
+    Annotations are comment lines anywhere in the file::
+
+        // xmtc-lint-expect: race.write-write
+        // xmtc-lint-expect: clean
+        // xmtc-lint-options: parallel_calls, no_memory_fences
+
+    ``expect`` lines accumulate check ids that must appear (any
+    severity); ``expect: clean`` requires zero error- or
+    warning-severity findings.  ``options`` names boolean
+    ``CompileOptions`` fields to enable (``no_<field>`` disables a
+    default-on field, e.g. ``no_memory_fences``).  Returns
+    ``(name, source, options, expected)`` tuples; a file without any
+    ``expect`` annotation is an error (the corpus is only useful with
+    ground truth attached).
+    """
+    import pathlib
+    import re
+
+    from repro.xmtc.compiler import CompileOptions
+
+    expect_re = re.compile(r"//\s*xmtc-lint-expect:\s*(.+?)\s*$")
+    options_re = re.compile(r"//\s*xmtc-lint-options:\s*(.+?)\s*$")
+    cases = []
+    for path in sorted(pathlib.Path(directory).glob("*.c")):
+        source = path.read_text()
+        expected: List[str] = []
+        options = CompileOptions()
+        for line in source.splitlines():
+            m = expect_re.search(line)
+            if m:
+                expected.extend(tok.strip() for tok in m.group(1).split(",")
+                                if tok.strip())
+            m = options_re.search(line)
+            if m:
+                for flag in (tok.strip() for tok in m.group(1).split(",")):
+                    if not flag:
+                        continue
+                    value = True
+                    name = flag
+                    if flag.startswith("no_") and hasattr(options, flag[3:]):
+                        name, value = flag[3:], False
+                    if not hasattr(options, name):
+                        raise ValueError(
+                            f"{path.name}: unknown compile option {flag!r} "
+                            f"in xmtc-lint-options")
+                    setattr(options, name, value)
+        if not expected:
+            raise ValueError(f"{path.name}: litmus program has no "
+                             f"xmtc-lint-expect annotation")
+        if "clean" in expected and len(expected) > 1:
+            raise ValueError(f"{path.name}: 'clean' cannot be combined "
+                             f"with expected check ids")
+        cases.append((path.name, source, options, expected))
+    return cases
+
+
+def _check_litmus_case(name, source, options, expected) -> Tuple[bool, str]:
+    diags = lint_source(source, options, filename=name)
+    flagged = [d for d in diags if d.severity in ("error", "warning")]
+    if expected == ["clean"]:
+        if flagged:
+            detail = "; ".join(d.format() for d in flagged)
+            return False, (f"FAIL {name}: expected clean, got "
+                           f"{len(flagged)} finding(s): {detail}")
+        return True, f"ok   {name}: clean (expected)"
+    present = {d.check for d in diags}
+    missing = [c for c in expected if c not in present]
+    if missing:
+        return False, (f"FAIL {name}: expected {', '.join(expected)}; "
+                       f"missing {', '.join(missing)} "
+                       f"(got: {', '.join(sorted(present)) or 'nothing'})")
+    return True, f"ok   {name}: flagged {', '.join(expected)} (expected)"
+
+
+def check_shipped(example_sources=(), litmus_dir=None):
     """Lint every shipped workload (plus any extra ``(name, source)``
     pairs, e.g. the ``examples/`` programs): the racy litmus programs
     must be flagged with errors, everything else must be error-free.
+    With ``litmus_dir``, additionally verify every annotated corpus
+    program under it against its expected diagnostics.
 
     Returns ``(ok, report_lines)``.
     """
@@ -160,4 +242,11 @@ def check_shipped(example_sources=()):
             verdict = "flagged as racy (expected)" if racy else "clean"
             suffix = f", {n_warn} warning(s)" if n_warn else ""
             lines.append(f"ok   {name}: {verdict}{suffix}")
+    if litmus_dir is not None:
+        for name, source, options, expected in collect_litmus_cases(
+                litmus_dir):
+            case_ok, line = _check_litmus_case(name, source, options,
+                                               expected)
+            ok = ok and case_ok
+            lines.append(line)
     return ok, lines

@@ -12,9 +12,11 @@ checks enforce the contract:
   the ablation knob is understood to be unsafe.
 - ``mm.nb-read`` (**warning**): a load reads an alias class that was
   non-blocking-stored earlier in the same region with no fence in
-  between.  Exempt when both addresses are pure ``$``-arithmetic --
-  then the load reads the thread's *own* slice, which the hardware's
-  static routing keeps ordered (memory-model rule 1).
+  between.  Exempt when the load provably reads the thread's *own*
+  freshly stored slice, which the hardware's static routing keeps
+  ordered (memory-model rule 1): with known affine address forms that
+  means store and load forms are *equal* (same per-thread cell);
+  without forms it falls back to "both pure ``$``-arithmetic".
 - ``mm.unsafe-lwro`` (**error**): a load routed through the cluster
   read-only cache targets an alias class that parallel code may write.
   The RO caches are only invalidated at spawn/join boundaries, so such
@@ -27,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.xmtc import ir as IR
-from repro.xmtc.analysis.classify import DOLLAR, classify_body
+from repro.xmtc.analysis.classify import VAR_DOLLAR, classify_body
 from repro.xmtc.analysis.diagnostics import Diagnostic
 from repro.xmtc.analysis.summaries import UnitSummaries
 
@@ -67,8 +69,8 @@ def _check_region(spawn: IR.SpawnIR, func_name: str,
     info = classify_body(spawn)
     diags: List[Diagnostic] = []
     body = spawn.body
-    # alias class -> (store line, store address was pure $-arith)
-    nb_stores: Dict[str, Tuple[int, bool]] = {}
+    # alias class -> (store line, private flag, affine form, mixed forms)
+    nb_stores: Dict[str, Tuple] = {}
     nb_seen = False
     prev_real = None
     for pos, ins in enumerate(body):
@@ -78,14 +80,27 @@ def _check_region(spawn: IR.SpawnIR, func_name: str,
         elif isinstance(ins, IR.Store) and ins.nonblocking:
             nb_seen = True
             if ins.origin is not None:
-                addr_dollar = info.operand_flags(ins.addr) == DOLLAR
+                priv = info.is_private_addr(ins.addr)
+                form = info.affine_of(ins.addr)
                 prior = nb_stores.get(ins.origin)
-                nb_stores[ins.origin] = (
-                    ins.line, addr_dollar and (prior is None or prior[1]))
+                if prior is None:
+                    nb_stores[ins.origin] = (ins.line, priv, form, False)
+                else:
+                    nb_stores[ins.origin] = (
+                        ins.line, priv and prior[1], form,
+                        prior[3] or form != prior[2])
         elif isinstance(ins, IR.Load) and ins.origin in nb_stores:
-            store_line, store_dollar = nb_stores[ins.origin]
-            load_dollar = info.operand_flags(ins.addr) == DOLLAR
-            if not (store_dollar and load_dollar):
+            store_line, store_priv, store_form, mixed = nb_stores[ins.origin]
+            load_form = info.affine_of(ins.addr)
+            if mixed:
+                own_slice = False
+            elif store_form is not None and load_form is not None:
+                # provably the thread's own just-written cell
+                own_slice = (store_form == load_form
+                             and store_form.coeff(VAR_DOLLAR) != 0)
+            else:
+                own_slice = store_priv and info.is_private_addr(ins.addr)
+            if not own_slice:
                 name = ins.origin.partition(":")[2]
                 diags.append(Diagnostic(
                     check="mm.nb-read", severity="warning",

@@ -12,9 +12,21 @@ coordination and privacy arguments the XMT programming model provides:
 - the enclosing block is guarded by comparing a prefix-sum result to a
   constant (the claim idiom: at most one thread per claimed cell);
 - both sides run only under ``$ == K`` for the *same* K (one thread);
-- both addresses are pure ``$``-arithmetic (the ``A[$]`` thread-private
-  idiom; overlapping windows like ``A[$]`` vs ``A[$+1]`` are a
-  documented false negative of this rule).
+- both addresses have known affine forms over ``$`` and the forms are
+  provably disjoint across distinct threads (``A[2*$]`` vs
+  ``A[2*$+1]``), **or** -- when a form is unknown -- both addresses are
+  pure ``$``-arithmetic by the flag heuristic.  Where both forms *are*
+  known, overlapping windows like ``A[$]`` vs ``A[$+1]`` are now
+  correctly reported instead of being the documented false negative of
+  the flag rule.
+
+Calls inside spawn bodies are analyzed interprocedurally when the
+callee qualifies for a param-affine summary (leaf function, every
+access pinned to an origin and an affine address over its parameters):
+the callee's accesses are substituted with the caller's argument forms,
+so ``put($, v)`` with ``put`` writing ``B[i]`` is recognized as the
+thread-private ``B[$]`` idiom.  Non-qualifying callees keep the
+worst-case per-origin call-effect treatment.
 
 What survives is reported: **error** when both addresses are uniform
 across threads (the location is *definitely* shared and the threads
@@ -24,13 +36,16 @@ across threads (the location is *definitely* shared and the threads
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.xmtc import ir as IR
 from repro.xmtc.analysis.classify import (
     DOLLAR,
     UNIFORM,
+    VAR_DOLLAR,
+    Affine,
     BodyInfo,
+    affine_disjoint,
     classify_body,
 )
 from repro.xmtc.analysis.diagnostics import Diagnostic
@@ -39,11 +54,11 @@ from repro.xmtc.analysis.summaries import UnitSummaries
 
 class _Access:
     __slots__ = ("kind", "origin", "flags", "guards", "coordinated",
-                 "via_call", "line", "pos")
+                 "via_call", "line", "pos", "affine")
 
     def __init__(self, kind: str, origin: Optional[str], flags: int,
                  guards, coordinated: bool, via_call: bool, line: int,
-                 pos: int):
+                 pos: int, affine: Optional[Affine] = None):
         self.kind = kind            # "read" | "write"
         self.origin = origin
         self.flags = flags
@@ -52,6 +67,7 @@ class _Access:
         self.via_call = via_call
         self.line = line
         self.pos = pos
+        self.affine = affine        # address form over $ when known
 
 
 def _pretty(origin: Optional[str]) -> str:
@@ -62,8 +78,42 @@ def _pretty(origin: Optional[str]) -> str:
     return f"{what} '{name}'"
 
 
-def _collect_accesses(info: BodyInfo, summaries: UnitSummaries
-                      ) -> List[_Access]:
+def _substitute(form: Affine, arg_forms: Sequence[Optional[Affine]]
+                ) -> Optional[Affine]:
+    """Replace the param variables of a callee access form with the
+    caller-side affine forms of the call arguments."""
+    out = Affine({}, dict(form.bases), form.offset)
+    for var, c in form.terms.items():
+        if var[0] != "p":
+            return None
+        index = var[1]
+        if index >= len(arg_forms) or arg_forms[index] is None:
+            return None
+        out = out.add(arg_forms[index].scale(c))
+    return out
+
+
+def _compose_call(info: BodyInfo, ins: IR.Call, callee, guards, pos: int
+                  ) -> Optional[List[_Access]]:
+    """Interprocedural accesses for a qualifying leaf callee, or None
+    when any substitution fails (fall back to worst case)."""
+    if callee.param_affine is None:
+        return None
+    arg_forms = [info.affine_of(arg) for arg in ins.args]
+    composed: List[_Access] = []
+    for acc in callee.param_affine:
+        form = _substitute(acc.affine, arg_forms)
+        if form is None:
+            return None
+        composed.append(_Access(
+            acc.kind, acc.origin, 0, guards,
+            coordinated=acc.coordinated, via_call=True,
+            line=ins.line, pos=pos, affine=form))
+    return composed
+
+
+def _collect_accesses(info: BodyInfo, summaries: UnitSummaries,
+                      interprocedural: bool = True) -> List[_Access]:
     accesses: List[_Access] = []
     body = info.spawn.body
     for pos, ins in enumerate(body):
@@ -72,17 +122,20 @@ def _collect_accesses(info: BodyInfo, summaries: UnitSummaries
             accesses.append(_Access(
                 "read", ins.origin, info.operand_flags(ins.addr), guards,
                 coordinated=info.is_ps_derived(ins.addr),
-                via_call=False, line=ins.line, pos=pos))
+                via_call=False, line=ins.line, pos=pos,
+                affine=info.affine_of(ins.addr)))
         elif isinstance(ins, IR.Store):
             accesses.append(_Access(
                 "write", ins.origin, info.operand_flags(ins.addr), guards,
                 coordinated=info.is_ps_derived(ins.addr),
-                via_call=False, line=ins.line, pos=pos))
+                via_call=False, line=ins.line, pos=pos,
+                affine=info.affine_of(ins.addr)))
         elif isinstance(ins, IR.PsmIR):
             accesses.append(_Access(
                 "write", getattr(ins, "origin", None),
                 info.operand_flags(ins.addr), guards,
-                coordinated=True, via_call=False, line=ins.line, pos=pos))
+                coordinated=True, via_call=False, line=ins.line, pos=pos,
+                affine=info.affine_of(ins.addr)))
         elif isinstance(ins, IR.Call):
             callee = summaries.summary_of(ins.name)
             if callee is None:
@@ -90,6 +143,11 @@ def _collect_accesses(info: BodyInfo, summaries: UnitSummaries
                                         coordinated=False, via_call=True,
                                         line=ins.line, pos=pos))
                 continue
+            if interprocedural and info.use_affine:
+                composed = _compose_call(info, ins, callee, guards, pos)
+                if composed is not None:
+                    accesses.extend(composed)
+                    continue
             reads = callee.reads_serial | callee.reads_parallel
             writes = callee.writes_serial | callee.writes_parallel
             for origin in sorted(writes):
@@ -128,30 +186,57 @@ def _coordinated(access: _Access) -> bool:
 
 
 def _addr_private(access: _Access) -> bool:
+    if access.affine is not None:
+        return access.affine.coeff(VAR_DOLLAR) != 0
     return not access.via_call and access.flags == DOLLAR
 
 
 def _addr_uniform(access: _Access) -> bool:
-    return not access.via_call and access.flags == UNIFORM
+    if access.via_call:
+        return False
+    if access.affine is not None:
+        return access.affine.coeff(VAR_DOLLAR) == 0
+    return access.flags == UNIFORM
+
+
+def _pair_disjoint(a: _Access, b: _Access) -> bool:
+    """Thread-disjointness of a pair of accesses.
+
+    When both address forms are known the affine argument decides --
+    soundly in both directions (``A[$]`` vs ``A[$+1]`` overlaps, the
+    stride pair ``A[2*$]``/``A[2*$+1]`` does not).  When a form is
+    missing, fall back to the original "both pure ``$``-arithmetic"
+    heuristic."""
+    if a.affine is not None and b.affine is not None:
+        return affine_disjoint(a.affine, b.affine)
+    return _addr_private(a) and _addr_private(b)
 
 
 def check_races(unit: IR.IRUnit, summaries: UnitSummaries,
-                source_file: str = "<source>") -> List[Diagnostic]:
+                source_file: str = "<source>", *, use_affine: bool = True,
+                interprocedural: bool = True) -> List[Diagnostic]:
+    """``use_affine=False`` / ``interprocedural=False`` restore the
+    flag-only / worst-case-call behavior of the original detector; they
+    exist for precision regression tests."""
     diags: List[Diagnostic] = []
     seen: Set[Tuple] = set()
     for func in unit.functions:
         for ins in IR.walk_instrs(func.body, include_spawn_bodies=False):
             if isinstance(ins, IR.SpawnIR):
                 diags.extend(_check_region(ins, func.name, summaries,
-                                           source_file, seen))
+                                           source_file, seen,
+                                           use_affine=use_affine,
+                                           interprocedural=interprocedural))
     return diags
 
 
 def _check_region(spawn: IR.SpawnIR, func_name: str,
                   summaries: UnitSummaries, source_file: str,
-                  seen: Set[Tuple]) -> List[Diagnostic]:
-    info = classify_body(spawn)
-    accesses = _collect_accesses(info, summaries)
+                  seen: Set[Tuple], use_affine: bool = True,
+                  interprocedural: bool = True) -> List[Diagnostic]:
+    info = classify_body(spawn, use_affine=use_affine)
+    accesses = _collect_accesses(info, summaries,
+                                 interprocedural=interprocedural)
     diags: List[Diagnostic] = []
     n = len(accesses)
     for i in range(n):
@@ -212,7 +297,7 @@ def _check_pair(a: _Access, b: _Access, func_name: str,
                  "function of $")
     if ka is not None and ka == kb:
         return None              # both restricted to the same thread
-    if _addr_private(a) and _addr_private(b):
+    if _pair_disjoint(a, b):
         return None              # per-thread slices of the same object
     if a.via_call or b.via_call:
         check = "race.call-effect"

@@ -19,6 +19,29 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.xmtc import ir as IR
+from repro.xmtc.analysis.classify import Affine, affine_table, param_var
+
+
+class ParamAccess:
+    """One memory access of a *leaf* callee, with its address expressed
+    as an affine form over the callee's parameters.
+
+    Lets the race detector analyze ``f($ + k, ...)`` inside a spawn body
+    with the caller's facts substituted for the parameters instead of
+    bailing to the worst-case per-origin call effect."""
+
+    __slots__ = ("kind", "origin", "affine", "line", "coordinated")
+
+    def __init__(self, kind: str, origin: str, affine: Affine, line: int,
+                 coordinated: bool = False):
+        self.kind = kind            # "read" | "write"
+        self.origin = origin
+        self.affine = affine
+        self.line = line
+        self.coordinated = coordinated
+
+    def __repr__(self):
+        return f"ParamAccess({self.kind} {self.origin} @ {self.affine!r})"
 
 
 class Site:
@@ -56,6 +79,11 @@ class FunctionSummary:
         self.calls_serial: Set[str] = set()
         self.calls_parallel: Set[str] = set()
         self.has_spawn = False
+        #: complete list of the function's accesses with param-affine
+        #: addresses, or None when the function does not qualify (it
+        #: calls, spawns, touches its frame, or has an access whose
+        #: address/origin the affine analysis cannot pin down)
+        self.param_affine: Optional[List[ParamAccess]] = None
 
     def effect_key(self) -> Tuple:
         return (frozenset(self.reads_serial), frozenset(self.reads_parallel),
@@ -116,7 +144,52 @@ def _scan_function(func: IR.IRFunc) -> FunctionSummary:
                 record(ins, parallel)
 
     scan(func.body, parallel=False)
+    if not s.has_spawn and not s.calls_serial and not s.calls_parallel:
+        s.param_affine = _param_affine_accesses(func)
     return s
+
+
+def _param_affine_accesses(func: IR.IRFunc) -> Optional[List[ParamAccess]]:
+    """Every access of a call- and spawn-free function as a
+    :class:`ParamAccess`, or None if any access disqualifies it.
+
+    Frame-based addresses disqualify: whether a callee's frame slots are
+    per-thread in a parallel call is a property of the execution model
+    we do not want the race verdict to depend on, so such functions keep
+    the conservative per-origin call-effect treatment."""
+    forms = affine_table(
+        func.body,
+        {p.id: Affine.var(param_var(i)) for i, p in enumerate(func.params)})
+    accesses: List[ParamAccess] = []
+
+    def form_of(addr: IR.Operand) -> Optional[Affine]:
+        if isinstance(addr, IR.Const):
+            return Affine.const(addr.value)
+        if isinstance(addr, IR.Temp):
+            if addr.id in forms:        # includes reassigned params (None)
+                return forms[addr.id]
+            for i, p in enumerate(func.params):
+                if addr.id == p.id:
+                    return Affine.var(param_var(i))
+        return None
+
+    for ins in IR.walk_instrs(func.body):
+        if isinstance(ins, (IR.Load, IR.Store, IR.PsmIR)):
+            origin = getattr(ins, "origin", None)
+            form = form_of(ins.addr)
+            if origin is None or form is None:
+                return None
+            if any(key[0] == "sp" for key in form.bases):
+                return None
+            if isinstance(ins, IR.PsmIR):
+                kind, coordinated = "write", True
+            elif isinstance(ins, IR.Store):
+                kind, coordinated = "write", False
+            else:
+                kind, coordinated = "read", False
+            accesses.append(ParamAccess(kind, origin, form, ins.line,
+                                        coordinated))
+    return accesses
 
 
 class UnitSummaries:

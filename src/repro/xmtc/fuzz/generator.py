@@ -1,0 +1,395 @@
+"""Seed-deterministic random XMTC program generator with ground truth.
+
+Every program is built from *clean-by-construction* statement templates
+-- straight-line ``$``-arithmetic, branches, serial loops over uniform
+data, ``$ == K`` / ``$ + a == K`` guarded scalar writes, the ps claim
+idiom, psm accumulation, and leaf calls indexed by ``$`` -- each of
+which provably keeps every thread on a disjoint slice (or coordinates
+through the prefix-sum hardware).  A racy program additionally plants
+exactly one statement from the *race templates* (uniform-address
+write-write, overlapping ``A[$]``/``A[$+1]`` windows, cross-thread
+reads, racy leaf calls, unfenced-ps / stale nb-read memory-model
+violations), so the generator knows the label and the check ids that
+should fire.
+
+Determinism: everything derives from ``random.Random(seed)``; the same
+seed always yields byte-identical source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: spawn width: threads are ``$ = 0 .. N-1``
+N_THREADS = 8
+#: slack so ``A[$ + k]`` (k <= 3) and ``A[2*$ + 1]`` stay in bounds
+ARRAY_SLACK = 4
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated program plus its ground truth."""
+
+    seed: int
+    source: str
+    #: None for clean-by-construction programs, else the plant label
+    #: (e.g. ``"ww-uniform-scalar"``)
+    planted: Optional[str]
+    #: check ids the static analyses are expected to raise (informative
+    #: for triage; the harness verdict keys off ``planted``)
+    expected_checks: List[str] = field(default_factory=list)
+    #: names of the clean templates used (for coverage reports)
+    features: List[str] = field(default_factory=list)
+    #: True when the plant has no runtime-observable witness (pure
+    #: memory-model violations under sequentially consistent simulation)
+    dynamic_witness: bool = True
+    #: the program needs CompileOptions(parallel_calls=True)
+    parallel_calls: bool = False
+    #: the program needs CompileOptions(memory_fences=False) -- only the
+    #: unfenced-ps plant, which exists to exercise that ablation
+    no_fences: bool = False
+
+    def compile_options(self):
+        from repro.xmtc.compiler import CompileOptions
+
+        return CompileOptions(parallel_calls=self.parallel_calls,
+                              memory_fences=not self.no_fences)
+
+
+class _Builder:
+    """Accumulates declarations, callees and spawn-body statements."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.decls: List[str] = []
+        self.inits: List[str] = []      # serial statements before spawn
+        self.callees: List[str] = []
+        self.stmts: List[str] = []      # spawn-body statements
+        self.finals: List[str] = []     # printed after the join
+        self.features: List[str] = []
+        self.expected: List[str] = []
+        self.parallel_calls = False
+        self.no_fences = False
+        self.dynamic_witness = True
+        self._n = {"arr": 0, "in": 0, "sc": 0, "t": 0, "fn": 0, "ps": 0}
+
+    # -- resource allocation (each template owns its objects, so clean
+    # -- templates can never conflict with each other) ---------------------
+
+    def fresh(self, kind: str) -> str:
+        self._n[kind] += 1
+        return f"{kind}{self._n[kind] - 1}"
+
+    def out_array(self, size: int, printed: bool = True) -> str:
+        """``printed=False`` keeps the array out of the final printf --
+        required when slot *assignment* is legitimately order-dependent
+        (ps-claimed cells), since the differential oracle compares
+        output across engines with different thread interleavings."""
+        name = self.fresh("arr")
+        self.decls.append(f"int {name}[{size}];")
+        if printed:
+            self.finals.append(f"{name}[1]")
+        return name
+
+    def in_array(self) -> str:
+        """A deterministically initialized input array the spawn body
+        only reads."""
+        name = self.fresh("in")
+        size = N_THREADS + ARRAY_SLACK
+        a, b = self.rng.randrange(3, 9), self.rng.randrange(1, 7)
+        self.decls.append(f"int {name}[{size}];")
+        self.inits.append(f"for (int i = 0; i < {size}; i++) "
+                          f"{{ {name}[i] = (i * {a} + {b}) % 13; }}")
+        return name
+
+    def scalar(self, init: int = 0) -> str:
+        name = self.fresh("sc")
+        self.decls.append(f"int {name} = {init};")
+        self.finals.append(name)
+        return name
+
+    def ps_base(self) -> str:
+        name = self.fresh("ps")
+        self.decls.append(f"psBaseReg int {name} = 1;")
+        self.finals.append(name)
+        return name
+
+    def temp(self) -> str:
+        return self.fresh("t")
+
+    def priv_expr(self, depth: int = 0) -> str:
+        """An expression over ``$`` and constants (per-thread value)."""
+        r = self.rng
+        if depth >= 2 or r.random() < 0.4:
+            return r.choice(["$", str(r.randrange(1, 9)),
+                             f"$ + {r.randrange(1, 5)}",
+                             f"$ * {r.randrange(2, 4)}"])
+        op = r.choice(["+", "-", "*"])
+        return (f"({self.priv_expr(depth + 1)} {op} "
+                f"{self.priv_expr(depth + 1)})")
+
+
+# -- clean templates --------------------------------------------------------
+# Each appends statements that provably cannot race: the template owns
+# every global it writes, and every write lands on a per-thread-disjoint
+# slot (affine index, deq guard, or ps claim) or goes through psm.
+
+def _t_own_slot(b: _Builder):
+    """``O[$ + k] = <expr>`` -- the canonical thread-private write."""
+    arr = b.out_array(N_THREADS + ARRAY_SLACK)
+    k = b.rng.randrange(0, 4)
+    b.stmts.append(f"{arr}[$ + {k}] = {b.priv_expr()};")
+
+
+def _t_read_modify(b: _Builder):
+    """Read the input at ``$``, combine privately, write own slot."""
+    arr, src = b.out_array(N_THREADS + ARRAY_SLACK), b.in_array()
+    t = b.temp()
+    b.stmts.append(f"int {t} = {src}[$] * {b.rng.randrange(2, 6)} + $;")
+    b.stmts.append(f"{arr}[$] = {t};")
+
+
+def _t_stride_pair(b: _Builder):
+    """``O[2*$]`` and ``O[2*$+1]`` -- disjoint by parity."""
+    arr = b.out_array(2 * N_THREADS + 2)
+    b.stmts.append(f"{arr}[2 * $] = {b.priv_expr()};")
+    b.stmts.append(f"{arr}[2 * $ + 1] = {b.priv_expr()};")
+
+
+def _t_branch_write(b: _Builder):
+    """Data-dependent branch, both arms on the thread's own slot."""
+    arr, src = b.out_array(N_THREADS + ARRAY_SLACK), b.in_array()
+    c = b.rng.randrange(2, 9)
+    b.stmts.append(f"if ({src}[$] > {c}) {{ {arr}[$] = {src}[$]; }}")
+
+
+def _t_deq_guard(b: _Builder):
+    """``if ($ == K)`` guarded uniform write: exactly one thread."""
+    sc = b.scalar()
+    k = b.rng.randrange(0, N_THREADS)
+    b.stmts.append(f"if ($ == {k}) {{ {sc} = {b.priv_expr()}; }}")
+
+
+def _t_affine_guard(b: _Builder):
+    """``if ($ + a == K)``: still exactly one thread -- needs the
+    affine guard upgrade to be recognized (FP before it)."""
+    sc = b.scalar()
+    a = b.rng.randrange(1, 4)
+    k = a + b.rng.randrange(0, N_THREADS)
+    b.stmts.append(f"if ($ + {a} == {k}) {{ {sc} = {b.priv_expr()}; }}")
+
+
+def _t_ps_claim(b: _Builder):
+    """The compaction idiom: ps-claimed slots are per-thread unique."""
+    arr = b.out_array(N_THREADS + ARRAY_SLACK, printed=False)
+    src = b.in_array()
+    base = b.ps_base()
+    inc = b.temp()
+    b.stmts.append(f"int {inc} = 1;")
+    b.stmts.append(f"if ({src}[$] > 5) {{ ps({inc}, {base}); "
+                   f"{arr}[{inc}] = {src}[$]; }}")
+
+
+def _t_psm_accumulate(b: _Builder):
+    """psm into a shared scalar: coordinated by the hardware."""
+    sc = b.scalar()
+    t = b.temp()
+    b.stmts.append(f"int {t} = {b.priv_expr()};")
+    b.stmts.append(f"psm({t}, {sc});")
+
+
+def _t_serial_loop_read(b: _Builder):
+    """A small uniform loop over read-only input inside the body."""
+    arr, src = b.out_array(N_THREADS + ARRAY_SLACK), b.in_array()
+    s = b.temp()
+    bound = b.rng.randrange(2, 5)
+    b.stmts.append(f"int {s} = 0;")
+    b.stmts.append(f"for (int j = 0; j < {bound}; j++) "
+                   f"{{ {s} = {s} + {src}[j]; }}")
+    b.stmts.append(f"{arr}[$] = {s};")
+
+
+def _t_leaf_call_write(b: _Builder):
+    """``put($ + k, v)`` with a leaf callee writing ``O[i]`` -- needs
+    the interprocedural summary to be recognized (FP before it)."""
+    arr = b.out_array(N_THREADS + ARRAY_SLACK)
+    fn = "put" + b.fresh("fn")
+    k = b.rng.randrange(0, 4)
+    b.callees.append(f"void {fn}(int i, int v) {{ {arr}[i] = v; }}")
+    b.stmts.append(f"{fn}($ + {k}, {b.priv_expr()});")
+    b.parallel_calls = True
+
+
+def _t_leaf_call_read(b: _Builder):
+    """A leaf callee reading the input array; result lands on the
+    thread's own slot."""
+    arr, src = b.out_array(N_THREADS + ARRAY_SLACK), b.in_array()
+    fn = "get" + b.fresh("fn")
+    b.callees.append(f"int {fn}(int k) {{ return {src}[k]; }}")
+    b.stmts.append(f"{arr}[$] = {fn}($) + 1;")
+    b.parallel_calls = True
+
+
+CLEAN_TEMPLATES = [
+    ("own-slot", _t_own_slot),
+    ("read-modify", _t_read_modify),
+    ("stride-pair", _t_stride_pair),
+    ("branch-write", _t_branch_write),
+    ("deq-guard", _t_deq_guard),
+    ("affine-guard", _t_affine_guard),
+    ("ps-claim", _t_ps_claim),
+    ("psm-accumulate", _t_psm_accumulate),
+    ("serial-loop-read", _t_serial_loop_read),
+    ("leaf-call-write", _t_leaf_call_write),
+    ("leaf-call-read", _t_leaf_call_read),
+]
+
+
+# -- race templates ---------------------------------------------------------
+# Each plants a genuine conflict that at least two threads exercise at
+# runtime, so the dynamic sanitizer witnesses it on every run.
+
+def _r_ww_uniform_scalar(b: _Builder):
+    sc = b.scalar()
+    b.stmts.append(f"{sc} = $;")
+    b.expected.append("race.write-write")
+
+
+def _r_ww_const_slot(b: _Builder):
+    arr = b.out_array(N_THREADS + ARRAY_SLACK)
+    c = b.rng.randrange(0, 4)
+    b.stmts.append(f"{arr}[{c}] = $ + 1;")
+    b.expected.append("race.write-write")
+
+
+def _r_ww_overlap(b: _Builder):
+    """``O[$]`` vs ``O[$+1]``: the classic flag-heuristic blind spot."""
+    arr = b.out_array(N_THREADS + ARRAY_SLACK)
+    b.stmts.append(f"{arr}[$] = {b.priv_expr()};")
+    b.stmts.append(f"{arr}[$ + 1] = {b.priv_expr()};")
+    b.expected.append("race.write-write")
+
+
+def _r_rw_neighbor(b: _Builder):
+    """Write own slot, read the neighbor's: read-write race (and a
+    stale nb-read, since the load may beat the neighbor's store)."""
+    arr = b.out_array(N_THREADS + ARRAY_SLACK)
+    sink = b.out_array(N_THREADS + ARRAY_SLACK)
+    t = b.temp()
+    b.stmts.append(f"{arr}[$] = $ * 2;")
+    b.stmts.append(f"int {t} = {arr}[$ + 1];")
+    b.stmts.append(f"{sink}[$] = {t};")
+    b.expected.append("race.read-write")
+    b.expected.append("mm.nb-read")
+
+
+def _r_rw_uniform_read(b: _Builder):
+    """One guarded writer, every thread reads: read-write race."""
+    sc = b.scalar()
+    sink = b.out_array(N_THREADS + ARRAY_SLACK)
+    b.stmts.append(f"if ($ == 0) {{ {sc} = 7; }}")
+    b.stmts.append(f"{sink}[$] = {sc};")
+    b.expected.append("race.read-write")
+
+
+def _r_call_uniform(b: _Builder):
+    """Racy leaf call: every thread's call writes the same slot."""
+    arr = b.out_array(N_THREADS + ARRAY_SLACK)
+    fn = "put" + b.fresh("fn")
+    c = b.rng.randrange(0, 4)
+    b.callees.append(f"void {fn}(int i, int v) {{ {arr}[i] = v; }}")
+    b.stmts.append(f"{fn}({c}, $);")
+    b.parallel_calls = True
+    b.expected.append("race.call-effect")
+
+
+def _r_psm_store_mix(b: _Builder):
+    """psm and a plain store to the same scalar."""
+    sc = b.scalar()
+    t = b.temp()
+    b.stmts.append(f"int {t} = 1;")
+    b.stmts.append(f"psm({t}, {sc});")
+    b.stmts.append(f"{sc} = $;")
+    b.expected.append("race.write-write")
+
+
+def _r_unfenced_ps(b: _Builder):
+    """nb store pending at a ps with fence insertion disabled: the
+    mm.unfenced-ps ablation.  Sequentially consistent simulation cannot
+    witness the staleness, so there is no dynamic witness."""
+    arr = b.out_array(N_THREADS + ARRAY_SLACK)
+    base = b.ps_base()
+    t = b.temp()
+    b.stmts.append(f"{arr}[$] = $ + 3;")
+    b.stmts.append(f"int {t} = 1;")
+    b.stmts.append(f"ps({t}, {base});")
+    b.no_fences = True
+    b.dynamic_witness = False
+    b.expected.append("mm.unfenced-ps")
+
+
+RACE_TEMPLATES = [
+    ("ww-uniform-scalar", _r_ww_uniform_scalar),
+    ("ww-const-slot", _r_ww_const_slot),
+    ("ww-overlap", _r_ww_overlap),
+    ("rw-neighbor", _r_rw_neighbor),
+    ("rw-uniform-read", _r_rw_uniform_read),
+    ("call-uniform", _r_call_uniform),
+    ("psm-store-mix", _r_psm_store_mix),
+    ("unfenced-ps", _r_unfenced_ps),
+]
+
+
+def generate(seed: int) -> GeneratedProgram:
+    """Generate the program for ``seed`` (same seed, same bytes).
+
+    Even seeds produce clean-by-construction programs, odd seeds plant
+    exactly one race/violation template among the clean statements, so
+    any seed range exercises both label populations evenly.
+    """
+    rng = random.Random(seed)
+    b = _Builder(rng)
+
+    n_clean = rng.randrange(2, 5)
+    picks = rng.sample(CLEAN_TEMPLATES, n_clean)
+    for name, template in picks:
+        template(b)
+        b.features.append(name)
+
+    planted: Optional[str] = None
+    if seed % 2 == 1:
+        name, template = RACE_TEMPLATES[rng.randrange(len(RACE_TEMPLATES))]
+        # plant at a random boundary between clean statements
+        before = b.stmts
+        cut = rng.randrange(0, len(before) + 1)
+        b.stmts = before[:cut]
+        template(b)
+        planted = name
+        b.features.append("plant:" + name)
+        b.stmts.extend(before[cut:])
+
+    body = "\n".join("        " + s for s in b.stmts)
+    inits = "\n".join("    " + s for s in b.inits)
+    callees = "\n".join(b.callees)
+    finals = b.finals or ["0"]
+    fmt = " ".join(["%d"] * len(finals))
+    args = ", ".join(finals)
+    source = f"""// xmtc-fuzz seed {seed}
+{chr(10).join(b.decls)}
+{callees}
+int main() {{
+{inits}
+    spawn(0, {N_THREADS - 1}) {{
+{body}
+    }}
+    printf("{fmt}\\n", {args});
+    return 0;
+}}
+"""
+    return GeneratedProgram(
+        seed=seed, source=source, planted=planted,
+        expected_checks=sorted(set(b.expected)),
+        features=b.features, dynamic_witness=b.dynamic_witness,
+        parallel_calls=b.parallel_calls, no_fences=b.no_fences)

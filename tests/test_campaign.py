@@ -346,3 +346,67 @@ class TestSweepThinClient:
         capsys.readouterr()
         assert xmt_compare_main(argv) == 0
         assert "(cached)" in capsys.readouterr().err
+
+
+# ---------------------------------------------------- dynamic sanitizing
+
+RACY_SRC = """
+int sum;
+int main() {
+    spawn(0, 7) { sum = $; }
+    printf("s=%d\\n", sum);
+    return 0;
+}
+"""
+
+
+class TestSanitize:
+    @pytest.fixture
+    def racy_file(self, tmp_path):
+        path = tmp_path / "racy.c"
+        path.write_text(RACY_SRC)
+        return str(path)
+
+    def test_off_by_default(self, src_file):
+        engine = CampaignEngine([RunRequest(program=src_file)], serial=True)
+        outcome = engine.run().outcomes[0]
+        assert outcome.status == "ok"
+        assert outcome.sanitizer is None
+        assert "sanitizer" not in outcome.to_json()
+
+    def test_racy_program_findings_recorded(self, racy_file, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger"))
+        engine = CampaignEngine([RunRequest(program=racy_file)],
+                                serial=True, sanitize=True, ledger=ledger)
+        outcome = engine.run().outcomes[0]
+        assert outcome.status == "ok"
+        assert outcome.sanitizer is not None
+        assert not outcome.sanitizer["clean"]
+        assert "write-write" in outcome.sanitizer["kinds"]
+        assert outcome.sanitizer["findings"]
+        # the verdict rides along in the recorded manifest (non-identity
+        # field) and in the typed outcome JSON
+        assert outcome.record.manifest["sanitizer"]["races"] >= 1
+        assert outcome.to_json()["sanitizer"]["kinds"] == ["write-write"]
+
+    def test_clean_program_records_clean(self, src_file):
+        engine = CampaignEngine(
+            [RunRequest(program=src_file,
+                        inputs={"A": [1, 2, 3, 4, 5, 6, 7, 8]})],
+            serial=True, sanitize=True)
+        outcome = engine.run().outcomes[0]
+        assert outcome.status == "ok"
+        assert outcome.sanitizer == {"clean": True, "races": 0,
+                                     "kinds": [], "findings": []}
+
+    def test_pool_workers_sanitize_too(self, racy_file):
+        engine = CampaignEngine([RunRequest(program=racy_file)],
+                                workers=2, sanitize=True)
+        outcome = engine.run().outcomes[0]
+        assert outcome.status == "ok"
+        assert outcome.sanitizer is not None
+        assert not outcome.sanitizer["clean"]
+
+    def test_cli_flag(self, racy_file, capsys):
+        assert xmt_campaign_main([racy_file, "--serial", "--sanitize"]) == 0
+        assert "RACES: 1 [write-write]" in capsys.readouterr().err

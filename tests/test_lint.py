@@ -18,6 +18,7 @@ from repro.xmtc import ir as IR
 from repro.xmtc.analysis.linter import (
     check_shipped,
     collect_example_sources,
+    collect_litmus_cases,
     lint_dynamic,
     lint_source,
 )
@@ -381,3 +382,135 @@ def test_sanitizer_clean_runs_match_functional(seed):
     for name in ("B", "C"):
         assert program.read_global(name, plain.memory) == \
             program2.read_global(name, watched.memory)
+
+
+# ----------------------------------------------- unknown allow(...) names
+
+class TestUnknownAllow:
+    def test_typo_is_flagged_and_suppresses_nothing(self):
+        source = RACY_SRC.replace(
+            "x = $;", "x = $; // xmtc-lint: allow(race.writewrite)")
+        diags = lint_source(source)
+        checks = {d.check for d in diags}
+        assert "lint.unknown-allow" in checks
+        assert "race.write-write" in checks  # the typo did not disarm it
+        warn = next(d for d in diags if d.check == "lint.unknown-allow")
+        assert warn.severity == "warning"
+        assert "race.writewrite" in warn.message
+
+    def test_known_names_and_star_not_flagged(self):
+        source = RACY_SRC.replace(
+            "x = $;", "x = $; // xmtc-lint: allow(race.write-write)")
+        assert not any(d.check == "lint.unknown-allow"
+                       for d in lint_source(source))
+        starred = RACY_SRC.replace(
+            "x = $;", "x = $; // xmtc-lint: allow(*)")
+        assert not any(d.check == "lint.unknown-allow"
+                       for d in lint_source(starred))
+
+    def test_unknown_allow_is_itself_suppressible(self):
+        source = RACY_SRC.replace(
+            "x = $;",
+            "x = $; // xmtc-lint: allow(race.write-write, bogus.check, "
+            "lint.unknown-allow)")
+        assert not any(d.check == "lint.unknown-allow"
+                       for d in lint_source(source))
+
+
+# ------------------------------------------------ check-shipped edge cases
+
+WARNING_ONLY_SRC = """
+int A[12];
+int main() {
+    spawn(0, 7) {
+        A[$] = $;
+        A[$ + 1] = $ * 3;
+    }
+    printf("%d\\n", A[4]);
+    return 0;
+}
+"""
+
+
+class TestCheckShippedEdgeCases:
+    def test_empty_examples_dir_is_fine(self, tmp_path):
+        assert collect_example_sources(str(tmp_path)) == []
+        assert xmtc_lint_main(
+            ["--check-shipped", "--examples", str(tmp_path)]) == 0
+
+    def test_missing_examples_dir_exits_two(self, tmp_path):
+        missing = str(tmp_path / "nope")
+        assert xmtc_lint_main(
+            ["--check-shipped", "--examples", missing]) == 2
+        assert xmtc_lint_main(
+            ["--check-shipped", "--litmus", missing]) == 2
+
+    def test_warning_only_source_passes(self):
+        # check-shipped gates on error severity: a warnings-only extra
+        # source must not fail the run, but the count must be reported
+        diags = lint_source(WARNING_ONLY_SRC)
+        assert diags and all(d.severity == "warning" for d in diags)
+        ok, lines = check_shipped([("warny.c", WARNING_ONLY_SRC)])
+        assert ok
+        assert any("warny.c" in l and "warning" in l for l in lines)
+
+    def test_suppress_everything_passes(self, tmp_path):
+        silenced = RACY_SRC.replace(
+            "x = $;", "x = $; // xmtc-lint: allow(*)")
+        path = tmp_path / "silenced.c"
+        path.write_text(silenced)
+        assert xmtc_lint_main([str(path)]) == 0
+
+    def test_erroring_extra_source_fails(self):
+        ok, lines = check_shipped([("racy.c", RACY_SRC)])
+        assert not ok
+        assert any("FAIL racy.c" in l for l in lines)
+
+
+# ------------------------------------------------------ the litmus corpus
+
+LITMUS_DIR = os.path.join(os.path.dirname(__file__), "..", "examples",
+                          "litmus")
+
+
+class TestLitmusCorpus:
+    def test_corpus_collected_with_ground_truth(self):
+        cases = collect_litmus_cases(LITMUS_DIR)
+        assert len(cases) >= 20
+        assert all(expected for _, _, _, expected in cases)
+
+    def test_corpus_verifies(self):
+        ok, lines = check_shipped(litmus_dir=LITMUS_DIR)
+        assert ok, "\n".join(l for l in lines if l.startswith("FAIL"))
+
+    def test_cli_litmus_flag(self, capsys):
+        assert xmtc_lint_main(
+            ["--check-shipped", "--litmus", LITMUS_DIR]) == 0
+        out = capsys.readouterr().out
+        assert "stride_disjoint.c" in out
+
+    def test_options_annotation_applies(self):
+        cases = {name: options
+                 for name, _, options, _ in collect_litmus_cases(LITMUS_DIR)}
+        assert cases["call_uniform.c"].parallel_calls
+        assert not cases["unfenced_ps.c"].memory_fences
+
+    def test_missing_expect_rejected(self, tmp_path):
+        (tmp_path / "bare.c").write_text("int main() { return 0; }\n")
+        with pytest.raises(ValueError, match="no\\s+xmtc-lint-expect"):
+            collect_litmus_cases(str(tmp_path))
+
+    def test_clean_plus_ids_rejected(self, tmp_path):
+        (tmp_path / "mixed.c").write_text(
+            "// xmtc-lint-expect: clean, race.write-write\n"
+            "int main() { return 0; }\n")
+        with pytest.raises(ValueError, match="clean"):
+            collect_litmus_cases(str(tmp_path))
+
+    def test_unknown_option_rejected(self, tmp_path):
+        (tmp_path / "opt.c").write_text(
+            "// xmtc-lint-expect: clean\n"
+            "// xmtc-lint-options: warp_drive\n"
+            "int main() { return 0; }\n")
+        with pytest.raises(ValueError, match="warp_drive"):
+            collect_litmus_cases(str(tmp_path))
