@@ -20,6 +20,7 @@ setup(
             "xmt-prof=repro.toolchain.cli:xmt_prof_main",
             "xmt-compare=repro.toolchain.cli:xmt_compare_main",
             "xmt-campaign=repro.toolchain.cli:xmt_campaign_main",
+            "xmt-top=repro.toolchain.cli:xmt_top_main",
         ]
     }
 )

@@ -57,8 +57,10 @@ from repro.sim.observability.ledger import (
     RunRecord,
     canonical_json,
     load_manifest,
+    load_run,
     sha256_text,
 )
+from repro.sim.observability.telemetry import SCHEMA_CAMPAIGN_TELEMETRY
 
 SCHEMA_RESULT = "xmt-campaign-result/1"
 
@@ -91,6 +93,11 @@ class RunOutcome:
     output: str = ""
     #: dynamic race-sanitizer findings (``--sanitize`` runs only)
     sanitizer: Optional[Dict[str, Any]] = None
+    #: host wall seconds of the recorded run (aggregation recipes)
+    wall_seconds: Optional[float] = None
+    #: the request's config overrides: the sweep coordinates
+    #: ``xmt-campaign report`` groups its percentiles by
+    overrides: Dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         data = {
@@ -104,6 +111,10 @@ class RunOutcome:
             "cycles": self.cycles,
             "instructions": self.instructions,
         }
+        if self.wall_seconds is not None:
+            data["wall_seconds"] = self.wall_seconds
+        if self.overrides:
+            data["overrides"] = self.overrides
         if self.error_type:
             data["error_type"] = self.error_type
             data["error"] = self.error
@@ -217,7 +228,9 @@ class _Attempt:
 
     def __init__(self, prepared: PreparedRun, attempt: int, process,
                  result_path: str, deadline: Optional[float],
-                 kill_at: Optional[float]):
+                 kill_at: Optional[float],
+                 telemetry_path: Optional[str] = None,
+                 started: float = 0.0):
         self.prepared = prepared
         self.attempt = attempt
         self.process = process
@@ -226,6 +239,14 @@ class _Attempt:
         self.kill_at = kill_at
         self.deadline_killed = False
         self.chaos_killed = False
+        # -- worker telemetry tailing + no-progress stall detection
+        self.telemetry_path = telemetry_path
+        self.telemetry_fh = None
+        self.telemetry_buf = ""
+        self.last_seen = started        # last heartbeat/frame (monotonic)
+        self.stall_warned = False
+        self.stall_killed = False
+        self.hung = False               # no heartbeat at time of death
 
 
 class CampaignEngine:
@@ -247,7 +268,11 @@ class CampaignEngine:
                  attempt_deadline_s: Optional[float] = None,
                  sanitize: bool = False,
                  chaos: Optional[ChaosMonkey] = None,
-                 on_outcome: Optional[Callable[[RunOutcome], None]] = None):
+                 on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+                 telemetry_path: Optional[str] = None,
+                 telemetry_every: int = 2000,
+                 stall_warn_s: Optional[float] = None,
+                 stall_kill_s: Optional[float] = None):
         self.requests = list(requests)
         self.ledger = ledger
         self.results_path = results_path
@@ -274,6 +299,15 @@ class CampaignEngine:
         self.sanitize = bool(sanitize)
         self.chaos = chaos
         self.on_outcome = on_outcome
+        #: per-campaign telemetry stream: worker frames multiplexed with
+        #: engine records (campaign-start/outcome/stall-warning/...)
+        self.telemetry_path = telemetry_path
+        self.telemetry_every = max(1, telemetry_every)
+        #: no-progress stall detection thresholds (seconds without a
+        #: worker heartbeat/frame): warn, then SIGKILL -- alongside the
+        #: wall-clock attempt deadline, which fires even with progress
+        self.stall_warn_s = stall_warn_s
+        self.stall_kill_s = stall_kill_s
 
         #: keyed by request index (unique even if two requests collide
         #: on fingerprint), so no outcome can shadow another
@@ -282,6 +316,15 @@ class CampaignEngine:
         self._workers_died = 0
         self._results_fh = None
         self._attempts_log_fh = None
+        self._telemetry_fh = None
+
+    @property
+    def _worker_telemetry(self) -> bool:
+        """Do workers publish per-attempt telemetry files?  Needed for
+        the campaign stream and for stall detection."""
+        return (self.telemetry_path is not None
+                or self.stall_warn_s is not None
+                or self.stall_kill_s is not None)
 
     # -- preparation ---------------------------------------------------------
 
@@ -323,16 +366,38 @@ class CampaignEngine:
                     f"request {request.label or position}: {exc}")
         return prepared
 
-    def _dedup_index(self) -> Dict[str, RunRecord]:
-        """Fingerprint -> record for every readable ledger run.
+    def _dedup_index(self, wanted=None) -> Dict[str, RunRecord]:
+        """Fingerprint -> record for the requests the ledger answers.
 
-        Scans defensively: a ledger shared with older tools (or a
-        partially synced one) may contain unreadable entries; those
+        Fast path: the ledger's ``index.jsonl`` maps fingerprints to
+        run ids directly, so resume loads only the manifests it will
+        actually cache-hit (O(requests), not O(runs)).  Ledgers without
+        an index (written by older tools) fall back to the full
+        manifest scan.  Both paths scan defensively: unreadable entries
         simply never produce cache hits.
         """
         index: Dict[str, RunRecord] = {}
         if self.ledger is None:
             return index
+
+        mapping = self.ledger.load_index()
+        if mapping is not None:
+            fingerprints = (set(wanted) if wanted is not None
+                            else set(mapping))
+            for fingerprint in fingerprints:
+                run_id = mapping.get(fingerprint)
+                if not run_id:
+                    continue
+                run_dir = os.path.join(self.ledger.runs_dir, run_id)
+                try:
+                    record = load_run(run_dir)
+                except (OSError, ValueError, json.JSONDecodeError):
+                    continue  # stale index entry: no cache hit
+                if record.manifest.get("fault"):
+                    continue
+                index[fingerprint] = record
+            return index
+
         runs_dir = self.ledger.runs_dir
         if not os.path.isdir(runs_dir):
             return index
@@ -357,21 +422,56 @@ class CampaignEngine:
             parent = os.path.dirname(os.path.abspath(self.results_path))
             os.makedirs(parent, exist_ok=True)
             self._results_fh = open(self.results_path, "w")
+        if self.telemetry_path:
+            parent = os.path.dirname(os.path.abspath(self.telemetry_path))
+            os.makedirs(parent, exist_ok=True)
+            self._telemetry_fh = open(self.telemetry_path, "w")
         if self.ledger is not None:
             log_path = os.path.join(self.ledger.campaign_dir(campaign_id),
                                     "attempts.jsonl")
             self._attempts_log_fh = open(log_path, "a")
 
     def _close_streams(self) -> None:
-        for fh in (self._results_fh, self._attempts_log_fh):
+        for fh in (self._results_fh, self._attempts_log_fh,
+                   self._telemetry_fh):
             if fh is not None:
                 fh.close()
         self._results_fh = None
         self._attempts_log_fh = None
+        self._telemetry_fh = None
+
+    def _emit_telemetry(self, record: Dict[str, Any]) -> None:
+        """Append one engine-side record to the campaign stream."""
+        if self._telemetry_fh is None:
+            return
+        record = dict(record, schema=SCHEMA_CAMPAIGN_TELEMETRY,
+                      unix_time=round(time.time(), 3))
+        self._telemetry_fh.write(json.dumps(record) + "\n")
+        self._telemetry_fh.flush()
+
+    def _mux_telemetry_line(self, line: str, prepared: PreparedRun) -> None:
+        """Re-emit one worker telemetry line into the campaign stream,
+        enveloped with the run identity."""
+        if self._telemetry_fh is None:
+            return
+        line = line.strip()
+        if not line:
+            return
+        try:
+            frame = json.loads(line)
+        except json.JSONDecodeError:
+            return  # torn tail of a killed worker: skip, keep streaming
+        if not isinstance(frame, dict):
+            return
+        frame.setdefault("label", prepared.request.label or None)
+        frame.setdefault("fingerprint", prepared.fingerprint)
+        self._telemetry_fh.write(json.dumps(frame) + "\n")
+        self._telemetry_fh.flush()
 
     def _log_attempt(self, prepared: PreparedRun, attempt: int,
                      event: str, *, worker_pid: Optional[int] = None,
-                     error: str = "", backoff_s: float = 0.0) -> None:
+                     error: str = "", backoff_s: float = 0.0,
+                     hung: Optional[bool] = None) -> None:
         if self._attempts_log_fh is None:
             return
         line = {"fingerprint": prepared.fingerprint,
@@ -384,6 +484,9 @@ class CampaignEngine:
             line["error"] = error
         if backoff_s:
             line["backoff_s"] = round(backoff_s, 4)
+        if hung is not None:
+            # hung = no heartbeat at death vs slow = heartbeats flowing
+            line["hung"] = hung
         self._attempts_log_fh.write(json.dumps(line) + "\n")
         self._attempts_log_fh.flush()
 
@@ -410,10 +513,12 @@ class CampaignEngine:
                                    manifest=manifest,
                                    _metrics=payload.get("metrics"),
                                    _profile=payload.get("profile"))
+        wall_seconds = None
         if record is not None:
             run_id = record.run_id
             cycles = record.manifest.get("cycles")
             instructions = record.manifest.get("instructions")
+            wall_seconds = record.manifest.get("wall_seconds")
             if sanitizer is None:
                 sanitizer = record.manifest.get("sanitizer")
         outcome = RunOutcome(
@@ -425,11 +530,15 @@ class CampaignEngine:
             error_type=error_type, error=error,
             dump_summary=dump_summary,
             worker_pids=worker_pids or [], record=record, output=output,
-            sanitizer=sanitizer)
+            sanitizer=sanitizer, wall_seconds=wall_seconds,
+            overrides=dict(prepared.request.overrides))
         self._outcomes[prepared.request.index] = outcome
         if self._results_fh is not None:
             self._results_fh.write(json.dumps(outcome.to_json()) + "\n")
             self._results_fh.flush()
+        # mirror the outcome into the telemetry stream so the stream
+        # alone reproduces the campaign's outcome counts exactly
+        self._emit_telemetry(dict(outcome.to_json(), kind="outcome"))
         if self.on_outcome is not None:
             self.on_outcome(outcome)
         return outcome
@@ -440,8 +549,13 @@ class CampaignEngine:
         started = time.perf_counter()
         prepared = self.prepare()
         campaign_id = campaign_id_for(prepared)
-        dedup = self._dedup_index()
+        dedup = self._dedup_index({p.fingerprint for p in prepared})
         self._open_streams(campaign_id)
+        self._emit_telemetry({
+            "kind": "campaign-start", "campaign_id": campaign_id,
+            "runs": len(prepared),
+            "workers": 1 if self.serial else self.workers,
+            "serial": self.serial})
         try:
             fresh: List[PreparedRun] = []
             for prep in prepared:
@@ -455,6 +569,13 @@ class CampaignEngine:
                     self._run_serial(fresh)
                 else:
                     self._run_pool(fresh)
+            counts = {name: 0 for name in OUTCOME_STATUSES}
+            for outcome in self._outcomes.values():
+                counts[outcome.status] += 1
+            self._emit_telemetry({
+                "kind": "campaign-end", "campaign_id": campaign_id,
+                "counts": counts,
+                "wall_seconds": round(time.perf_counter() - started, 3)})
         finally:
             self._close_streams()
         outcomes = sorted(self._outcomes.values(), key=lambda o: o.index)
@@ -494,9 +615,29 @@ class CampaignEngine:
             while True:
                 attempts += 1
                 self._attempts_total += 1
-                payload = run_attempt(prep, self.budgets, attempts,
-                                      isolate=False,
-                                      sanitize=self.sanitize)
+                telemetry_path = None
+                if self.telemetry_path:
+                    fd, telemetry_path = tempfile.mkstemp(
+                        prefix="xmt-run-", suffix=".telemetry.jsonl")
+                    os.close(fd)
+                try:
+                    payload = run_attempt(
+                        prep, self.budgets, attempts,
+                        isolate=False, sanitize=self.sanitize,
+                        telemetry_path=telemetry_path,
+                        telemetry_every=self.telemetry_every)
+                finally:
+                    if telemetry_path is not None:
+                        try:
+                            with open(telemetry_path) as fh:
+                                for line in fh:
+                                    self._mux_telemetry_line(line, prep)
+                        except OSError:
+                            pass
+                        try:
+                            os.unlink(telemetry_path)
+                        except OSError:
+                            pass
                 status = payload["status"]
                 self._log_attempt(prep, attempts, status,
                                   worker_pid=payload.get("worker_pid"),
@@ -540,8 +681,11 @@ class CampaignEngine:
                         break
                     prep, attempt = item
                     self._spawn(ctx, workdir, running, prep, attempt, now)
-                # enforce chaos kills and parent-side deadlines
+                # tail worker telemetry into the campaign stream and
+                # enforce chaos kills, stall kills, parent deadlines
                 for att in running.values():
+                    self._pump_telemetry(att, now)
+                    self._check_stall(att, now)
                     alive = att.process.is_alive()
                     if (att.kill_at is not None and now >= att.kill_at
                             and alive):
@@ -577,9 +721,14 @@ class CampaignEngine:
                prep: PreparedRun, attempt: int, now: float) -> None:
         result_path = os.path.join(
             workdir, f"{prep.fingerprint}.{attempt}.json")
+        telemetry_path = None
+        if self._worker_telemetry:
+            telemetry_path = os.path.join(
+                workdir, f"{prep.fingerprint}.{attempt}.telemetry.jsonl")
         process = ctx.Process(
             target=worker_entry,
-            args=(prep, self.budgets, attempt, result_path, self.sanitize),
+            args=(prep, self.budgets, attempt, result_path, self.sanitize,
+                  telemetry_path, self.telemetry_every),
             daemon=True)
         process.start()
         self._attempts_total += 1
@@ -591,14 +740,78 @@ class CampaignEngine:
             kill_at = self.chaos.plan_kill(prep.fingerprint, now,
                                            retries_left)
         running[process.pid] = _Attempt(prep, attempt, process,
-                                        result_path, deadline, kill_at)
+                                        result_path, deadline, kill_at,
+                                        telemetry_path=telemetry_path,
+                                        started=now)
         self._log_attempt(prep, attempt, "spawned",
                           worker_pid=process.pid)
+
+    def _pump_telemetry(self, att: "_Attempt", now: float) -> None:
+        """Drain new lines from a worker's telemetry file into the
+        campaign stream; any complete line counts as a heartbeat."""
+        if att.telemetry_path is None:
+            return
+        if att.telemetry_fh is None:
+            try:
+                att.telemetry_fh = open(att.telemetry_path)
+            except OSError:
+                return  # worker has not created its sink yet
+        try:
+            data = att.telemetry_fh.read()
+        except OSError:
+            return
+        if not data:
+            return
+        att.telemetry_buf += data
+        lines = att.telemetry_buf.split("\n")
+        att.telemetry_buf = lines.pop()  # keep any torn tail for later
+        progressed = False
+        for line in lines:
+            if line.strip():
+                self._mux_telemetry_line(line, att.prepared)
+                progressed = True
+        if progressed:
+            att.last_seen = now
+            att.stall_warned = False
+            att.hung = False
+
+    def _check_stall(self, att: "_Attempt", now: float) -> None:
+        """No-progress detection: a live sim emits frames as cycles
+        advance, so a silent worker is hung, not slow.  Warn once past
+        ``stall_warn_s`` without a frame, SIGKILL past ``stall_kill_s``
+        (the wall-clock attempt deadline still applies independently)."""
+        if att.telemetry_path is None or not att.process.is_alive():
+            return
+        gap = now - att.last_seen
+        if (self.stall_warn_s is not None and gap >= self.stall_warn_s
+                and not att.stall_warned):
+            att.stall_warned = True
+            att.hung = True
+            self._log_attempt(
+                att.prepared, att.attempt, "heartbeat-gap",
+                worker_pid=att.process.pid,
+                error=f"no telemetry for {gap:.1f} s", hung=True)
+            self._emit_telemetry({
+                "kind": "stall-warning",
+                "fingerprint": att.prepared.fingerprint,
+                "label": att.prepared.request.label or None,
+                "attempt": att.attempt,
+                "worker_pid": att.process.pid,
+                "gap_s": round(gap, 3)})
+        if (self.stall_kill_s is not None and gap >= self.stall_kill_s
+                and not att.stall_killed):
+            os.kill(att.process.pid, signal.SIGKILL)
+            att.stall_killed = True
+            att.hung = True
 
     def _settle(self, att: "_Attempt", retry_heap: List[tuple],
                 pids: Dict[str, List[int]], seq: int) -> None:
         """Classify a reaped worker and either finalize or reschedule."""
         prep = att.prepared
+        self._pump_telemetry(att, time.monotonic())
+        if att.telemetry_fh is not None:
+            att.telemetry_fh.close()
+            att.telemetry_fh = None
         payload: Optional[Dict[str, Any]] = None
         if os.path.exists(att.result_path):
             try:
@@ -614,16 +827,29 @@ class CampaignEngine:
                            worker_pids=pids[prep.fingerprint])
             return
 
+        # hung vs slow matters for post-mortems: only meaningful when
+        # the worker was publishing telemetry at all
+        hung = att.hung if att.telemetry_path is not None else None
         if payload is not None:
             status = payload.get("status", "failed")
             error_type = payload.get("error_type", "")
             error = payload.get("error", "")
             dump_summary = payload.get("dump_summary")
+        elif att.stall_killed:
+            status = "timeout"
+            error_type = "WorkerStalled"
+            error = (f"worker pid {att.process.pid} made no telemetry "
+                     f"progress for {self.stall_kill_s} s (hung, not "
+                     f"slow) and was killed")
+            dump_summary = None
         elif att.deadline_killed:
             status = "timeout"
             error_type = "WorkerDeadline"
             error = (f"worker pid {att.process.pid} exceeded the "
                      f"per-attempt deadline and was killed")
+            if hung is not None:
+                error += (" while hung (no telemetry heartbeat)" if hung
+                          else " while still making progress (slow)")
             dump_summary = None
         else:
             status = "failed"
@@ -635,7 +861,8 @@ class CampaignEngine:
 
         self._log_attempt(prep, att.attempt,
                           "worker-died" if payload is None else status,
-                          worker_pid=att.process.pid, error=error)
+                          worker_pid=att.process.pid, error=error,
+                          hung=hung)
 
         if att.attempt <= self.max_retries:
             backoff = self._backoff(att.attempt)
@@ -647,9 +874,9 @@ class CampaignEngine:
             return
 
         # retry budget exhausted: degrade gracefully to a typed outcome.
-        # A deadline kill is a *diagnosed* timeout; only a death with no
-        # verdict and no diagnosis ends as "gave-up".
-        if payload is not None or att.deadline_killed:
+        # A deadline/stall kill is a *diagnosed* timeout; only a death
+        # with no verdict and no diagnosis ends as "gave-up".
+        if payload is not None or att.deadline_killed or att.stall_killed:
             final = status
         else:
             final = "gave-up"

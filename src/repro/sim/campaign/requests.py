@@ -34,9 +34,17 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.sim.config import XMTConfig, chip1024, fpga64, from_file, tiny
 from repro.sim.observability.ledger import (
     canonical_json,
+    fingerprint_of_manifest,
     program_sha256,
+    request_fingerprint,
     sha256_text,
 )
+
+__all__ = [
+    "BUILTIN_CONFIGS", "RunRequest", "RunBudgets", "PreparedRun",
+    "grid_requests", "load_queue", "dump_queue",
+    "request_fingerprint", "fingerprint_of_manifest",
+]
 
 #: built-in configuration presets addressable from a queue line
 BUILTIN_CONFIGS = {"fpga64": fpga64, "chip1024": chip1024, "tiny": tiny}
@@ -187,35 +195,9 @@ def dump_queue(requests: Sequence[RunRequest], path: str) -> None:
             fh.write(json.dumps(request.to_json(), sort_keys=True) + "\n")
 
 
-# -- fingerprints -------------------------------------------------------------
-
-
-def request_fingerprint(*, program_sha: str, source_sha: Optional[str],
-                        config_sha: str, seed: Optional[int],
-                        label: Optional[str],
-                        inputs: Dict[str, Any]) -> str:
-    """The dedup key both run requests and manifests reduce to."""
-    identity = {
-        "program_sha256": program_sha,
-        "source_sha256": source_sha,
-        "config_sha256": config_sha,
-        "seed": seed,
-        "label": label or None,
-        "inputs": inputs or {},
-    }
-    return sha256_text(canonical_json(identity))[:16]
-
-
-def fingerprint_of_manifest(manifest: Dict[str, Any]) -> str:
-    """Fingerprint of an already recorded ``xmtsim-run/1`` manifest."""
-    program = manifest.get("program") or {}
-    return request_fingerprint(
-        program_sha=program.get("sha256") or "",
-        source_sha=program.get("source_sha256"),
-        config_sha=manifest.get("config_sha256") or "",
-        seed=manifest.get("seed"),
-        label=manifest.get("label"),
-        inputs=manifest.get("inputs") or {})
+# -- fingerprints: request_fingerprint / fingerprint_of_manifest live in
+# -- repro.sim.observability.ledger (the ledger maintains index.jsonl of
+# -- (fingerprint, run_id) pairs on record) and are re-exported above
 
 
 @dataclass

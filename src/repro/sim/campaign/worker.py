@@ -63,8 +63,9 @@ def _sanitize_pass(program) -> Dict[str, Any]:
 
 
 def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
-                *, isolate: bool = True,
-                sanitize: bool = False) -> Dict[str, Any]:
+                *, isolate: bool = True, sanitize: bool = False,
+                telemetry_path: Optional[str] = None,
+                telemetry_every: int = 2000) -> Dict[str, Any]:
     """Execute one attempt and classify its outcome.
 
     ``isolate=True`` means we own our copy of the program (a forked
@@ -73,6 +74,12 @@ def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
     ``Program`` object.  ``sanitize=True`` additionally runs the
     dynamic race sanitizer and attaches its findings to the payload and
     (as a non-identity field) the manifest.
+
+    ``telemetry_path`` makes the attempt publish telemetry frames (an
+    immediate heartbeat, then one frame every ``telemetry_every``
+    cycles) to that JSONL file -- the supervisor tails it for the
+    per-campaign stream and no-progress stall detection.  The file is
+    written incrementally, so a SIGKILLed worker leaves a valid prefix.
     """
     import time
 
@@ -84,6 +91,20 @@ def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
     program = prepared.program
     if request.inputs and not isolate:
         program = copy.deepcopy(program)
+    telemetry = None
+    if telemetry_path is not None:
+        from repro.sim.observability.telemetry import (
+            JsonlSink,
+            TelemetrySampler,
+        )
+
+        telemetry = TelemetrySampler(
+            every_cycles=telemetry_every,
+            sinks=[JsonlSink(telemetry_path)],
+            meta={"label": request.label or None,
+                  "fingerprint": prepared.fingerprint,
+                  "attempt": attempt,
+                  "worker_pid": os.getpid()})
     try:
         if request.inputs:
             for name, values in request.inputs.items():
@@ -98,14 +119,18 @@ def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
                         else budgets.max_cycles),
             wall_limit_s=budgets.wall_limit_s,
             max_events=budgets.max_events,
-            inputs=request.inputs or None)
+            inputs=request.inputs or None,
+            telemetry=telemetry)
         sanitizer_summary = _sanitize_pass(program) if sanitize else None
     except SimulationBudgetExceeded as exc:
-        return _failure_payload("timeout", exc, attempt)
+        return _failure_payload("timeout", exc, attempt, telemetry)
     except Exception as exc:
         # compile errors, bad globals, simulation errors, stalls: all
         # are per-run failures the supervisor decides how to retry
-        return _failure_payload("failed", exc, attempt)
+        return _failure_payload("failed", exc, attempt, telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     manifest = dict(artifacts.manifest)
     manifest["campaign"] = {"attempt": attempt, "worker_pid": os.getpid()}
     if sanitizer_summary is not None:
@@ -127,16 +152,18 @@ def run_attempt(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
     return payload
 
 
-def _failure_payload(status: str, exc: BaseException,
-                     attempt: int) -> Dict[str, Any]:
+def _failure_payload(status: str, exc: BaseException, attempt: int,
+                     telemetry=None) -> Dict[str, Any]:
     dump = getattr(exc, "dump", None)
     dump_summary: Optional[str] = None
     if dump is not None:
         dump.worker_pid = os.getpid()
         dump.attempt = attempt
+        if telemetry is not None and dump.last_telemetry is None:
+            dump.last_telemetry = telemetry.last_frame
         dump_summary = dump.summary()
     message = str(exc).splitlines()[0] if str(exc) else ""
-    return {
+    payload = {
         "schema": SCHEMA_ATTEMPT,
         "status": status,
         "attempt": attempt,
@@ -145,11 +172,20 @@ def _failure_payload(status: str, exc: BaseException,
         "error": message,
         "dump_summary": dump_summary,
     }
+    if telemetry is not None and telemetry.last_frame is not None:
+        # progress at the time of death, for post-mortems even when the
+        # exception carried no diagnostic dump
+        payload["last_telemetry"] = telemetry.last_frame
+    return payload
 
 
 def worker_entry(prepared: PreparedRun, budgets: RunBudgets, attempt: int,
-                 result_path: str, sanitize: bool = False) -> None:
+                 result_path: str, sanitize: bool = False,
+                 telemetry_path: Optional[str] = None,
+                 telemetry_every: int = 2000) -> None:
     """Process target: run one attempt and publish the verdict."""
     payload = run_attempt(prepared, budgets, attempt, isolate=True,
-                          sanitize=sanitize)
+                          sanitize=sanitize,
+                          telemetry_path=telemetry_path,
+                          telemetry_every=telemetry_every)
     atomic_write_json(result_path, payload)

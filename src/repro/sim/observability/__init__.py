@@ -15,7 +15,11 @@ Five cooperating pieces:
   content-addressed run ledger (``xmtsim --ledger``);
 - :mod:`~repro.sim.observability.compare` -- differential layer over
   the ledger: metric/profile/spawn deltas, sweep tables and the
-  ``xmt-compare check`` perf-regression gate.
+  ``xmt-compare check`` perf-regression gate;
+- :mod:`~repro.sim.observability.telemetry` /
+  :mod:`~repro.sim.observability.aggregate` -- live progress frames
+  from a running simulation (JSONL sinks, Unix-socket publisher) and
+  the ``xmt-top`` / ``xmt-campaign report`` views over the streams.
 
 The first three attach to a live machine behind one ``machine.obs``
 facade (:class:`Observability`); the last two operate on the exported
@@ -32,6 +36,13 @@ from repro.sim.observability.compare import (
     diff_spawn_regions,
     flatten_metrics,
     render_sweep_table,
+)
+from repro.sim.observability.aggregate import (
+    TopSummary,
+    aggregate_campaign,
+    fold_stream,
+    render_campaign_report,
+    render_top,
 )
 from repro.sim.observability.core import Observability
 from repro.sim.observability.events import EventStream, SpanEvent
@@ -57,6 +68,13 @@ from repro.sim.observability.profiler import (
     CycleProfiler,
     load_profile,
     render_profile,
+)
+from repro.sim.observability.telemetry import (
+    JsonlSink,
+    SocketPublisher,
+    TelemetrySampler,
+    read_frames,
+    read_stream,
 )
 
 __all__ = [
@@ -89,4 +107,14 @@ __all__ = [
     "diff_spawn_regions",
     "flatten_metrics",
     "render_sweep_table",
+    "TelemetrySampler",
+    "JsonlSink",
+    "SocketPublisher",
+    "read_stream",
+    "read_frames",
+    "TopSummary",
+    "fold_stream",
+    "render_top",
+    "aggregate_campaign",
+    "render_campaign_report",
 ]

@@ -1,0 +1,373 @@
+"""Aggregation and live-monitoring views over telemetry streams.
+
+Two consumers sit on top of the JSONL streams the telemetry layer
+(:mod:`~repro.sim.observability.telemetry`) and the campaign engine
+write:
+
+- **``xmt-top``** folds a stream of frames / heartbeats / engine
+  records into one row per run (state, cycle, interval IPC, attempt,
+  wall, ETA) -- live against a socket or a growing file, or one-shot
+  via ``xmt-top report`` on a finished stream;
+- **``xmt-campaign report``** aggregates finished campaigns: outcome
+  counts (exactly the ``summary.json`` counts), p50/p95 wall time and
+  cycles overall and per config-override axis, and retry/backoff
+  histograms from the attempts log.
+
+Renderers follow the ``xmt-compare`` conventions: ``text`` (aligned
+columns), ``markdown`` (pipe tables) and ``json`` (machine-readable,
+schema-stamped).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sim.observability.telemetry import (
+    SCHEMA_CAMPAIGN_TELEMETRY,
+    SCHEMA_TELEMETRY,
+)
+
+#: outcome lines streamed by the campaign engine (``--results``);
+#: literal here so this module never imports the campaign package
+SCHEMA_RESULT = "xmt-campaign-result/1"
+
+SCHEMA_TOP_REPORT = "xmt-top-report/1"
+SCHEMA_CAMPAIGN_REPORT = "xmt-campaign-report/1"
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (q in [0, 100]); None on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+# -- xmt-top: per-run state table ---------------------------------------------
+
+
+@dataclass
+class TopRow:
+    """Folded state of one run as seen through the stream."""
+
+    key: str
+    state: str = "pending"
+    attempt: int = 0
+    cycle: Optional[int] = None
+    instructions: Optional[int] = None
+    ipc: Optional[float] = None
+    wall_seconds: Optional[float] = None
+    eta_seconds: Optional[float] = None
+    worker_pid: Optional[int] = None
+    frames: int = 0
+
+
+@dataclass
+class TopSummary:
+    """Everything ``xmt-top`` renders: rows plus campaign bookkeeping."""
+
+    rows: Dict[str, TopRow] = field(default_factory=dict)
+    campaign_id: str = ""
+    runs_expected: Optional[int] = None
+    counts: Optional[Dict[str, int]] = None
+    finished: bool = False
+
+    def row(self, key: str) -> TopRow:
+        if key not in self.rows:
+            self.rows[key] = TopRow(key=key)
+        return self.rows[key]
+
+
+def _row_key(record: Dict[str, Any]) -> str:
+    label = record.get("label")
+    if label:
+        return str(label)
+    fingerprint = record.get("fingerprint")
+    if fingerprint:
+        return str(fingerprint)[:8]
+    return "run"
+
+
+def fold_stream(records: Sequence[Dict[str, Any]],
+                summary: Optional[TopSummary] = None) -> TopSummary:
+    """Fold stream records into per-run rows (incremental: pass the
+    previous summary back in with only the new records)."""
+    summary = summary if summary is not None else TopSummary()
+    for record in records:
+        schema = record.get("schema")
+        if schema == SCHEMA_TELEMETRY:
+            row = summary.row(_row_key(record))
+            row.frames += 1
+            row.cycle = record.get("cycle", row.cycle)
+            row.instructions = record.get("instructions", row.instructions)
+            interval = record.get("interval") or {}
+            if interval.get("cycles"):
+                row.ipc = interval.get("ipc")
+            row.wall_seconds = record.get("wall_seconds", row.wall_seconds)
+            row.eta_seconds = record.get("eta_seconds")
+            row.attempt = record.get("attempt") or row.attempt
+            row.worker_pid = record.get("worker_pid") or row.worker_pid
+            kind = record.get("kind")
+            if kind == "final":
+                row.state = "done"
+                row.eta_seconds = None
+            elif row.state not in ("done",) or kind in ("frame",
+                                                        "heartbeat"):
+                row.state = "running"
+        elif schema == SCHEMA_CAMPAIGN_TELEMETRY:
+            kind = record.get("kind")
+            if kind == "campaign-start":
+                summary.campaign_id = record.get("campaign_id", "")
+                summary.runs_expected = record.get("runs")
+            elif kind == "campaign-end":
+                summary.finished = True
+                summary.counts = record.get("counts")
+            elif kind == "stall-warning":
+                row = summary.row(_row_key(record))
+                row.state = "stalled"
+                row.attempt = record.get("attempt") or row.attempt
+            elif kind == "outcome":
+                row = summary.row(_row_key(record))
+                row.state = record.get("status", "done")
+                row.attempt = record.get("attempts") or row.attempt
+                if record.get("cycles") is not None:
+                    row.cycle = record.get("cycles")
+                if record.get("instructions") is not None:
+                    row.instructions = record.get("instructions")
+                row.eta_seconds = None
+        elif schema == SCHEMA_RESULT:
+            row = summary.row(_row_key(record))
+            row.state = record.get("status", row.state)
+            row.attempt = record.get("attempts") or row.attempt
+            if record.get("cycles") is not None:
+                row.cycle = record.get("cycles")
+            if record.get("instructions") is not None:
+                row.instructions = record.get("instructions")
+            row.eta_seconds = None
+    return summary
+
+
+def _fmt(value, digits: int = 2) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+_TOP_COLUMNS = ("run", "state", "att", "cycles", "instr", "ipc",
+                "wall_s", "eta_s")
+
+
+def _top_cells(row: TopRow) -> List[str]:
+    return [row.key, row.state, str(row.attempt or "--"),
+            _fmt(row.cycle), _fmt(row.instructions),
+            _fmt(row.ipc, 3), _fmt(row.wall_seconds, 2),
+            _fmt(row.eta_seconds, 1)]
+
+
+def render_top(summary: TopSummary, fmt: str = "text") -> str:
+    """Render the per-run table (text | markdown | json)."""
+    rows = list(summary.rows.values())
+    if fmt == "json":
+        payload = {
+            "schema": SCHEMA_TOP_REPORT,
+            "campaign_id": summary.campaign_id,
+            "runs_expected": summary.runs_expected,
+            "finished": summary.finished,
+            "counts": summary.counts,
+            "rows": [vars(r) for r in rows],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    table = [list(_TOP_COLUMNS)] + [_top_cells(r) for r in rows]
+    if fmt == "markdown":
+        out = ["| " + " | ".join(table[0]) + " |",
+               "|" + "---|" * len(table[0])]
+        out += ["| " + " | ".join(cells) + " |" for cells in table[1:]]
+        return "\n".join(out)
+
+    widths = [max(len(row[i]) for row in table)
+              for i in range(len(table[0]))]
+    lines = []
+    header = ""
+    if summary.campaign_id:
+        header = f"campaign {summary.campaign_id}"
+        if summary.runs_expected is not None:
+            header += f": {len(rows)}/{summary.runs_expected} runs seen"
+        lines.append(header)
+    for tr in table:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i < 2 else cell.rjust(widths[i])
+            for i, cell in enumerate(tr)))
+    states: Dict[str, int] = {}
+    for r in rows:
+        states[r.state] = states.get(r.state, 0) + 1
+    lines.append("-- " + "  ".join(
+        f"{name}: {count}" for name, count in sorted(states.items()))
+        + ("  [stream ended]" if summary.finished else ""))
+    return "\n".join(lines)
+
+
+# -- xmt-campaign report: finished-campaign aggregation -----------------------
+
+
+def _axis_stats(outcomes: List[Dict[str, Any]]) -> Dict[str, Any]:
+    walls = [o["wall_seconds"] for o in outcomes
+             if isinstance(o.get("wall_seconds"), (int, float))]
+    cycles = [o["cycles"] for o in outcomes
+              if isinstance(o.get("cycles"), (int, float))]
+    return {
+        "runs": len(outcomes),
+        "wall_p50": percentile(walls, 50),
+        "wall_p95": percentile(walls, 95),
+        "cycles_p50": percentile(cycles, 50),
+        "cycles_p95": percentile(cycles, 95),
+    }
+
+
+def aggregate_campaign(records: Sequence[Dict[str, Any]],
+                       attempts: Optional[Sequence[Dict[str, Any]]] = None
+                       ) -> Dict[str, Any]:
+    """Aggregate outcome records (from ``--results`` and/or a campaign
+    telemetry stream) plus an optional ``attempts.jsonl`` into one
+    report payload.
+
+    Outcome lines and engine ``outcome`` telemetry records carry the
+    same fields; duplicates (the same run seen through both files) are
+    collapsed on ``(index, fingerprint, label)``, last record wins --
+    so feeding both files still reproduces the ``summary.json`` counts
+    exactly.
+    """
+    outcomes: Dict[tuple, Dict[str, Any]] = {}
+    campaign_id = ""
+    for record in records:
+        schema = record.get("schema")
+        if schema == SCHEMA_RESULT or (
+                schema == SCHEMA_CAMPAIGN_TELEMETRY
+                and record.get("kind") == "outcome"):
+            key = (record.get("index"), record.get("fingerprint"),
+                   record.get("label"))
+            outcomes[key] = record
+        elif schema == SCHEMA_CAMPAIGN_TELEMETRY and \
+                record.get("kind") == "campaign-start":
+            campaign_id = record.get("campaign_id", "")
+
+    ordered = sorted(
+        outcomes.values(),
+        key=lambda o: (o.get("index") is None, o.get("index") or 0))
+
+    counts: Dict[str, int] = {}
+    for outcome in ordered:
+        status = outcome.get("status", "unknown")
+        counts[status] = counts.get(status, 0) + 1
+
+    # per config-override axis: field -> "field=value" -> stats
+    axes: Dict[str, Dict[str, Any]] = {}
+    for outcome in ordered:
+        for name, value in (outcome.get("overrides") or {}).items():
+            axis = axes.setdefault(name, {})
+            axis.setdefault(f"{name}={value}", []).append(outcome)
+    axis_stats = {
+        name: {coord: _axis_stats(group)
+               for coord, group in sorted(axis.items())}
+        for name, axis in sorted(axes.items())}
+
+    retry_hist: Dict[str, int] = {}
+    for outcome in ordered:
+        attempts_n = outcome.get("attempts")
+        if attempts_n is not None:
+            key = str(attempts_n)
+            retry_hist[key] = retry_hist.get(key, 0) + 1
+
+    backoff_hist: Dict[str, int] = {}
+    heartbeat_gaps = 0
+    for line in attempts or ():
+        if line.get("event") == "rescheduled" and "backoff_s" in line:
+            key = f"{line['backoff_s']:g}"
+            backoff_hist[key] = backoff_hist.get(key, 0) + 1
+        elif line.get("event") == "heartbeat-gap":
+            heartbeat_gaps += 1
+
+    return {
+        "schema": SCHEMA_CAMPAIGN_REPORT,
+        "campaign_id": campaign_id,
+        "runs": len(ordered),
+        "counts": counts,
+        "overall": _axis_stats(list(ordered)),
+        "axes": axis_stats,
+        "retry_histogram": retry_hist,
+        "backoff_histogram": backoff_hist,
+        "heartbeat_gaps": heartbeat_gaps,
+    }
+
+
+def render_campaign_report(report: Dict[str, Any],
+                           fmt: str = "text") -> str:
+    """Render an aggregated campaign report (text | markdown | json)."""
+    if fmt == "json":
+        return json.dumps(report, indent=2, sort_keys=True)
+
+    def stats_cells(coord: str, stats: Dict[str, Any]) -> List[str]:
+        return [coord, str(stats["runs"]),
+                _fmt(stats["wall_p50"], 3), _fmt(stats["wall_p95"], 3),
+                _fmt(stats["cycles_p50"], 0), _fmt(stats["cycles_p95"], 0)]
+
+    header = ["axis", "runs", "wall p50", "wall p95",
+              "cyc p50", "cyc p95"]
+    table = [header, stats_cells("(all)", report["overall"])]
+    for name in sorted(report["axes"]):
+        for coord, stats in report["axes"][name].items():
+            table.append(stats_cells(coord, stats))
+
+    counts_line = "  ".join(f"{name}: {count}" for name, count
+                            in sorted(report["counts"].items()))
+    retry_line = "  ".join(
+        f"{attempts}x: {count}" for attempts, count
+        in sorted(report["retry_histogram"].items(),
+                  key=lambda kv: int(kv[0])))
+    backoff_line = "  ".join(
+        f"{backoff}s: {count}" for backoff, count
+        in sorted(report["backoff_histogram"].items(),
+                  key=lambda kv: float(kv[0])))
+
+    if fmt == "markdown":
+        out = [f"## campaign report"
+               + (f" `{report['campaign_id']}`"
+                  if report["campaign_id"] else ""),
+               "",
+               f"{report['runs']} runs -- {counts_line}",
+               "",
+               "| " + " | ".join(header) + " |",
+               "|" + "---|" * len(header)]
+        out += ["| " + " | ".join(cells) + " |" for cells in table[1:]]
+        if retry_line:
+            out += ["", f"attempts histogram: {retry_line}"]
+        if backoff_line:
+            out += [f"backoff histogram: {backoff_line}"]
+        if report.get("heartbeat_gaps"):
+            out += [f"heartbeat gaps: {report['heartbeat_gaps']}"]
+        return "\n".join(out)
+
+    widths = [max(len(row[i]) for row in table)
+              for i in range(len(header))]
+    lines = [("campaign report"
+              + (f" {report['campaign_id']}" if report["campaign_id"]
+                 else "")),
+             f"{report['runs']} runs -- {counts_line}", ""]
+    for tr in table:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(tr)))
+    if retry_line:
+        lines += ["", f"attempts histogram: {retry_line}"]
+    if backoff_line:
+        lines.append(f"backoff histogram: {backoff_line}")
+    if report.get("heartbeat_gaps"):
+        lines.append(f"heartbeat gaps (stall warnings): "
+                     f"{report['heartbeat_gaps']}")
+    return "\n".join(lines)

@@ -35,6 +35,9 @@ class Observability:
         self.metrics = metrics
         self.profiler = profiler
         self.traces: List = []  # text renderers (Trace instances)
+        #: the live :class:`~repro.sim.observability.telemetry.
+        #: TelemetrySampler`, when one is armed (set by its ``attach``)
+        self.telemetry = None
         self.machine = None
         self._period = 1
         #: spawn_index -> begin time of the in-flight region
@@ -189,3 +192,11 @@ class Observability:
             return {}
         return {name: gauge.value
                 for name, gauge in sorted(self.metrics.gauges.items())}
+
+    def last_telemetry(self):
+        """The most recent telemetry frame, or ``None`` (diagnostic
+        dumps embed it so post-mortems show progress at death)."""
+        telemetry = getattr(self, "telemetry", None)
+        if telemetry is None:
+            return None
+        return telemetry.last_frame

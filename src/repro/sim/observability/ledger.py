@@ -154,6 +154,39 @@ def manifest_run_id(manifest: Dict[str, Any]) -> str:
     return sha256_text(_canonical(identity))[:12]
 
 
+def request_fingerprint(*, program_sha: str, source_sha: Optional[str],
+                        config_sha: str, seed: Optional[int],
+                        label: Optional[str],
+                        inputs: Dict[str, Any]) -> str:
+    """The dedup key both run requests and manifests reduce to.
+
+    Unlike ``run_id`` it excludes the outcome (cycle counts), so it is
+    computable *before* a run -- which is what campaign dedup/resume
+    needs.  Re-exported by :mod:`repro.sim.campaign.requests`.
+    """
+    identity = {
+        "program_sha256": program_sha,
+        "source_sha256": source_sha,
+        "config_sha256": config_sha,
+        "seed": seed,
+        "label": label or None,
+        "inputs": inputs or {},
+    }
+    return sha256_text(canonical_json(identity))[:16]
+
+
+def fingerprint_of_manifest(manifest: Dict[str, Any]) -> str:
+    """Fingerprint of an already recorded ``xmtsim-run/1`` manifest."""
+    program = manifest.get("program") or {}
+    return request_fingerprint(
+        program_sha=program.get("sha256") or "",
+        source_sha=program.get("source_sha256"),
+        config_sha=manifest.get("config_sha256") or "",
+        seed=manifest.get("seed"),
+        label=manifest.get("label"),
+        inputs=manifest.get("inputs") or {})
+
+
 def load_manifest(path: str) -> Dict[str, Any]:
     """Load a manifest file, checking the ``xmtsim-run/1`` schema."""
     with open(path) as fh:
@@ -279,6 +312,14 @@ class Ledger:
         os.makedirs(path, exist_ok=True)
         return path
 
+    @property
+    def index_path(self) -> str:
+        """The compact dedup index: one ``(fingerprint, run_id)`` JSON
+        line per recorded run, appended on :meth:`record`.  Lets
+        campaign resume skip loading every full manifest (O(runs) at
+        startup); readers fall back to a full scan when absent."""
+        return os.path.join(self.root, "index.jsonl")
+
     # -- writing -------------------------------------------------------------
 
     def record(self, manifest: Dict[str, Any],
@@ -287,9 +328,79 @@ class Ledger:
         """Persist one run; returns its record.  Idempotent: recording
         a bit-identical run rewrites the same directory."""
         run_id = manifest.get("run_id") or manifest_run_id(manifest)
-        return write_run_dir(self._run_dir(run_id),
-                             dict(manifest, run_id=run_id),
-                             metrics, profile)
+        record = write_run_dir(self._run_dir(run_id),
+                               dict(manifest, run_id=run_id),
+                               metrics, profile)
+        self._index_add(record.manifest)
+        return record
+
+    @staticmethod
+    def _index_line(manifest: Dict[str, Any]) -> Dict[str, Any]:
+        line: Dict[str, Any] = {
+            "fingerprint": fingerprint_of_manifest(manifest),
+            "run_id": manifest.get("run_id") or manifest_run_id(manifest),
+        }
+        if manifest.get("fault"):
+            # injected runs never answer clean requests; mark them so
+            # index readers can skip without loading the manifest
+            line["fault"] = True
+        return line
+
+    def _index_add(self, manifest: Dict[str, Any]) -> None:
+        if not os.path.exists(self.index_path):
+            # ledger predates the index (or is brand new): backfill a
+            # complete one so the fast path covers historical runs too
+            self.rebuild_index()
+            return
+        with open(self.index_path, "a") as fh:
+            fh.write(canonical_json(self._index_line(manifest)) + "\n")
+
+    def rebuild_index(self) -> int:
+        """(Re)write ``index.jsonl`` from every readable run directory;
+        returns the number of entries.  Atomic (tmp + rename): readers
+        never observe a truncated index."""
+        lines = []
+        if os.path.isdir(self.runs_dir):
+            for run_id in sorted(os.listdir(self.runs_dir)):
+                manifest_path = os.path.join(self.runs_dir, run_id,
+                                             "manifest.json")
+                try:
+                    manifest = load_manifest(manifest_path)
+                except (OSError, ValueError, json.JSONDecodeError):
+                    continue
+                lines.append(canonical_json(self._index_line(manifest)))
+        os.makedirs(self.root, exist_ok=True)
+        tmp = f"{self.index_path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            fh.write("".join(line + "\n" for line in lines))
+        os.replace(tmp, self.index_path)
+        return len(lines)
+
+    def load_index(self) -> Optional[Dict[str, str]]:
+        """``fingerprint -> run_id`` from ``index.jsonl``, skipping
+        fault-injected entries (last entry wins on duplicates).
+        Returns ``None`` when no index exists -- callers then fall back
+        to a full manifest scan."""
+        if not os.path.exists(self.index_path):
+            return None
+        mapping: Dict[str, str] = {}
+        with open(self.index_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write: ignore, stay usable
+                fingerprint = entry.get("fingerprint")
+                run_id = entry.get("run_id")
+                if not fingerprint or not run_id:
+                    continue
+                if entry.get("fault"):
+                    continue  # injected run: never answers clean requests
+                mapping[fingerprint] = run_id
+        return mapping
 
     def record_artifacts(self, artifacts: "RunArtifacts") -> RunRecord:
         return self.record(artifacts.manifest, artifacts.metrics,
@@ -361,7 +472,8 @@ def instrumented_run(program, config, *, source: Optional[str] = None,
                      wall_limit_s: Optional[float] = None,
                      max_events: Optional[int] = None,
                      inputs: Optional[Dict[str, Any]] = None,
-                     extra: Optional[Dict[str, Any]] = None) -> RunArtifacts:
+                     extra: Optional[Dict[str, Any]] = None,
+                     telemetry=None) -> RunArtifacts:
     """Run ``program`` under ``config`` with metrics + profiler attached
     and fold the outcome into ledger-ready artifacts.
 
@@ -370,7 +482,11 @@ def instrumented_run(program, config, *, source: Optional[str] = None,
     manifest/metrics/profile bundle that :meth:`Ledger.record_artifacts`
     persists.  ``wall_limit_s``/``max_events`` are enforced by the
     watchdog (raising ``SimulationBudgetExceeded``), giving campaign
-    workers hard per-run budgets.
+    workers hard per-run budgets.  ``telemetry`` takes an un-attached
+    :class:`~repro.sim.observability.telemetry.TelemetrySampler`: it is
+    armed on the machine for the duration of the run and emits its
+    final frame even when the run dies on a budget -- the caller owns
+    (and closes) its sinks.
     """
     from repro.sim.machine import Simulator
     from repro.sim.observability.core import Observability
@@ -381,9 +497,18 @@ def instrumented_run(program, config, *, source: Optional[str] = None,
     obs = Observability(metrics=MetricsRegistry(),
                         profiler=CycleProfiler(program, source=source))
     sim = Simulator(program, config, observability=obs)
+    if telemetry is not None:
+        if telemetry.eta_cycles is None:
+            telemetry.eta_cycles = max_cycles
+        telemetry.attach(sim.machine)
+        telemetry.arm()
     start = time.perf_counter()
-    result = sim.run(max_cycles=max_cycles, wall_limit_s=wall_limit_s,
-                     max_events=max_events)
+    try:
+        result = sim.run(max_cycles=max_cycles, wall_limit_s=wall_limit_s,
+                         max_events=max_events)
+    finally:
+        if telemetry is not None:
+            telemetry.finish()
     wall = time.perf_counter() - start
     manifest = build_manifest(
         program, config, cycles=result.cycles,

@@ -54,6 +54,10 @@ class DiagnosticDump:
     recent_events: List[Dict[str, object]] = field(default_factory=list)
     #: current observability gauge values (when metrics were on)
     gauges: Dict[str, object] = field(default_factory=dict)
+    #: the last telemetry frame emitted before death (when a sampler
+    #: was armed): shows *progress at the time of death*, not just the
+    #: recent span events
+    last_telemetry: Optional[Dict[str, object]] = None
     #: filled in by campaign workers: which OS process produced the dump
     #: and which attempt of the run it belongs to
     worker_pid: Optional[int] = None
@@ -65,11 +69,18 @@ class DiagnosticDump:
                       if p.get("state") == "running")
         origin = (f" [worker pid={self.worker_pid}, attempt={self.attempt}]"
                   if self.worker_pid is not None else "")
+        progress = ""
+        if self.last_telemetry is not None:
+            frame = self.last_telemetry
+            interval = frame.get("interval") or {}
+            progress = (f"; last telemetry: cycle {frame.get('cycle')} "
+                        f"ipc {interval.get('ipc')} at "
+                        f"{frame.get('wall_seconds')}s wall")
         return (f"{self.reason} at {self.time_ps} ps (~cycle {self.cycles}): "
                 f"{self.instructions} instructions, "
                 f"{self.pending_events} pending events, "
                 f"{running}/{len(self.processors)} processors running"
-                + origin)
+                + progress + origin)
 
     def format(self) -> str:
         """Multi-line structured report."""
@@ -111,6 +122,15 @@ class DiagnosticDump:
         if self.gauges:
             lines.append("gauges: " + ", ".join(
                 f"{k}={v}" for k, v in sorted(self.gauges.items())))
+        if self.last_telemetry is not None:
+            frame = self.last_telemetry
+            interval = frame.get("interval") or {}
+            lines.append(
+                f"last telemetry frame (seq {frame.get('seq')}, "
+                f"{frame.get('kind')}): cycle {frame.get('cycle')}, "
+                f"{frame.get('instructions')} instructions, "
+                f"interval ipc {interval.get('ipc')}, "
+                f"{frame.get('wall_seconds')}s wall")
         if self.recent_events:
             lines.append(f"last {len(self.recent_events)} trace events "
                          "(newest last):")
@@ -169,6 +189,8 @@ def collect(machine, reason: str) -> DiagnosticDump:
     obs = machine.obs
     recent_events = obs.recent_events() if obs is not None else []
     gauges = obs.gauge_values() if obs is not None else {}
+    telemetry = getattr(obs, "telemetry", None) if obs is not None else None
+    last_telemetry = telemetry.last_frame if telemetry is not None else None
 
     return DiagnosticDump(
         reason=reason,
@@ -184,4 +206,5 @@ def collect(machine, reason: str) -> DiagnosticDump:
         dram=dram,
         recent_events=recent_events,
         gauges=gauges,
+        last_telemetry=last_telemetry,
     )

@@ -437,6 +437,21 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
     obsgroup.add_argument("--profile-out", default=None, metavar="PATH",
                           help="write the raw profile to PATH as JSON "
                                "(render later with 'xmt-prof report')")
+    obsgroup.add_argument("--telemetry-out", default=None, metavar="PATH",
+                          help="stream live progress frames (cycle, "
+                               "retired instructions, interval IPC, queue "
+                               "occupancy, active spawns, ETA) to PATH as "
+                               "JSONL; watch with 'xmt-top watch --follow'")
+    obsgroup.add_argument("--telemetry-every", type=int, default=2000,
+                          metavar="CYCLES",
+                          help="telemetry frame interval in cycles "
+                               "(default 2000)")
+    obsgroup.add_argument("--telemetry-socket", default=None, metavar="PATH",
+                          help="additionally publish frames on a Unix-"
+                               "domain socket at PATH ('xmt-top watch "
+                               "--socket' subscribes live); slow "
+                               "subscribers get frames dropped, the "
+                               "simulation never blocks")
     obsgroup.add_argument("--ledger", default=None, metavar="DIR",
                           help="record this run (manifest + metrics + "
                                "profile) into the experiment ledger at "
@@ -583,6 +598,39 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
             profiler=(CycleProfiler(program, source=xmtc_source)
                       if want_profile or args.ledger else None))
 
+    telemetry = None
+    if args.telemetry_out or args.telemetry_socket:
+        if args.mode != "cycle":
+            print("xmtsim: --telemetry-out/--telemetry-socket require "
+                  "--mode cycle", file=sys.stderr)
+            return 2
+        from repro.sim.observability.telemetry import (
+            JsonlSink,
+            SocketPublisher,
+            TelemetrySampler,
+        )
+
+        sinks = []
+        try:
+            if args.telemetry_out:
+                sinks.append(JsonlSink(args.telemetry_out))
+            if args.telemetry_socket:
+                sinks.append(SocketPublisher(args.telemetry_socket))
+        except OSError as exc:
+            print(f"xmtsim: {exc}", file=sys.stderr)
+            return 2
+        telemetry = TelemetrySampler(
+            every_cycles=args.telemetry_every, sinks=sinks,
+            eta_cycles=args.max_cycles,
+            meta={"label": args.run_label or None,
+                  "program": os.path.basename(args.program)})
+        if observability is None:
+            # a bare facade lets the sampler report active spawn
+            # regions and diagnostic dumps embed the last frame
+            from repro.sim.observability import Observability
+
+            observability = Observability()
+
     sanitizer = None
     if args.sanitize:
         if args.mode != "functional":
@@ -623,6 +671,9 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                             trace=trace, observability=observability)
             run_started = _time.perf_counter()
             final_machine = sim.machine
+            if telemetry is not None:
+                telemetry.attach(sim.machine)
+                telemetry.arm()
             if args.checkpoint_every > 0 or args.max_retries is not None:
                 # rollback builds a *new* machine from the checkpoint;
                 # checkpoints strip observability, so re-attach it (the
@@ -634,6 +685,11 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                     if obs_facade is not None:
                         machine.obs = obs_facade
                         obs_facade.attach(machine)
+                    if telemetry is not None:
+                        # checkpoints strip sampler events too: bind to
+                        # the restored machine and restart the interval
+                        telemetry.attach(machine)
+                        telemetry.arm()
 
                 report = run_resilient(
                     sim.machine,
@@ -706,6 +762,19 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
     except SimulationError as exc:
         print(f"xmtsim: runtime error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if telemetry is not None:
+            # close() emits the closing "final" frame even when the run
+            # ended in an exception: the stream records where it died
+            telemetry.close()
+            targets = [t for t in (args.telemetry_out,
+                                   args.telemetry_socket) if t]
+            dropped = sum(getattr(s, "dropped", 0) for s in telemetry.sinks)
+            note = (f"xmtsim: telemetry: {telemetry.emitted} frame(s) to "
+                    f"{', '.join(targets)}")
+            if dropped:
+                note += f" ({dropped} dropped for slow subscribers)"
+            print(note, file=sys.stderr)
 
     for name in args.print_global:
         try:
@@ -1039,7 +1108,17 @@ def xmt_campaign_main(argv: Optional[List[str]] = None) -> int:
     Exit codes: 0 = every run ok or cached, 5 = campaign completed but
     some runs ended failed/timeout/gave-up (partial results; the report
     names each), 2 = bad input (unreadable program/queue, bad grid).
+
+    ``xmt-campaign report`` is a separate subcommand: it aggregates a
+    finished campaign's ``--results``/``--telemetry-out`` streams and
+    ``attempts.jsonl`` into outcome counts, per-axis percentiles and
+    retry histograms.
     """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return _campaign_report_main(argv[1:])
+
     from repro.sim.campaign import (
         CampaignEngine,
         ChaosMonkey,
@@ -1110,6 +1189,31 @@ def xmt_campaign_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--results", default=None, metavar="PATH",
                         help="stream typed per-run outcomes to PATH as "
                              "JSONL while the campaign runs")
+    parser.add_argument("--telemetry-out", default=None, metavar="PATH",
+                        help="multiplex worker telemetry frames and "
+                             "engine records (campaign-start, outcomes, "
+                             "stall warnings, campaign-end) into one "
+                             "JSONL stream at PATH; watch it live with "
+                             "'xmt-top watch --follow', aggregate it "
+                             "with 'xmt-campaign report'")
+    parser.add_argument("--telemetry-every", type=int, default=2000,
+                        metavar="CYCLES",
+                        help="worker telemetry frame interval in cycles "
+                             "(default 2000)")
+    parser.add_argument("--stall-warn", type=float, default=None,
+                        metavar="SECONDS",
+                        help="flag a worker that emits no telemetry "
+                             "frame for this long (heartbeat-gap in "
+                             "attempts.jsonl, stall-warning in the "
+                             "stream); enables worker telemetry even "
+                             "without --telemetry-out")
+    parser.add_argument("--stall-kill", type=float, default=None,
+                        metavar="SECONDS",
+                        help="SIGKILL a worker silent for this long -- "
+                             "a hung worker dies early instead of "
+                             "burning its whole --attempt-deadline; "
+                             "classified as a diagnosed timeout "
+                             "(WorkerStalled)")
     parser.add_argument("--chaos-kill", type=int, default=0, metavar="N",
                         help="chaos mode: SIGKILL up to N workers "
                              "mid-run (never a run's last allowed "
@@ -1196,7 +1300,11 @@ def xmt_campaign_main(argv: Optional[List[str]] = None) -> int:
             attempt_deadline_s=args.attempt_deadline,
             sanitize=args.sanitize,
             chaos=chaos,
-            on_outcome=note)
+            on_outcome=note,
+            telemetry_path=args.telemetry_out,
+            telemetry_every=args.telemetry_every,
+            stall_warn_s=args.stall_warn,
+            stall_kill_s=args.stall_kill)
         result = engine.run()
     except (OSError, ValueError, CompileError) as exc:
         print(f"xmt-campaign: error: {exc}", file=sys.stderr)
@@ -1206,7 +1314,218 @@ def xmt_campaign_main(argv: Optional[List[str]] = None) -> int:
     if args.results:
         print(f"xmt-campaign: streamed {len(result.outcomes)} outcome(s) "
               f"to {args.results}", file=sys.stderr)
+    if args.telemetry_out:
+        print(f"xmt-campaign: telemetry stream at {args.telemetry_out} "
+              f"(xmt-top report / xmt-campaign report)", file=sys.stderr)
     return result.exit_code()
+
+
+def _campaign_report_main(argv: List[str]) -> int:
+    """``xmt-campaign report``: aggregate a finished campaign."""
+    from repro.sim.observability.aggregate import (
+        aggregate_campaign,
+        render_campaign_report,
+    )
+    from repro.sim.observability.telemetry import read_stream
+
+    parser = argparse.ArgumentParser(
+        prog="xmt-campaign report",
+        description="aggregate campaign outcome/telemetry streams into "
+                    "outcome counts, p50/p95 wall time and cycles per "
+                    "config axis, and retry/backoff histograms")
+    parser.add_argument("--results", default=None, metavar="PATH",
+                        help="outcome JSONL written by --results")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="stream written by --telemetry-out (its "
+                             "'outcome' records carry the same fields; "
+                             "giving both files never double-counts)")
+    parser.add_argument("--attempts", default=None, metavar="PATH",
+                        help="attempts.jsonl from the campaign ledger "
+                             "directory (adds backoff and heartbeat-gap "
+                             "histograms)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "markdown", "json"))
+    args = parser.parse_args(argv)
+
+    if not args.results and not args.telemetry:
+        print("xmt-campaign report: give --results and/or --telemetry",
+              file=sys.stderr)
+        return 2
+    try:
+        records: List[dict] = []
+        for path in (args.results, args.telemetry):
+            if path:
+                records += read_stream(path)
+        attempts = read_stream(args.attempts) if args.attempts else None
+    except OSError as exc:
+        print(f"xmt-campaign report: {exc}", file=sys.stderr)
+        return 2
+    report = aggregate_campaign(records, attempts)
+    if not report["runs"]:
+        print("xmt-campaign report: no outcome records found",
+              file=sys.stderr)
+        return 2
+    print(render_campaign_report(report, args.format))
+    return 0
+
+
+def xmt_top_main(argv: Optional[List[str]] = None) -> int:
+    """``xmt-top``: live monitor over telemetry streams.
+
+    ``watch`` tails a growing JSONL stream (``--follow``) or subscribes
+    to a ``--telemetry-socket`` publisher and redraws a per-run table;
+    ``report`` renders the same table once from a finished stream.
+    Exit codes: 0 = ok, 2 = unreadable stream / unreachable socket.
+    """
+    from repro.sim.observability.aggregate import fold_stream, render_top
+    from repro.sim.observability.telemetry import read_stream
+
+    parser = argparse.ArgumentParser(
+        prog="xmt-top",
+        description="live per-run progress monitor for xmtsim and "
+                    "xmt-campaign telemetry streams (MANUAL.md "
+                    "section 4.10)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="one-shot table from a telemetry stream")
+    report.add_argument("stream",
+                        help="JSONL written by xmtsim/xmt-campaign "
+                             "--telemetry-out")
+    report.add_argument("--format", default="text",
+                        choices=("text", "markdown", "json"))
+    watch = sub.add_parser(
+        "watch", help="follow a stream live and redraw the table")
+    source = watch.add_mutually_exclusive_group(required=True)
+    source.add_argument("--follow", default=None, metavar="PATH",
+                        help="tail a growing telemetry JSONL file")
+    source.add_argument("--socket", default=None, metavar="PATH",
+                        help="subscribe to an xmtsim --telemetry-socket "
+                             "publisher")
+    watch.add_argument("--interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="redraw interval (default 0.5)")
+    watch.add_argument("--max-updates", type=int, default=None,
+                       metavar="N",
+                       help="stop after N redraws (default: until the "
+                            "stream ends)")
+    watch.add_argument("--plain", action="store_true",
+                       help="append snapshots instead of clearing the "
+                            "screen (no ANSI; for logs and tests)")
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        try:
+            records = read_stream(args.stream)
+        except OSError as exc:
+            print(f"xmt-top: {exc}", file=sys.stderr)
+            return 2
+        if not records:
+            print(f"xmt-top: {args.stream}: no telemetry records",
+                  file=sys.stderr)
+            return 2
+        print(render_top(fold_stream(records), args.format))
+        return 0
+    return _top_watch(args)
+
+
+def _top_watch(args) -> int:
+    import json as _json
+    import socket as _socket
+    import time as _time
+
+    from repro.sim.observability.aggregate import (
+        TopSummary,
+        fold_stream,
+        render_top,
+    )
+
+    summary = TopSummary()
+    updates = 0
+
+    def redraw() -> None:
+        nonlocal updates
+        updates += 1
+        text = render_top(summary, "text")
+        if args.plain:
+            print(text)
+            print("", flush=True)
+        else:
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+
+    def fold_lines(lines) -> None:
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = _json.loads(line)
+            except _json.JSONDecodeError:
+                continue  # torn line from a killed writer
+            if isinstance(record, dict):
+                records.append(record)
+        fold_stream(records, summary)
+
+    def done() -> bool:
+        if summary.finished:
+            return True
+        if args.max_updates is not None and updates >= args.max_updates:
+            return True
+        terminal = ("done", "ok", "cached", "failed", "timeout", "gave-up")
+        return bool(summary.rows) and all(
+            row.state in terminal for row in summary.rows.values())
+
+    try:
+        if args.socket:
+            sock = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+            try:
+                sock.connect(args.socket)
+            except OSError as exc:
+                print(f"xmt-top: {args.socket}: {exc}", file=sys.stderr)
+                return 2
+            sock.settimeout(args.interval)
+            buffer = b""
+            with sock:
+                while True:
+                    closed = False
+                    try:
+                        data = sock.recv(65536)
+                        closed = data == b""
+                    except _socket.timeout:
+                        data = b""
+                    if data:
+                        buffer += data
+                        lines = buffer.split(b"\n")
+                        buffer = lines.pop()
+                        fold_lines(line.decode("utf-8", "replace")
+                                   for line in lines)
+                    redraw()
+                    if closed or done():
+                        return 0
+        else:
+            deadline = _time.monotonic() + 10.0
+            while not os.path.exists(args.follow):
+                if _time.monotonic() >= deadline:
+                    print(f"xmt-top: {args.follow}: no such stream",
+                          file=sys.stderr)
+                    return 2
+                _time.sleep(min(args.interval, 0.1))
+            buffer = ""
+            with open(args.follow) as fh:
+                while True:
+                    data = fh.read()
+                    if data:
+                        buffer += data
+                        lines = buffer.split("\n")
+                        buffer = lines.pop()
+                        fold_lines(lines)
+                    redraw()
+                    if done():
+                        return 0
+                    _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def xmt_prof_main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,562 @@
+"""Live telemetry: sampler frames, sinks, campaign streams, monitors.
+
+The load-bearing properties locked in here:
+
+- **zero perturbation**: cycle counts with telemetry enabled are
+  bit-identical to a bare run (the sampler rides the non-perturbing
+  plug-in priority slot), and a slow or vanished socket subscriber
+  costs dropped frames, never a blocked simulation;
+- **frames telescope**: per-interval deltas sum to the final totals,
+  so any consumer can integrate the stream without the final frame;
+- **checkpoint transparency**: sampler events are stripped from
+  snapshots (no file handles or sockets inside a checkpoint) and a
+  restored machine runs to the reference cycle count;
+- **the stream is the campaign**: aggregating a campaign telemetry
+  stream reproduces the ``summary.json`` outcome counts exactly, and
+  a hung worker (no frames) is warned about and killed as a diagnosed
+  ``WorkerStalled`` timeout -- distinguishable from a slow one.
+"""
+
+import io
+import json
+import os
+import socket
+
+import pytest
+
+from repro.sim import checkpoint as CP
+from repro.sim.campaign import CampaignEngine, RunRequest, grid_requests
+from repro.sim.campaign.requests import RunBudgets, PreparedRun
+from repro.sim.campaign.worker import run_attempt
+from repro.sim.config import tiny
+from repro.sim.machine import Machine, Simulator
+from repro.sim.observability import Ledger, Observability
+from repro.sim.observability.aggregate import (
+    aggregate_campaign,
+    fold_stream,
+    percentile,
+    render_campaign_report,
+    render_top,
+)
+from repro.sim.observability.telemetry import (
+    SCHEMA_CAMPAIGN_TELEMETRY,
+    SCHEMA_TELEMETRY,
+    JsonlSink,
+    SocketPublisher,
+    TelemetrySampler,
+    read_frames,
+    read_stream,
+)
+from repro.toolchain.cli import (
+    xmt_campaign_main,
+    xmt_top_main,
+    xmtsim_main,
+)
+from repro.xmtc.compiler import compile_source
+
+SRC = """
+int A[8];
+int total = 0;
+int main() {
+    spawn(0, 7) { int v = A[$]; psm(v, total); }
+    printf("t=%d\\n", total);
+    return 0;
+}
+"""
+
+SPAWN_SRC = """
+int A[32];
+int B[32];
+int main() {
+    spawn(0, 31) { B[$] = A[$] + 1; }
+    return 0;
+}
+"""
+
+SPIN_ASM = """
+    .text
+main:
+spin:
+    j spin
+    halt
+"""
+
+
+@pytest.fixture
+def src_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+def _instrumented_sim(every_cycles=20, sinks=None, eta_cycles=None):
+    program = compile_source(SPAWN_SRC)
+    sim = Simulator(program, tiny(), observability=Observability())
+    sampler = TelemetrySampler(every_cycles=every_cycles,
+                               sinks=list(sinks or []),
+                               eta_cycles=eta_cycles)
+    sampler.attach(sim.machine)
+    sampler.arm()
+    return sim, sampler
+
+
+class TestSampler:
+    def test_frames_round_trip_and_telescope(self, tmp_path):
+        out = tmp_path / "telemetry.jsonl"
+        sim, sampler = _instrumented_sim(sinks=[JsonlSink(str(out))],
+                                         eta_cycles=100_000)
+        result = sim.run(max_cycles=100_000)
+        sampler.close()
+
+        frames = read_frames(str(out))
+        assert frames, "no frames emitted"
+        assert all(f["schema"] == SCHEMA_TELEMETRY for f in frames)
+        assert frames[0]["kind"] == "heartbeat"
+        assert frames[-1]["kind"] == "final"
+        assert [f["seq"] for f in frames] == list(range(len(frames)))
+
+        # interval deltas telescope to the totals
+        assert sum(f["interval"]["cycles"] for f in frames) == result.cycles
+        assert frames[-1]["cycle"] == result.cycles
+        assert (sum(f["interval"]["instructions"] for f in frames)
+                == result.instructions)
+        # gauge deltas telescope too (gauges start and end at zero)
+        for name in frames[-1]["gauges"]:
+            assert sum(f["interval"]["gauges"][name] for f in frames) == \
+                frames[-1]["gauges"][name]
+
+        # the spawn region is visible from the stream while in flight
+        assert any(f["active_spawns"] for f in frames)
+        # an ETA appears once the run is moving
+        assert any(f["eta_seconds"] is not None for f in frames[1:-1])
+        assert frames[-1]["halted"] is True
+
+    def test_cycles_bit_identical_with_telemetry(self):
+        program = compile_source(SPAWN_SRC)
+        bare = Simulator(program, tiny()).run(max_cycles=100_000)
+        sim, sampler = _instrumented_sim(every_cycles=5,
+                                         sinks=[JsonlSink(io.StringIO())])
+        instrumented = sim.run(max_cycles=100_000)
+        sampler.close()
+        assert instrumented.cycles == bare.cycles
+        assert instrumented.instructions == bare.instructions
+
+    def test_meta_merged_into_every_frame(self):
+        buf = io.StringIO()
+        program = compile_source(SPAWN_SRC)
+        sim = Simulator(program, tiny())
+        sampler = TelemetrySampler(every_cycles=50,
+                                   sinks=[JsonlSink(buf)],
+                                   meta={"label": "m1", "attempt": 3})
+        sampler.attach(sim.machine)
+        sampler.arm()
+        sim.run(max_cycles=100_000)
+        sampler.close()
+        frames = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert all(f["label"] == "m1" and f["attempt"] == 3 for f in frames)
+
+    def test_checkpoint_strips_sampler_and_replays_identically(self):
+        program = compile_source(SPAWN_SRC)
+        reference = Simulator(program, tiny()).run(max_cycles=100_000)
+
+        machine = Machine(program, tiny())
+        machine.obs = Observability()
+        machine.obs.attach(machine)
+        sampler = TelemetrySampler(every_cycles=10,
+                                   sinks=[JsonlSink(io.StringIO())])
+        sampler.attach(machine)
+        sampler.arm()
+        payload = CP.run_with_checkpoint(machine, checkpoint_cycle=60)
+        assert payload is not None
+        restored = CP.load_bytes(payload)
+        pending = [e.actor for e in restored.scheduler._heap
+                   if not e.cancelled]
+        assert not any(isinstance(a, TelemetrySampler) for a in pending)
+        result = restored.run(max_cycles=100_000)
+        assert result.cycles == reference.cycles
+
+    def test_read_stream_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"schema": "xmtsim-telemetry/1", "kind": "frame"}\n'
+                        '{"schema": "xmtsim-telem')
+        records = read_stream(str(path))
+        assert len(records) == 1
+        with pytest.raises(ValueError):
+            read_stream(str(path), strict=True)
+
+
+class TestSocketPublisher:
+    def test_slow_subscriber_drops_frames_never_blocks(self, tmp_path):
+        path = str(tmp_path / "telemetry.sock")
+        publisher = SocketPublisher(path, max_buffer=256)
+        subscriber = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        subscriber.connect(path)
+        try:
+            sim, sampler = _instrumented_sim(every_cycles=5,
+                                             sinks=[publisher])
+            result = sim.run(max_cycles=100_000)
+            sampler.close()
+            # the subscriber never read a byte: frames were dropped for
+            # it, the run still finished at the reference cycle count
+            assert publisher.dropped > 0
+            program = compile_source(SPAWN_SRC)
+            assert result.cycles == \
+                Simulator(program, tiny()).run(max_cycles=100_000).cycles
+        finally:
+            subscriber.close()
+        assert not os.path.exists(path), "socket not unlinked on close"
+
+    def test_disconnected_subscriber_is_pruned(self, tmp_path):
+        path = str(tmp_path / "telemetry.sock")
+        publisher = SocketPublisher(path)
+        subscriber = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        subscriber.connect(path)
+        publisher.write_line('{"kind": "frame"}')
+        assert publisher.subscribers == 1
+        subscriber.close()
+        for _ in range(3):  # a dead peer may need a write to surface
+            publisher.write_line('{"kind": "frame"}')
+        assert publisher.subscribers == 0
+        publisher.close()
+
+    def test_subscriber_receives_parseable_frames(self, tmp_path):
+        path = str(tmp_path / "telemetry.sock")
+        publisher = SocketPublisher(path)
+        subscriber = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        subscriber.connect(path)
+        try:
+            sim, sampler = _instrumented_sim(every_cycles=50,
+                                             sinks=[publisher])
+            sim.run(max_cycles=100_000)
+            sampler.close()
+            subscriber.settimeout(1.0)
+            data = b""
+            while True:
+                try:
+                    chunk = subscriber.recv(65536)
+                except socket.timeout:
+                    break
+                if not chunk:
+                    break
+                data += chunk
+            lines = [l for l in data.decode().split("\n") if l]
+            frames = [json.loads(line) for line in lines]
+            assert frames and frames[-1]["kind"] == "final"
+        finally:
+            subscriber.close()
+
+
+class TestXmtsimCli:
+    def test_telemetry_out_and_identical_cycles(self, src_file, tmp_path,
+                                                capsys):
+        def run(extra):
+            code = xmtsim_main(
+                [src_file, "--config", "tiny",
+                 "--set", "A", "1,2,3,4,5,6,7,8"] + extra)
+            assert code == 0
+            return capsys.readouterr().err
+
+        bare = run([])
+        out = tmp_path / "telemetry.jsonl"
+        instrumented = run(["--telemetry-out", str(out),
+                            "--telemetry-every", "40"])
+        # same "[tiny] N cycles" line with and without telemetry
+        assert [l for l in bare.splitlines() if l.startswith("[tiny]")] == \
+            [l for l in instrumented.splitlines() if l.startswith("[tiny]")]
+        assert "telemetry:" in instrumented
+        frames = read_frames(str(out))
+        assert frames[-1]["kind"] == "final"
+        cycles_line = [l for l in bare.splitlines()
+                       if l.startswith("[tiny]")][0]
+        assert str(frames[-1]["cycle"]) in cycles_line
+
+    def test_telemetry_requires_cycle_mode(self, src_file, tmp_path,
+                                           capsys):
+        code = xmtsim_main([src_file, "--mode", "functional",
+                            "--telemetry-out",
+                            str(tmp_path / "t.jsonl")])
+        assert code == 2
+        assert "--mode cycle" in capsys.readouterr().err
+
+
+class TestWorkerTelemetry:
+    def test_budget_trip_embeds_last_frame(self, src_file, tmp_path):
+        request = RunRequest(program=src_file, config="tiny",
+                             inputs={"A": [1, 2, 3, 4, 5, 6, 7, 8]})
+        program = compile_source(SRC)
+        prepared = PreparedRun.prepare(request, program, SRC)
+        telemetry_path = str(tmp_path / "attempt.telemetry.jsonl")
+        payload = run_attempt(prepared, RunBudgets(max_cycles=60), 1,
+                              isolate=False,
+                              telemetry_path=telemetry_path,
+                              telemetry_every=10)
+        assert payload["status"] == "timeout"
+        frame = payload["last_telemetry"]
+        assert frame["schema"] == SCHEMA_TELEMETRY
+        assert frame["cycle"] <= 60
+        assert "last telemetry: cycle" in payload["dump_summary"]
+        # the sink captured the final frame even though the run died
+        assert read_frames(telemetry_path)[-1]["kind"] == "final"
+
+
+class TestCampaignTelemetry:
+    GRID = [("dram_latency", [6, 10])]
+    INPUTS = {"A": [1, 2, 3, 4, 5, 6, 7, 8]}
+
+    def _engine(self, src_file, tmp_path, **kwargs):
+        requests = grid_requests(src_file, self.GRID, config="tiny",
+                                 inputs=dict(self.INPUTS))
+        kwargs.setdefault("ledger", Ledger(str(tmp_path / "ledger")))
+        kwargs.setdefault("telemetry_path",
+                          str(tmp_path / "telemetry.jsonl"))
+        kwargs.setdefault("telemetry_every", 50)
+        return CampaignEngine(requests, **kwargs)
+
+    def test_stream_reproduces_summary_counts(self, src_file, tmp_path):
+        engine = self._engine(src_file, tmp_path, workers=2)
+        result = engine.run()
+        assert result.counts["ok"] == 2
+
+        records = read_stream(str(tmp_path / "telemetry.jsonl"))
+        kinds = [r.get("kind") for r in records
+                 if r.get("schema") == SCHEMA_CAMPAIGN_TELEMETRY]
+        assert kinds[0] == "campaign-start"
+        assert kinds[-1] == "campaign-end"
+        assert kinds.count("outcome") == 2
+
+        summary_path = os.path.join(
+            engine.ledger.campaign_dir(result.campaign_id), "summary.json")
+        with open(summary_path) as fh:
+            summary = json.load(fh)
+        report = aggregate_campaign(records)
+        for status, count in summary["counts"].items():
+            assert report["counts"].get(status, 0) == count
+        # worker frames made it through the mux, enveloped with identity
+        frames = [r for r in records
+                  if r.get("schema") == SCHEMA_TELEMETRY]
+        assert frames and all(r.get("fingerprint") for r in frames)
+
+    def test_serial_mode_streams_too(self, src_file, tmp_path):
+        engine = self._engine(src_file, tmp_path, serial=True)
+        result = engine.run()
+        assert result.counts["ok"] == 2
+        records = read_stream(str(tmp_path / "telemetry.jsonl"))
+        assert any(r.get("schema") == SCHEMA_TELEMETRY for r in records)
+        assert aggregate_campaign(records)["counts"]["ok"] == 2
+
+    def test_stalled_worker_warned_then_killed(self, tmp_path):
+        spin = tmp_path / "spin.s"
+        spin.write_text(SPIN_ASM)
+        telemetry = str(tmp_path / "telemetry.jsonl")
+        engine = CampaignEngine(
+            [RunRequest(program=str(spin), config="tiny", label="spin")],
+            ledger=Ledger(str(tmp_path / "ledger")),
+            workers=1, max_retries=0,
+            telemetry_path=telemetry,
+            telemetry_every=10 ** 9,   # never emits a frame: "hung"
+            stall_warn_s=0.2, stall_kill_s=0.6)
+        result = engine.run()
+        outcome = result.outcomes[0]
+        assert outcome.status == "timeout"
+        assert outcome.error_type == "WorkerStalled"
+        assert "hung" in outcome.error
+
+        kinds = [r.get("kind") for r in read_stream(telemetry)]
+        assert "stall-warning" in kinds
+
+        log_path = os.path.join(
+            engine.ledger.campaign_dir(result.campaign_id),
+            "attempts.jsonl")
+        events = [json.loads(line) for line in open(log_path)]
+        gap = [e for e in events if e["event"] == "heartbeat-gap"]
+        assert gap and gap[0]["hung"] is True
+        died = [e for e in events if e["event"] == "worker-died"]
+        assert died and died[0]["hung"] is True
+
+    def test_resume_index_fast_path(self, src_file, tmp_path):
+        engine = self._engine(src_file, tmp_path, workers=2)
+        result = engine.run()
+        assert result.counts["ok"] == 2
+        ledger = engine.ledger
+        assert os.path.exists(ledger.index_path)
+        entries = [json.loads(line) for line in open(ledger.index_path)]
+        assert len(entries) == 2
+        assert all(e["fingerprint"] and e["run_id"] for e in entries)
+
+        # resume through the index: zero simulations
+        again = self._engine(src_file, tmp_path, workers=2,
+                             ledger=ledger,
+                             telemetry_path=str(tmp_path / "t2.jsonl"))
+        result2 = again.run()
+        assert result2.counts["cached"] == 2
+        assert result2.attempts_total == 0
+
+    def test_legacy_ledger_without_index_still_dedups(self, src_file,
+                                                      tmp_path):
+        engine = self._engine(src_file, tmp_path, workers=2)
+        engine.run()
+        ledger = engine.ledger
+        os.unlink(ledger.index_path)          # a pre-index ledger
+        assert ledger.load_index() is None    # full-scan fallback
+
+        again = self._engine(src_file, tmp_path, serial=True,
+                             ledger=Ledger(ledger.root),
+                             telemetry_path=str(tmp_path / "t2.jsonl"))
+        assert again.run().counts["cached"] == 2
+
+        # the next record backfills the whole index
+        count = ledger.rebuild_index()
+        assert count == 2
+        assert ledger.load_index() is not None
+
+
+class TestAggregation:
+    STREAM = [
+        {"schema": SCHEMA_CAMPAIGN_TELEMETRY, "kind": "campaign-start",
+         "campaign_id": "cafe12345678", "runs": 2},
+        {"schema": SCHEMA_TELEMETRY, "kind": "heartbeat", "label": "a",
+         "cycle": 0, "instructions": 0, "wall_seconds": 0.0,
+         "interval": {"cycles": 0, "ipc": 0.0}, "attempt": 1},
+        {"schema": SCHEMA_TELEMETRY, "kind": "frame", "label": "a",
+         "cycle": 100, "instructions": 80, "wall_seconds": 0.5,
+         "interval": {"cycles": 100, "ipc": 0.8}, "eta_seconds": 1.5,
+         "attempt": 1},
+        {"schema": SCHEMA_CAMPAIGN_TELEMETRY, "kind": "outcome",
+         "index": 0, "label": "a", "fingerprint": "f" * 16,
+         "status": "ok", "attempts": 1, "cycles": 200,
+         "instructions": 160, "wall_seconds": 1.0,
+         "overrides": {"dram_latency": 6}},
+        {"schema": SCHEMA_CAMPAIGN_TELEMETRY, "kind": "outcome",
+         "index": 1, "label": "b", "fingerprint": "e" * 16,
+         "status": "failed", "attempts": 3, "error_type": "XMTCError",
+         "overrides": {"dram_latency": 10}},
+        {"schema": SCHEMA_CAMPAIGN_TELEMETRY, "kind": "campaign-end",
+         "campaign_id": "cafe12345678",
+         "counts": {"ok": 1, "failed": 1}},
+    ]
+
+    def test_fold_stream_states(self):
+        summary = fold_stream(self.STREAM)
+        assert summary.campaign_id == "cafe12345678"
+        assert summary.finished is True
+        assert summary.rows["a"].state == "ok"
+        assert summary.rows["a"].cycle == 200
+        assert summary.rows["b"].state == "failed"
+        # incremental folding matches one-shot folding
+        partial = fold_stream(self.STREAM[:3])
+        assert partial.rows["a"].state == "running"
+        assert partial.rows["a"].cycle == 100
+        full = fold_stream(self.STREAM[3:], partial)
+        assert full.rows["a"].state == "ok"
+
+    def test_render_top_golden(self):
+        text = render_top(fold_stream(self.STREAM), "text")
+        assert text.splitlines() == [
+            "campaign cafe12345678: 2/2 runs seen",
+            "run  state   att  cycles  instr    ipc  wall_s  eta_s",
+            "a    ok        1     200    160  0.800    0.50     --",
+            "b    failed    3      --     --     --      --     --",
+            "-- failed: 1  ok: 1  [stream ended]",
+        ]
+        markdown = render_top(fold_stream(self.STREAM), "markdown")
+        assert markdown.splitlines()[0].startswith("| run | state |")
+        payload = json.loads(render_top(fold_stream(self.STREAM), "json"))
+        assert payload["schema"] == "xmt-top-report/1"
+        assert len(payload["rows"]) == 2
+
+    def test_campaign_report_golden(self):
+        attempts = [
+            {"event": "rescheduled", "backoff_s": 0.25},
+            {"event": "rescheduled", "backoff_s": 0.5},
+            {"event": "heartbeat-gap", "hung": True},
+        ]
+        report = aggregate_campaign(self.STREAM, attempts)
+        assert report["campaign_id"] == "cafe12345678"
+        assert report["counts"] == {"ok": 1, "failed": 1}
+        assert report["retry_histogram"] == {"1": 1, "3": 1}
+        assert report["backoff_histogram"] == {"0.25": 1, "0.5": 1}
+        assert report["heartbeat_gaps"] == 1
+        axis = report["axes"]["dram_latency"]
+        assert axis["dram_latency=6"]["cycles_p50"] == 200
+        text = render_campaign_report(report, "text")
+        assert "2 runs -- failed: 1  ok: 1" in text
+        assert "attempts histogram: 1x: 1  3x: 1" in text
+        assert "backoff histogram: 0.25s: 1  0.5s: 1" in text
+        payload = json.loads(render_campaign_report(report, "json"))
+        assert payload["schema"] == "xmt-campaign-report/1"
+
+    def test_results_plus_telemetry_never_double_counts(self):
+        results_line = dict(self.STREAM[3])
+        results_line["schema"] = "xmt-campaign-result/1"
+        results_line.pop("kind")
+        report = aggregate_campaign(self.STREAM + [results_line])
+        assert report["counts"] == {"ok": 1, "failed": 1}
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 50) is None
+        assert percentile([3], 95) == 3
+        assert percentile([1, 2, 3, 4], 50) == 2
+        assert percentile(list(range(1, 101)), 95) == 95
+
+
+class TestMonitorClis:
+    def _stream_file(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text("\n".join(
+            json.dumps(r) for r in TestAggregation.STREAM) + "\n")
+        return str(path)
+
+    def test_top_report(self, tmp_path, capsys):
+        assert xmt_top_main(["report", self._stream_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign cafe12345678" in out
+        assert "[stream ended]" in out
+
+    def test_top_report_json(self, tmp_path, capsys):
+        assert xmt_top_main(["report", self._stream_file(tmp_path),
+                             "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["finished"] is True
+
+    def test_top_report_missing_stream(self, tmp_path, capsys):
+        assert xmt_top_main(["report",
+                             str(tmp_path / "nope.jsonl")]) == 2
+        assert "xmt-top" in capsys.readouterr().err
+
+    def test_top_watch_follow_plain(self, tmp_path, capsys):
+        code = xmt_top_main(["watch", "--follow",
+                             self._stream_file(tmp_path),
+                             "--plain", "--interval", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[stream ended]" in out
+
+    def test_campaign_report_cli(self, tmp_path, capsys):
+        code = xmt_campaign_main(["report", "--telemetry",
+                                  self._stream_file(tmp_path)])
+        assert code == 0
+        assert "campaign report cafe12345678" in capsys.readouterr().out
+
+    def test_campaign_report_needs_input(self, capsys):
+        assert xmt_campaign_main(["report"]) == 2
+        assert "--results" in capsys.readouterr().err
+
+
+class TestDiagnosticsEmbedding:
+    def test_dump_embeds_last_frame(self):
+        from repro.sim.resilience.errors import SimulationBudgetExceeded
+
+        program = compile_source(SPAWN_SRC)
+        sim = Simulator(program, tiny(), observability=Observability())
+        sampler = TelemetrySampler(every_cycles=10,
+                                   sinks=[JsonlSink(io.StringIO())])
+        sampler.attach(sim.machine)
+        sampler.arm()
+        with pytest.raises(SimulationBudgetExceeded) as info:
+            sim.run(max_cycles=50)
+        dump = info.value.dump
+        assert dump is not None
+        assert dump.last_telemetry is not None
+        assert dump.last_telemetry["cycle"] <= 50
+        assert "last telemetry" in dump.summary()
+        assert "last telemetry frame" in dump.format()
