@@ -21,6 +21,7 @@ setup(
             "xmt-compare=repro.toolchain.cli:xmt_compare_main",
             "xmt-campaign=repro.toolchain.cli:xmt_campaign_main",
             "xmt-top=repro.toolchain.cli:xmt_top_main",
+            "xmt-explain=repro.toolchain.explain_cli:xmt_explain_main",
         ]
     }
 )

@@ -99,12 +99,16 @@ def _detach_unpicklables(machine: Machine):
     detached = (machine.trace, machine.obs, machine.activity_plugins,
                 machine.filter_plugins, machine.filter_hook,
                 sched.check_hook, sched._heap, sched._cancelled,
-                machine.decoded)
+                machine.decoded, machine.lifecycle)
     # the decode cache holds per-op handler closures (unpicklable) and
     # is pure derived state: rebuilt from the program on restore
     machine.decoded = None
     machine.trace = None
     machine.obs = None
+    # the flight recorder may hold an open JSONL stream; package ``rec``
+    # stamps are plain tuples and pickle fine, the restored machine just
+    # stops appending to them until a recorder re-attaches
+    machine.lifecycle = None
     machine.activity_plugins = []
     machine.filter_plugins = []
     machine.filter_hook = None
@@ -125,7 +129,7 @@ def _reattach(machine: Machine, detached) -> None:
     (machine.trace, machine.obs, machine.activity_plugins,
      machine.filter_plugins, machine.filter_hook,
      sched.check_hook, sched._heap, sched._cancelled,
-     machine.decoded) = detached
+     machine.decoded, machine.lifecycle) = detached
 
 
 def load_bytes(payload: bytes) -> Machine:

@@ -65,6 +65,9 @@ class DRAMPort:
                 self._seq += 1
                 ready = now + self.latency * self.domain.period
                 heapq.heappush(self._in_flight, (ready, self._seq, module, line))
+                lifecycle = self.machine.lifecycle
+                if lifecycle is not None:
+                    lifecycle.dram_accepted(self, module, line, now, ready)
             obs = self.machine.obs
             if obs is not None:
                 obs.dram_access(self, line, now, ready, writeback)

@@ -50,12 +50,16 @@ class Interconnect:
         now = machine.scheduler.now
         stats = machine.stats
         obs = machine.obs
+        lifecycle = machine.lifecycle
 
         # 1. deliver packages that finished the send traversal
         to_cache = self._to_cache
         while to_cache and to_cache[0][0] <= now:
             _, _, pkg = heapq.heappop(to_cache)
-            machine.cache_modules[pkg.module].in_queue.push(now, pkg)
+            in_queue = machine.cache_modules[pkg.module].in_queue
+            if lifecycle is not None:
+                lifecycle.cache_enqueued(pkg, now, len(in_queue))
+            in_queue.push(now, pkg)
             machine.cache_bank.activate(pkg.module)
             machine.note_progress()
 
@@ -80,6 +84,8 @@ class Interconnect:
                 stats.inc("icn.send")
                 arrival = self._arrival(now, pkg, "send")
                 heapq.heappush(to_cache, (arrival, pkg.seq, pkg))
+                if lifecycle is not None:
+                    lifecycle.icn_injected(pkg, now, len(to_cache))
                 if obs is not None:
                     obs.icn_sent(pkg, now, arrival)
 
@@ -94,6 +100,8 @@ class Interconnect:
                 stats.inc("icn.return")
                 arrival = self._arrival(now, pkg, "return")
                 heapq.heappush(to_cluster, (arrival, pkg.seq, pkg))
+                if lifecycle is not None:
+                    lifecycle.icn_returned(pkg, now, len(to_cluster))
                 if obs is not None:
                     obs.icn_returned(pkg, now, arrival)
         if obs is not None:

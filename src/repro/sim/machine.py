@@ -137,6 +137,11 @@ class Machine:
             self.global_regs[index] = value
         self.stats = Stats()
         self.output: List[str] = []
+        #: flight recorder (observability/lifecycle.py); None keeps the
+        #: per-hop stamp sites on their one-attribute-test fast path,
+        #: exactly like ``obs`` and ``filter_hook``.  Set by
+        #: ``FlightRecorder.attach`` (usually via ``Observability``).
+        self.lifecycle = None
         #: observability facade (span tracing / metrics / profiler); None
         #: keeps every instrumentation point on its no-op fast path.  A
         #: plain text Trace rides the same hook stream as a renderer.
@@ -279,6 +284,9 @@ class Machine:
 
     def deliver_response(self, now: int, pkg) -> None:
         """ICN return network hands a response to its destination."""
+        lifecycle = self.lifecycle
+        if lifecycle is not None:
+            lifecycle.replied(pkg, now)
         if pkg.tcu_id < 0:
             self.master.deliver(now, pkg)
             if self.obs is not None:

@@ -48,8 +48,13 @@ class MasterTCU(ProcessorBase):
         return True  # the Master owns private MDU/FPU units (Fig. 1)
 
     def _push_package(self, now: int, pkg: P.Package) -> bool:
-        if self.send_queue.push(now, pkg):
-            self.machine.icn_pending += 1
+        queue = self.send_queue
+        if queue.push(now, pkg):
+            machine = self.machine
+            machine.icn_pending += 1
+            lifecycle = machine.lifecycle
+            if lifecycle is not None:
+                lifecycle.send_enqueued(pkg, now, len(queue))
             return True
         return False
 

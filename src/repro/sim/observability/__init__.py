@@ -10,6 +10,14 @@ Five cooperating pieces:
   gauges and memory-latency histograms with a JSON export;
 - :mod:`~repro.sim.observability.profiler` -- per-instruction cycle and
   stall attribution folded into a per-XMTC-source-line hotspot report;
+- :mod:`~repro.sim.observability.lifecycle` -- the request flight
+  recorder (per-hop timestamps and queue depths for every memory
+  ``Package``, ``xmt-lifecycle/1``) and top-down cycle accounting
+  (every TCU cycle attributed to one stall category,
+  ``xmt-accounting/1``);
+- :mod:`~repro.sim.observability.explain` -- ``xmt-explain`` reports:
+  the top-down tree, hop latency distributions, contention hot spots,
+  and the two-run layer-attribution diff;
 - :mod:`~repro.sim.observability.ledger` -- versioned run manifests
   (``xmtsim-run/1``) bundled with metrics/profile exports in a
   content-addressed run ledger (``xmtsim --ledger``);
@@ -46,6 +54,14 @@ from repro.sim.observability.aggregate import (
 )
 from repro.sim.observability.core import Observability
 from repro.sim.observability.events import EventStream, SpanEvent
+from repro.sim.observability.explain import (
+    AccountingDelta,
+    build_explain,
+    diff_accounting,
+    explain_diff,
+    render_explain,
+    responsible_layer,
+)
 from repro.sim.observability.ledger import (
     Ledger,
     RunArtifacts,
@@ -55,6 +71,17 @@ from repro.sim.observability.ledger import (
     load_manifest,
     load_run,
     write_run_dir,
+)
+from repro.sim.observability.lifecycle import (
+    CycleAccountant,
+    FlightRecorder,
+    export_accounting,
+    hop_percentiles,
+    load_accounting,
+    load_lifecycle,
+    read_lifecycle_stream,
+    write_accounting,
+    write_lifecycle,
 )
 from repro.sim.observability.metrics import (
     Gauge,
@@ -117,4 +144,19 @@ __all__ = [
     "render_top",
     "aggregate_campaign",
     "render_campaign_report",
+    "FlightRecorder",
+    "CycleAccountant",
+    "export_accounting",
+    "write_accounting",
+    "load_accounting",
+    "write_lifecycle",
+    "load_lifecycle",
+    "read_lifecycle_stream",
+    "hop_percentiles",
+    "AccountingDelta",
+    "diff_accounting",
+    "responsible_layer",
+    "build_explain",
+    "explain_diff",
+    "render_explain",
 ]

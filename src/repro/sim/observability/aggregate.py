@@ -64,6 +64,9 @@ class TopRow:
     eta_seconds: Optional[float] = None
     worker_pid: Optional[int] = None
     frames: int = 0
+    #: layer with the worst queue-wait p95 in the latest frame's
+    #: flight-recorder ``hops`` summary (live pile-up indicator)
+    hot_layer: Optional[str] = None
 
 
 @dataclass
@@ -111,6 +114,12 @@ def fold_stream(records: Sequence[Dict[str, Any]],
             row.eta_seconds = record.get("eta_seconds")
             row.attempt = record.get("attempt") or row.attempt
             row.worker_pid = record.get("worker_pid") or row.worker_pid
+            hops = record.get("hops")
+            if hops:
+                worst = max(hops.items(),
+                            key=lambda kv: kv[1].get("p95") or 0)
+                row.hot_layer = (worst[0] if (worst[1].get("p95") or 0) > 0
+                                 else None)
             kind = record.get("kind")
             if kind == "final":
                 row.state = "done"
@@ -160,14 +169,14 @@ def _fmt(value, digits: int = 2) -> str:
 
 
 _TOP_COLUMNS = ("run", "state", "att", "cycles", "instr", "ipc",
-                "wall_s", "eta_s")
+                "wall_s", "eta_s", "hot")
 
 
 def _top_cells(row: TopRow) -> List[str]:
     return [row.key, row.state, str(row.attempt or "--"),
             _fmt(row.cycle), _fmt(row.instructions),
             _fmt(row.ipc, 3), _fmt(row.wall_seconds, 2),
-            _fmt(row.eta_seconds, 1)]
+            _fmt(row.eta_seconds, 1), row.hot_layer or "--"]
 
 
 def render_top(summary: TopSummary, fmt: str = "text") -> str:

@@ -11,7 +11,10 @@ produces a :class:`RunComparison` with three delta layers:
 - **per-XMTC-line profile deltas** from the ``xmt-prof/1`` payloads:
   every source line classified ``regressed`` / ``improved`` / ``new``
   / ``vanished`` and ranked by attributed-cycle delta;
-- **spawn-region rollup deltas** (total cycles per spawn site).
+- **spawn-region rollup deltas** (total cycles per spawn site);
+- **layer attribution** from the ``xmt-accounting/1`` payloads (when
+  both runs recorded top-down accounting): per-category cycle deltas
+  and the memory layer named responsible for a cycle regression.
 
 Renderers emit text (terminal), Markdown (PRs, EXPERIMENTS.md) and
 JSON (tooling).  :func:`check_regressions` implements the CI gate
@@ -28,6 +31,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.sim.observability.explain import (AccountingDelta,
+                                             diff_accounting,
+                                             responsible_layer)
 from repro.sim.observability.ledger import SCHEMA_RUN, RunRecord
 
 SCHEMA_METRICS = "xmtsim-metrics/1"
@@ -232,6 +238,7 @@ class RunComparison:
     metric_deltas: List[MetricDelta] = field(default_factory=list)
     line_deltas: List[LineDelta] = field(default_factory=list)
     spawn_deltas: List[SpawnDelta] = field(default_factory=list)
+    accounting_deltas: List[AccountingDelta] = field(default_factory=list)
 
     @property
     def cycles_a(self) -> int:
@@ -244,6 +251,13 @@ class RunComparison:
     @property
     def cycles_rel(self) -> Optional[float]:
         return _rel(self.cycles_a, self.cycles_b)
+
+    def responsible(self) -> Optional[Dict[str, Any]]:
+        """The top-down category a cycle regression is charged to, or
+        ``None`` when accounting is absent or nothing grew."""
+        if not self.accounting_deltas:
+            return None
+        return responsible_layer(self.accounting_deltas)
 
     def config_changes(self) -> List[Tuple[str, Any, Any]]:
         """Config fields that differ between the two manifests."""
@@ -271,6 +285,9 @@ class RunComparison:
             "metric_deltas": [d.to_dict() for d in self.metric_deltas],
             "line_deltas": [d.to_dict() for d in self.line_deltas],
             "spawn_deltas": [d.to_dict() for d in self.spawn_deltas],
+            "accounting_deltas": [d.to_dict()
+                                  for d in self.accounting_deltas],
+            "responsible": self.responsible(),
         }
 
     # -- renderers -----------------------------------------------------------
@@ -326,6 +343,22 @@ class RunComparison:
             for d in self.spawn_deltas[:top]:
                 out.append(f"  line {d.src_line}: {d.cycles_a} -> "
                            f"{d.cycles_b} ({d.delta:+d})")
+        if self.accounting_deltas:
+            out.append("")
+            out.append("layer attribution (top-down cycles by category):")
+            out.append(f"  {'category':<24} {'A':>12} {'B':>12} "
+                       f"{'delta':>12}")
+            for d in self.accounting_deltas[:top]:
+                if not d.delta:
+                    continue
+                out.append(f"  {d.category:<24} {d.cycles_a:>12} "
+                           f"{d.cycles_b:>12} {d.delta:>+12}")
+            responsible = self.responsible()
+            if responsible:
+                out.append(f"  layer responsible: "
+                           f"{responsible['category']} "
+                           f"({responsible['delta']:+d} cycles, "
+                           f"{responsible['share']:.1f}% of the growth)")
         return "\n".join(out)
 
     def _render_markdown(self, top: int) -> str:
@@ -350,6 +383,19 @@ class RunComparison:
             out += [f"| {d.line} | {d.status} | {d.cycles_a} | "
                     f"{d.cycles_b} | {d.delta:+d} |"
                     for d in self.line_deltas[:top]]
+            out.append("")
+        if self.accounting_deltas:
+            out += ["| category | A cycles | B cycles | delta |",
+                    "|---|---|---|---|"]
+            out += [f"| `{d.category}` | {d.cycles_a} | {d.cycles_b} | "
+                    f"{d.delta:+d} |"
+                    for d in self.accounting_deltas[:top] if d.delta]
+            responsible = self.responsible()
+            if responsible:
+                out += ["", f"layer responsible: "
+                            f"`{responsible['category']}` "
+                            f"({responsible['delta']:+d} cycles, "
+                            f"{responsible['share']:.1f}% of the growth)"]
         return "\n".join(out)
 
 
@@ -400,6 +446,9 @@ def compare_runs(a: RunRecord, b: RunRecord,
     if profile_a is not None and profile_b is not None:
         comparison.line_deltas = diff_profiles(profile_a, profile_b,
                                                threshold)
+    acct_a, acct_b = a.accounting(), b.accounting()
+    if acct_a is not None and acct_b is not None:
+        comparison.accounting_deltas = diff_accounting(acct_a, acct_b)
     return comparison
 
 

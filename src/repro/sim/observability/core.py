@@ -30,10 +30,18 @@ class Observability:
 
     def __init__(self, events: Optional[EventStream] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 profiler: Optional[CycleProfiler] = None):
+                 profiler: Optional[CycleProfiler] = None,
+                 accounting=None, lifecycle=None):
         self.events = events
         self.metrics = metrics
         self.profiler = profiler
+        #: :class:`~repro.sim.observability.lifecycle.CycleAccountant`
+        #: fed by the issue/stall hooks below
+        self.accounting = accounting
+        #: :class:`~repro.sim.observability.lifecycle.FlightRecorder`;
+        #: ``attach`` publishes it as ``machine.lifecycle`` so component
+        #: hook sites pay one attribute test, same as ``machine.obs``
+        self.lifecycle = lifecycle
         self.traces: List = []  # text renderers (Trace instances)
         #: the live :class:`~repro.sim.observability.telemetry.
         #: TelemetrySampler`, when one is armed (set by its ``attach``)
@@ -47,6 +55,10 @@ class Observability:
         """Bind to a machine (called from ``Machine.__init__``)."""
         self.machine = machine
         self._period = machine.config.cluster_period
+        if self.lifecycle is not None:
+            self.lifecycle.attach(machine)
+        if self.accounting is not None:
+            self.accounting.attach(machine)
 
     def attach_trace(self, trace) -> None:
         self.traces.append(trace)
@@ -58,6 +70,9 @@ class Observability:
         profiler = self.profiler
         if profiler is not None:
             profiler.on_issue(ins.index)
+        accounting = self.accounting
+        if accounting is not None:
+            accounting.on_issue(proc)
         for trace in self.traces:
             trace.on_issue(proc, ins)
         events = self.events
@@ -74,6 +89,9 @@ class Observability:
         profiler = self.profiler
         if profiler is not None:
             profiler.on_stall(proc.core.pc, cause)
+        accounting = self.accounting
+        if accounting is not None:
+            accounting.on_stall(proc, cause)
 
     # -- package life cycle (TCU issue -> ICN -> cache -> DRAM -> reply) -----
 

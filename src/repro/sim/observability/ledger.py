@@ -208,6 +208,8 @@ class RunRecord:
     #: in-memory payloads (set for fresh runs not yet on disk)
     _metrics: Optional[Dict[str, Any]] = field(default=None, repr=False)
     _profile: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    _accounting: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    _lifecycle: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     @property
     def cycles(self) -> int:
@@ -244,6 +246,42 @@ class RunRecord:
                 self._profile = load_profile(p)
         return self._profile
 
+    def accounting(self) -> Optional[Dict[str, Any]]:
+        """The run's ``xmt-accounting/1`` payload, if recorded."""
+        if self._accounting is not None:
+            return self._accounting
+        if self.path is not None:
+            from repro.sim.observability.lifecycle import load_accounting
+
+            p = os.path.join(self.path, "accounting.json")
+            if os.path.exists(p):
+                self._accounting = load_accounting(p)
+        return self._accounting
+
+    def lifecycle(self) -> Optional[Dict[str, Any]]:
+        """The run's ``xmt-lifecycle/1`` summary, if recorded."""
+        if self._lifecycle is not None:
+            return self._lifecycle
+        if self.path is not None:
+            from repro.sim.observability.lifecycle import load_lifecycle
+
+            p = os.path.join(self.path, "lifecycle.json")
+            if os.path.exists(p):
+                self._lifecycle = load_lifecycle(p)
+        return self._lifecycle
+
+    def artifact(self, name: str) -> Optional[Dict[str, Any]]:
+        """Any extra JSON artifact in the run directory (``power``,
+        ...); extras never enter the manifest, so they cannot perturb
+        the run id."""
+        if self.path is None:
+            return None
+        p = os.path.join(self.path, f"{name}.json")
+        if not os.path.exists(p):
+            return None
+        with open(p) as fh:
+            return json.load(fh)
+
 
 def load_run(path: str) -> RunRecord:
     """Load a run record from a run directory or a manifest.json path.
@@ -265,12 +303,18 @@ def load_run(path: str) -> RunRecord:
 
 def write_run_dir(run_dir: str, manifest: Dict[str, Any],
                   metrics: Optional[Dict[str, Any]] = None,
-                  profile: Optional[Dict[str, Any]] = None) -> RunRecord:
+                  profile: Optional[Dict[str, Any]] = None,
+                  accounting: Optional[Dict[str, Any]] = None,
+                  extras: Optional[Dict[str, Dict[str, Any]]] = None
+                  ) -> RunRecord:
     """Write one run-record directory (manifest + optional payloads).
 
     The primitive under :meth:`Ledger.record`; also used directly by
     ``xmt-compare check --update-baseline`` to refresh a committed
-    baseline directory in place.
+    baseline directory in place.  ``extras`` maps artifact names to
+    payloads written as ``<name>.json`` next to the manifest (e.g.
+    ``lifecycle``, ``power``); none of the optional payloads enter the
+    manifest, so they are non-identity by construction.
     """
     run_id = manifest.get("run_id") or manifest_run_id(manifest)
     manifest = dict(manifest, run_id=run_id)
@@ -280,12 +324,18 @@ def write_run_dir(run_dir: str, manifest: Dict[str, Any],
         payloads.append(("metrics.json", metrics))
     if profile is not None:
         payloads.append(("profile.json", profile))
+    if accounting is not None:
+        payloads.append(("accounting.json", accounting))
+    for name, payload in (extras or {}).items():
+        payloads.append((f"{name}.json", payload))
     for name, payload in payloads:
         with open(os.path.join(run_dir, name), "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
     return RunRecord(run_id=run_id, manifest=manifest, path=run_dir,
-                     _metrics=metrics, _profile=profile)
+                     _metrics=metrics, _profile=profile,
+                     _accounting=accounting,
+                     _lifecycle=(extras or {}).get("lifecycle"))
 
 
 class Ledger:
@@ -324,13 +374,16 @@ class Ledger:
 
     def record(self, manifest: Dict[str, Any],
                metrics: Optional[Dict[str, Any]] = None,
-               profile: Optional[Dict[str, Any]] = None) -> RunRecord:
+               profile: Optional[Dict[str, Any]] = None,
+               accounting: Optional[Dict[str, Any]] = None,
+               extras: Optional[Dict[str, Dict[str, Any]]] = None
+               ) -> RunRecord:
         """Persist one run; returns its record.  Idempotent: recording
         a bit-identical run rewrites the same directory."""
         run_id = manifest.get("run_id") or manifest_run_id(manifest)
         record = write_run_dir(self._run_dir(run_id),
                                dict(manifest, run_id=run_id),
-                               metrics, profile)
+                               metrics, profile, accounting, extras)
         self._index_add(record.manifest)
         return record
 
@@ -404,7 +457,8 @@ class Ledger:
 
     def record_artifacts(self, artifacts: "RunArtifacts") -> RunRecord:
         return self.record(artifacts.manifest, artifacts.metrics,
-                           artifacts.profile)
+                           artifacts.profile, artifacts.accounting,
+                           artifacts.extras or None)
 
     # -- reading -------------------------------------------------------------
 
@@ -457,11 +511,46 @@ class RunArtifacts:
     metrics: Dict[str, Any]
     profile: Dict[str, Any]
     result: Any  # CycleResult
+    #: ``xmt-accounting/1`` payload when cycle accounting was enabled
+    accounting: Optional[Dict[str, Any]] = None
+    #: extra artifacts recorded as ``<name>.json`` (``lifecycle``,
+    #: ``power``, ...); never part of the manifest / run identity
+    extras: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def as_record(self) -> RunRecord:
         return RunRecord(run_id=self.manifest["run_id"],
                          manifest=self.manifest,
-                         _metrics=self.metrics, _profile=self.profile)
+                         _metrics=self.metrics, _profile=self.profile,
+                         _accounting=self.accounting,
+                         _lifecycle=self.extras.get("lifecycle"))
+
+
+SCHEMA_POWER = "xmt-power/1"
+
+
+def power_profile_payload(plugin) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.power.dtm.PowerThermalPlugin`'s
+    activity/power history as a ledger artifact (``xmt-power/1``).
+
+    Recorded via ``instrumented_run(power=...)`` so power phases line up
+    with cycle-accounting phases through the shared ``run_id``.
+    """
+    history = [{"time_ps": t, "power_w": round(p, 4),
+                "max_temp_c": round(temp, 3), "scale": s}
+               for t, p, temp, s in plugin.history]
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA_POWER,
+        "interval_cycles": getattr(plugin, "interval_cycles",
+                                   getattr(plugin, "interval", None)),
+        "samples": len(history),
+        "history": history,
+        "peak_temperature": round(plugin.peak_temperature(), 3),
+        "throttled_fraction": round(plugin.throttled_fraction(), 4),
+    }
+    if plugin.power_maps:
+        payload["final_power_map"] = {
+            k: round(v, 4) for k, v in plugin.power_maps[-1].items()}
+    return payload
 
 
 def instrumented_run(program, config, *, source: Optional[str] = None,
@@ -473,7 +562,8 @@ def instrumented_run(program, config, *, source: Optional[str] = None,
                      max_events: Optional[int] = None,
                      inputs: Optional[Dict[str, Any]] = None,
                      extra: Optional[Dict[str, Any]] = None,
-                     telemetry=None) -> RunArtifacts:
+                     telemetry=None, accounting: bool = False,
+                     recorder=None, power=None) -> RunArtifacts:
     """Run ``program`` under ``config`` with metrics + profiler attached
     and fold the outcome into ledger-ready artifacts.
 
@@ -487,16 +577,33 @@ def instrumented_run(program, config, *, source: Optional[str] = None,
     armed on the machine for the duration of the run and emits its
     final frame even when the run dies on a budget -- the caller owns
     (and closes) its sinks.
+
+    ``accounting=True`` arms a
+    :class:`~repro.sim.observability.lifecycle.CycleAccountant` (and a
+    default :class:`~repro.sim.observability.lifecycle.FlightRecorder`,
+    so memory stalls split by layer) and fills
+    :attr:`RunArtifacts.accounting`/``extras["lifecycle"]``.  Pass
+    ``recorder`` to control sampling, or alone for lifecycles without
+    accounting.  ``power`` takes a
+    :class:`~repro.power.dtm.PowerThermalPlugin`; its profile is
+    recorded as the non-identity ``power`` artifact.
     """
     from repro.sim.machine import Simulator
     from repro.sim.observability.core import Observability
+    from repro.sim.observability.lifecycle import (
+        CycleAccountant, FlightRecorder, export_accounting)
     from repro.sim.observability.metrics import MetricsRegistry, \
         export_metrics
     from repro.sim.observability.profiler import CycleProfiler
 
+    accountant = CycleAccountant() if accounting else None
+    if accounting and recorder is None:
+        recorder = FlightRecorder()
     obs = Observability(metrics=MetricsRegistry(),
-                        profiler=CycleProfiler(program, source=source))
-    sim = Simulator(program, config, observability=obs)
+                        profiler=CycleProfiler(program, source=source),
+                        accounting=accountant, lifecycle=recorder)
+    sim = Simulator(program, config, observability=obs,
+                    plugins=(power,) if power is not None else ())
     if telemetry is not None:
         if telemetry.eta_cycles is None:
             telemetry.eta_cycles = max_cycles
@@ -515,7 +622,16 @@ def instrumented_run(program, config, *, source: Optional[str] = None,
         instructions=result.instructions, wall_seconds=wall,
         source=source, program_path=program_path, seed=seed, label=label,
         inputs=inputs, extra=extra)
+    extras: Dict[str, Dict[str, Any]] = {}
+    if recorder is not None:
+        extras["lifecycle"] = recorder.to_data()
+    if power is not None:
+        extras["power"] = power_profile_payload(power)
     return RunArtifacts(manifest=manifest,
                         metrics=export_metrics(sim.machine),
                         profile=obs.profiler.to_data(),
-                        result=result)
+                        result=result,
+                        accounting=(export_accounting(
+                            sim.machine, accountant, cycles=result.cycles)
+                            if accountant is not None else None),
+                        extras=extras)

@@ -1,0 +1,592 @@
+"""Request-lifecycle flight recorder and top-down cycle accounting.
+
+Two cooperating pieces answer the question every architectural study
+starts with -- *where does a memory request spend its time, and what is
+each TCU cycle stalled on?*
+
+**Flight recorder** (:class:`FlightRecorder`): every memory
+:class:`~repro.sim.packages.Package` gains a lifecycle record (the
+``rec`` slot) stamped with ``(stage, time_ps, queue_depth_at_arrival)``
+at each port boundary it crosses -- TCU send queue, ICN injection,
+cache-module input queue, the hit/miss/MSHR decision, DRAM accept and
+fill, the response queue and the return network.  When the reply
+reaches its TCU the record is decomposed into per-hop *queue-wait vs
+service vs transit* cycles that telescope exactly to the end-to-end
+latency.  Aggregates are bounded (per-hop histograms, per-module wait
+totals, a deterministic reservoir of complete lifecycles) and each
+completed lifecycle can be streamed to JSONL like traces.  The hook
+sites test one machine attribute (``machine.lifecycle is None``) so the
+recorder-off cost matches the rest of the observability stack: one
+attribute test and nothing else.
+
+**Cycle accounting** (:class:`CycleAccountant`): attributes every
+processor cycle to a stall taxonomy --
+
+- ``retiring``        -- the issue slot retired an instruction
+- ``frontend``        -- multi-cycle latency / fast-forward bubbles
+- ``scoreboard_raw``  -- RAW on an in-core result (no memory in flight)
+- ``fu_busy``         -- shared FU arbitration loss
+- ``mem.<layer>``     -- stalled on memory, split by the layer the
+  *oldest outstanding request* is currently in (cluster / icn / cache /
+  dram / return, from the flight recorder; ``unknown`` without one)
+- ``sync_join.*``     -- drain before join (observed), parked TCUs and
+  the master's wait-at-join (derived at export)
+
+Every ticking processor attributes exactly one cycle per cycle, so the
+exported tree is exhaustive and exclusive: attributed + derived idle
+sums to ``elapsed_cycles x n_processors`` exactly (the ``exact`` flag
+guards this; cross-domain DVFS retiming clears it).
+
+Exports are versioned: ``xmt-lifecycle/1`` and ``xmt-accounting/1``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+from repro.sim.observability.metrics import Histogram, histogram_percentile
+
+SCHEMA_LIFECYCLE = "xmt-lifecycle/1"
+SCHEMA_ACCOUNTING = "xmt-accounting/1"
+
+# -- lifecycle stage codes (stamped into Package.rec) ------------------------
+
+ST_SQ = 0          # enqueued in the cluster/master ICN send port
+ST_ICN_SEND = 1    # injected into the send interconnect
+ST_CACHE_Q = 2     # arrived in a cache module's input queue
+ST_CACHE_HIT = 3   # dequeued: hit
+ST_CACHE_MISS = 4  # dequeued: miss (owns the DRAM transaction)
+ST_CACHE_MSHR = 5  # dequeued: merged into an in-flight miss
+ST_DRAM_ACC = 6    # the miss transaction was accepted by its DRAM port
+ST_FILL = 7        # DRAM fill released the waiters
+ST_OUT_Q = 8       # response entered the module's output queue
+ST_ICN_RET = 9     # drained into the return interconnect
+
+STAGE_NAMES = {
+    ST_SQ: "sq", ST_ICN_SEND: "icn_send", ST_CACHE_Q: "cache_q",
+    ST_CACHE_HIT: "hit", ST_CACHE_MISS: "miss", ST_CACHE_MSHR: "mshr",
+    ST_DRAM_ACC: "dram_acc", ST_FILL: "fill", ST_OUT_Q: "out_q",
+    ST_ICN_RET: "icn_ret",
+}
+
+#: memory layer a request is "in" after clearing each stage -- what a
+#: TCU stalled on that request is actually waiting for
+_LAYER_OF = {
+    ST_SQ: "cluster", ST_ICN_SEND: "icn",
+    ST_CACHE_Q: "cache", ST_CACHE_HIT: "cache",
+    ST_CACHE_MISS: "dram", ST_CACHE_MSHR: "dram", ST_DRAM_ACC: "dram",
+    ST_FILL: "cache", ST_OUT_Q: "return", ST_ICN_RET: "return",
+}
+
+LAYERS = ("cluster", "icn", "cache", "dram", "return")
+
+#: hop name -> layer whose queue/port that time was spent in
+HOP_LAYER = {
+    "issue_wait": "cluster", "sq_wait": "cluster", "icn_send": "icn",
+    "cache_wait": "cache", "cache_service": "cache",
+    "dram_wait": "dram", "dram_service": "dram", "mshr_wait": "dram",
+    "ret_wait": "return", "icn_return": "return",
+}
+
+_OUTCOME_STAGE = {"hit": ST_CACHE_HIT, "miss": ST_CACHE_MISS,
+                  "mshr": ST_CACHE_MSHR}
+
+
+class FlightRecorder:
+    """Per-hop lifecycle tracking for memory packages.
+
+    Bounded-memory by construction: per-hop :class:`Histogram`
+    aggregates, capped per-layer interval buffers (telemetry p50/p95),
+    per-module/per-port wait totals, and a ``capacity``-sized
+    deterministic reservoir of complete lifecycles (LCG replacement, so
+    runs are reproducible).  ``sample_every`` thins which completions
+    are eligible for the reservoir/stream without affecting aggregates.
+    """
+
+    def __init__(self, capacity: int = 256, sample_every: int = 1,
+                 stream: Optional[IO[str]] = None,
+                 interval_cap: int = 2048):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.machine = None
+        self._period = 1
+        self._stream = stream
+        self._owns_stream = False
+        # aggregates (bounded)
+        self.hops: Dict[str, Histogram] = {}
+        self.module_wait: Dict[int, List[int]] = {}   # module -> [count, cyc]
+        self.port_wait: Dict[int, List[int]] = {}     # cluster -> [count, cyc]
+        self.completed = 0
+        self.sampled = 0
+        self.dropped = 0          # records missing their initial stage
+        self.reservoir: List[Dict[str, Any]] = []
+        self._rng = 0x2545F491
+        # transient in-flight state (bounded by outstanding requests)
+        self._outstanding: Dict[int, List[list]] = {}
+        self._dram_inflight: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._interval: Dict[str, List[int]] = {l: [] for l in LAYERS}
+        self._interval_cap = interval_cap
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        """Bind to a machine: sets ``machine.lifecycle``, the attribute
+        the component hook sites test.  In-flight tracking is reset (a
+        checkpoint-restored machine carries fresh package copies whose
+        old records we can no longer chase); aggregates survive."""
+        self.machine = machine
+        self._period = machine.config.cluster_period
+        self._outstanding.clear()
+        self._dram_inflight.clear()
+        machine.lifecycle = self
+
+    def detach(self) -> None:
+        if self.machine is not None:
+            self.machine.lifecycle = None
+            self.machine = None
+
+    def stream_to(self, path: str) -> None:
+        """Stream every sampled lifecycle to ``path`` as JSONL."""
+        self._stream = open(path, "w")
+        self._owns_stream = True
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
+                self._stream = None
+
+    # -- component hook sites (hot; every call is behind a
+    # ``machine.lifecycle is not None`` test in the component) ---------------
+
+    def send_enqueued(self, pkg, now: int, depth: int) -> None:
+        """The TCU/master pushed ``pkg`` into its ICN send port."""
+        rec = [(ST_SQ, now, depth)]
+        pkg.rec = rec
+        lst = self._outstanding.get(pkg.tcu_id)
+        if lst is None:
+            lst = self._outstanding[pkg.tcu_id] = []
+        lst.append(rec)
+
+    def icn_injected(self, pkg, now: int, depth: int) -> None:
+        rec = pkg.rec
+        if rec is not None:
+            rec.append((ST_ICN_SEND, now, depth))
+
+    def cache_enqueued(self, pkg, now: int, depth: int) -> None:
+        rec = pkg.rec
+        if rec is not None:
+            rec.append((ST_CACHE_Q, now, depth))
+
+    def cache_dequeued(self, module, pkg, now: int, outcome: str) -> None:
+        rec = pkg.rec
+        if rec is not None:
+            rec.append((_OUTCOME_STAGE[outcome], now, len(module.in_queue)))
+
+    def dram_accepted(self, port, module, line: int, now: int,
+                      ready: int) -> None:
+        self._dram_inflight[(module.module_id, line)] = (now, len(port.queue))
+
+    def dram_filled(self, module, line: int, now: int, waiters) -> None:
+        info = self._dram_inflight.pop((module.module_id, line), None)
+        n = len(waiters)
+        for pkg in waiters:
+            rec = pkg.rec
+            if rec is None:
+                continue
+            if info is not None and rec[-1][0] == ST_CACHE_MISS:
+                # only the transaction owner waited for the DRAM accept;
+                # MSHR-merged packages arrived later and would read a
+                # negative wait out of the owner's accept timestamp
+                rec.append((ST_DRAM_ACC, info[0], info[1]))
+            rec.append((ST_FILL, now, n))
+
+    def response_enqueued(self, pkg, now: int, depth: int) -> None:
+        rec = pkg.rec
+        if rec is not None:
+            rec.append((ST_OUT_Q, now, depth))
+
+    def icn_returned(self, pkg, now: int, depth: int) -> None:
+        rec = pkg.rec
+        if rec is not None:
+            rec.append((ST_ICN_RET, now, depth))
+
+    def replied(self, pkg, now: int) -> None:
+        """The response reached its TCU: decompose and retire the
+        record.  Tolerates partial records (recorder attached mid-run,
+        checkpoint restores): missing boundaries drop the affected hop,
+        never raise."""
+        rec = pkg.rec
+        if rec is None:
+            return
+        pkg.rec = None
+        lst = self._outstanding.get(pkg.tcu_id)
+        if lst:
+            for i, r in enumerate(lst):
+                if r is rec:
+                    del lst[i]
+                    break
+        stages: Dict[int, Tuple[int, int]] = {}
+        for stage, t, depth in rec:
+            stages[stage] = (t, depth)
+        sq = stages.get(ST_SQ)
+        if sq is None:
+            self.dropped += 1
+            return
+        period = self._period
+        # hop boundaries in whole cycles: differences of floored cycle
+        # numbers telescope exactly to the end-to-end latency
+        cyc = {s: tv[0] // period for s, tv in stages.items()}
+        issue_c = pkg.issue_time // period
+        reply_c = now // period
+        cdeq = (ST_CACHE_HIT if ST_CACHE_HIT in cyc else
+                ST_CACHE_MISS if ST_CACHE_MISS in cyc else
+                ST_CACHE_MSHR if ST_CACHE_MSHR in cyc else None)
+        outcome = STAGE_NAMES[cdeq] if cdeq is not None else "?"
+        hops: Dict[str, int] = {"issue_wait": cyc[ST_SQ] - issue_c}
+        if ST_ICN_SEND in cyc:
+            hops["sq_wait"] = cyc[ST_ICN_SEND] - cyc[ST_SQ]
+        if ST_CACHE_Q in cyc and ST_ICN_SEND in cyc:
+            hops["icn_send"] = cyc[ST_CACHE_Q] - cyc[ST_ICN_SEND]
+        if cdeq is not None and ST_CACHE_Q in cyc:
+            hops["cache_wait"] = cyc[cdeq] - cyc[ST_CACHE_Q]
+        if ST_DRAM_ACC in cyc and cdeq == ST_CACHE_MISS:
+            hops["dram_wait"] = cyc[ST_DRAM_ACC] - cyc[cdeq]
+            if ST_FILL in cyc:
+                hops["dram_service"] = cyc[ST_FILL] - cyc[ST_DRAM_ACC]
+        elif cdeq == ST_CACHE_MSHR and ST_FILL in cyc:
+            hops["mshr_wait"] = cyc[ST_FILL] - cyc[cdeq]
+        if ST_OUT_Q in cyc:
+            served_from = cyc.get(ST_FILL, cyc.get(cdeq, cyc[ST_SQ]))
+            hops["cache_service"] = cyc[ST_OUT_Q] - served_from
+            if ST_ICN_RET in cyc:
+                hops["ret_wait"] = cyc[ST_ICN_RET] - cyc[ST_OUT_Q]
+                hops["icn_return"] = reply_c - cyc[ST_ICN_RET]
+        total = reply_c - issue_c
+        hop_hists = self.hops
+        for name, v in hops.items():
+            h = hop_hists.get(name)
+            if h is None:
+                h = hop_hists[name] = Histogram()
+            h.observe(v)
+        h = hop_hists.get("total")
+        if h is None:
+            h = hop_hists["total"] = Histogram()
+        h.observe(total)
+        # contention totals: which cache module / ICN send port soaked
+        # up the waiting
+        if pkg.module >= 0 and "cache_wait" in hops:
+            cell = self.module_wait.get(pkg.module)
+            if cell is None:
+                cell = self.module_wait[pkg.module] = [0, 0]
+            cell[0] += 1
+            cell[1] += hops["cache_wait"] + hops.get("dram_wait", 0)
+        if "sq_wait" in hops:
+            port = pkg.cluster_id if pkg.tcu_id >= 0 else -1
+            cell = self.port_wait.get(port)
+            if cell is None:
+                cell = self.port_wait[port] = [0, 0]
+            cell[0] += 1
+            cell[1] += hops["sq_wait"]
+        # per-layer queue-wait buffers for the live telemetry interval
+        interval = self._interval
+        cap = self._interval_cap
+        for name, layer in (("sq_wait", "cluster"), ("icn_send", "icn"),
+                            ("cache_wait", "cache"),
+                            ("ret_wait", "return")):
+            v = hops.get(name)
+            if v is not None and len(interval[layer]) < cap:
+                interval[layer].append(v)
+        v = hops.get("dram_wait", hops.get("mshr_wait"))
+        if v is not None and len(interval["dram"]) < cap:
+            interval["dram"].append(v)
+        self.completed += 1
+        if self.completed % self.sample_every:
+            return
+        self.sampled += 1
+        sample = {
+            "seq": pkg.seq, "kind": pkg.kind, "tcu": pkg.tcu_id,
+            "addr": pkg.addr, "module": pkg.module, "outcome": outcome,
+            "issue_cycle": issue_c, "reply_cycle": reply_c,
+            "latency": total, "hops": hops,
+            "depths": {STAGE_NAMES[s]: tv[1] for s, tv in stages.items()},
+        }
+        if len(self.reservoir) < self.capacity:
+            self.reservoir.append(sample)
+        else:
+            self._rng = (self._rng * 1103515245 + 12345) & 0x7FFFFFFF
+            j = self._rng % self.sampled
+            if j < self.capacity:
+                self.reservoir[j] = sample
+        stream = self._stream
+        if stream is not None:
+            sample = dict(sample)
+            sample["schema"] = SCHEMA_LIFECYCLE
+            json.dump(sample, stream, separators=(",", ":"))
+            stream.write("\n")
+
+    # -- queries -------------------------------------------------------------
+
+    def current_layer(self, tcu_id: int) -> str:
+        """The layer the *oldest* outstanding request of ``tcu_id`` is
+        currently in -- what a memory-stalled TCU is actually waiting
+        for."""
+        lst = self._outstanding.get(tcu_id)
+        if not lst:
+            return "unknown"
+        return _LAYER_OF.get(lst[0][-1][0], "unknown")
+
+    def outstanding_count(self, tcu_id: int) -> int:
+        lst = self._outstanding.get(tcu_id)
+        return len(lst) if lst else 0
+
+    def interval_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-layer queue-wait p50/p95 since the last call (telemetry
+        frames embed this; the buffers reset every interval)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for layer in LAYERS:
+            vals = self._interval[layer]
+            if not vals:
+                continue
+            vals.sort()
+            n = len(vals)
+            out[layer] = {"p50": vals[n // 2],
+                          "p95": vals[min(n - 1, (n * 95) // 100)],
+                          "count": n}
+            self._interval[layer] = []
+        return out
+
+    # -- export --------------------------------------------------------------
+
+    def _hot(self, table: Dict[int, List[int]], key: str,
+             top: int = 8) -> List[Dict[str, Any]]:
+        rows = sorted(table.items(), key=lambda kv: -kv[1][1])[:top]
+        return [{key: k, "requests": c, "wait_cycles": w,
+                 "mean_wait": round(w / c, 2) if c else 0.0}
+                for k, (c, w) in rows]
+
+    def to_data(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_LIFECYCLE,
+            "completed": self.completed,
+            "sampled": self.sampled,
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "sample_every": self.sample_every,
+            "hops": {name: h.to_dict()
+                     for name, h in sorted(self.hops.items())},
+            "hot_modules": self._hot(self.module_wait, "module"),
+            "hot_ports": self._hot(self.port_wait, "cluster"),
+            "samples": list(self.reservoir),
+        }
+
+
+def write_lifecycle(recorder: FlightRecorder, fh: IO[str]) -> None:
+    json.dump(recorder.to_data(), fh, indent=2, sort_keys=True)
+    fh.write("\n")
+
+
+def load_lifecycle(path: str) -> Dict[str, Any]:
+    """Load a lifecycle summary export, checking its schema version."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA_LIFECYCLE:
+        got = data.get("schema") if isinstance(data, dict) else type(data)
+        raise ValueError(f"{path}: not a lifecycle export (schema={got!r})")
+    return data
+
+
+def read_lifecycle_stream(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL lifecycle stream, tolerating a torn tail (the
+    simulator may have been killed mid-write)."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+# -- top-down cycle accounting -----------------------------------------------
+
+CAT_RETIRING = "retiring"
+CAT_FRONTEND = "frontend"
+CAT_SCOREBOARD = "scoreboard_raw"
+CAT_FU = "fu_busy"
+CAT_DRAIN = "sync_join.drain"
+CAT_PARKED = "sync_join.parked"
+CAT_JOIN_WAIT = "sync_join.join_wait"
+
+#: stall causes with a fixed category; everything else is a
+#: memory-shaped wait split by the flight recorder's layer answer
+_CAUSE_STATIC = {
+    "fu": CAT_FU,
+    "latency": CAT_FRONTEND,
+    "drain": CAT_DRAIN,
+    "send_queue": "mem.cluster",
+}
+
+
+class CycleAccountant:
+    """One cell per ``(processor, spawn_region, category)``; fed by the
+    :class:`~repro.sim.observability.core.Observability` issue/stall
+    hooks, so it costs nothing when observability is off and one
+    ``None`` test when it is on without accounting."""
+
+    def __init__(self):
+        #: (tcu_id, spawn_index, category) -> cycles; spawn_index -1 is
+        #: the serial section / master
+        self.cells: Dict[Tuple[int, int, str], int] = {}
+        self.machine = None
+
+    def attach(self, machine) -> None:
+        self.machine = machine
+
+    def on_issue(self, proc) -> None:
+        region = proc.region
+        key = (proc.tcu_id,
+               -1 if region is None else region.spawn_index, CAT_RETIRING)
+        cells = self.cells
+        cells[key] = cells.get(key, 0) + 1
+
+    def on_stall(self, proc, cause: str) -> None:
+        cat = _CAUSE_STATIC.get(cause)
+        if cat is None:
+            # memory-shaped waits: "memory" (scoreboard), "store_ack",
+            # "fence", and the master's "spawn_drain"/"halt_drain"
+            if cause == "memory" and not proc.outstanding_loads:
+                cat = CAT_SCOREBOARD
+            else:
+                machine = self.machine
+                lc = machine.lifecycle if machine is not None else None
+                layer = (lc.current_layer(proc.tcu_id)
+                         if lc is not None else "unknown")
+                cat = "mem." + layer
+        region = proc.region
+        key = (proc.tcu_id,
+               -1 if region is None else region.spawn_index, cat)
+        cells = self.cells
+        cells[key] = cells.get(key, 0) + 1
+
+
+def _nest(flat: Dict[str, int]) -> Dict[str, Any]:
+    tree: Dict[str, Any] = {}
+    for cat in sorted(flat):
+        node = tree
+        parts = cat.split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = flat[cat]
+    return tree
+
+
+def export_accounting(machine, accountant: CycleAccountant,
+                      cycles: Optional[int] = None) -> Dict[str, Any]:
+    """The ``xmt-accounting/1`` payload for one finished run.
+
+    Observed cells are summed machine-wide and per spawn region; the
+    unattributed remainder of each processor's ``cycles`` is derived
+    idle (``sync_join.parked`` for TCUs -- serial sections and post-join
+    parking -- and ``sync_join.join_wait`` for the master).  The
+    ``exact`` flag asserts the exhaustive-and-exclusive invariant:
+    attributed + derived == cycles x n_processors.
+    """
+    period = machine.config.cluster_period
+    if cycles is None:
+        cycles = machine.halt_time // period
+    proc_ids = [-1] + sorted(t.tcu_id for t in machine.tcus)
+    n_procs = len(proc_ids)
+    attributed = {pid: 0 for pid in proc_ids}
+    flat: Dict[str, int] = {}
+    regions: Dict[int, Dict[str, int]] = {}
+    for (pid, spawn, cat), n in accountant.cells.items():
+        attributed[pid] = attributed.get(pid, 0) + n
+        flat[cat] = flat.get(cat, 0) + n
+        if spawn >= 0:
+            row = regions.setdefault(spawn, {})
+            row[cat] = row.get(cat, 0) + n
+    exact = True
+    for pid in proc_ids:
+        idle = cycles - attributed[pid]
+        if idle < 0:
+            exact = False
+            idle = 0
+        cat = CAT_JOIN_WAIT if pid < 0 else CAT_PARKED
+        flat[cat] = flat.get(cat, 0) + idle
+    # cells for processors the machine no longer knows (never happens
+    # in practice) would break exhaustiveness -- keep the flag honest
+    if set(attributed) - set(proc_ids):
+        exact = False
+    total = cycles * n_procs
+    attributed_total = sum(flat.values())
+    if attributed_total != total:
+        exact = False
+    region_rows = []
+    instructions = machine.program.instructions
+    for spawn in sorted(regions):
+        row = regions[spawn]
+        src_line = (instructions[spawn].src_line
+                    if 0 <= spawn < len(instructions) else 0)
+        region_rows.append({
+            "spawn_index": spawn, "src_line": src_line,
+            "cycles": sum(row.values()),
+            "categories": _nest(row),
+        })
+    return {
+        "schema": SCHEMA_ACCOUNTING,
+        "cycles": cycles,
+        "n_processors": n_procs,
+        "total_cycles": total,
+        "attributed_cycles": attributed_total,
+        "exact": exact,
+        "machine": {"flat": flat, "tree": _nest(flat)},
+        "processors": {
+            "attributed_min": min(attributed.values()) if attributed else 0,
+            "attributed_max": max(attributed.values()) if attributed else 0,
+        },
+        "spawn_regions": region_rows,
+    }
+
+
+def write_accounting(payload: Dict[str, Any], fh: IO[str]) -> None:
+    json.dump(payload, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+
+
+def load_accounting(path: str) -> Dict[str, Any]:
+    """Load an accounting export, checking its schema version."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA_ACCOUNTING:
+        got = data.get("schema") if isinstance(data, dict) else type(data)
+        raise ValueError(f"{path}: not an accounting export (schema={got!r})")
+    return data
+
+
+def hop_percentiles(hops: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Summarize exported hop histograms into count/mean/p50/p95/max
+    rows (the renderer-facing view of ``to_data()["hops"]``)."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for name, h in hops.items():
+        if not h.get("count"):
+            continue
+        out[name] = {
+            "count": h["count"], "mean": h["mean"],
+            "p50": histogram_percentile(h, 50),
+            "p95": histogram_percentile(h, 95),
+            "max": h["max"],
+        }
+    return out

@@ -63,6 +63,39 @@ class Histogram:
                 "min": self.min, "max": self.max,
                 "mean": round(self.mean, 3)}
 
+    def percentile(self, q: float):
+        """Estimated q-th percentile (see :func:`histogram_percentile`)."""
+        return histogram_percentile(self.to_dict(), q)
+
+
+def histogram_percentile(hist: Dict[str, Any], q: float):
+    """Estimate the q-th percentile (0..100) of an exported histogram.
+
+    Buckets only record counts, so the estimate is the upper edge of the
+    bucket holding the nearest-rank sample, clamped to the observed
+    min/max (the overflow bucket reports the observed max).  Good enough
+    for bottleneck reports; exact values come from the raw samples.
+    """
+    count = hist.get("count", 0)
+    if not count:
+        return 0
+    bounds = hist["bounds"]
+    counts = hist["counts"]
+    lo = hist.get("min")
+    hi = hist.get("max")
+    target = max(1, min(count, int(count * q / 100.0 + 0.5)))
+    seen = 0
+    for i, c in enumerate(counts):
+        seen += c
+        if seen >= target:
+            edge = bounds[i] if i < len(bounds) else hi
+            if hi is not None and (edge is None or edge > hi):
+                edge = hi
+            if lo is not None and edge < lo:
+                edge = lo
+            return edge
+    return hi
+
 
 class Gauge:
     """An instantaneous level plus its high-water mark."""

@@ -329,6 +329,13 @@ class TelemetrySampler(Actor):
                 active_spawns.append({"spawn_index": spawn_index,
                                       "since_cycle": began // period})
 
+        # flight-recorder pile-ups: per-layer queue-wait p50/p95 over the
+        # lifecycles that completed during this interval
+        hops = None
+        lifecycle = getattr(machine, "lifecycle", None)
+        if lifecycle is not None:
+            hops = lifecycle.interval_summary()
+
         frame: Dict[str, Any] = {
             "schema": SCHEMA_TELEMETRY,
             "kind": kind,
@@ -344,6 +351,8 @@ class TelemetrySampler(Actor):
             "eta_seconds": eta,
             "halted": bool(machine.halted),
         }
+        if hops:
+            frame["hops"] = hops
         frame.update(self.meta)
         self.seq += 1
         self._prev_cycle = cycle

@@ -32,7 +32,7 @@ class Package:
 
     __slots__ = ("kind", "tcu_id", "cluster_id", "addr", "value", "rd",
                  "issue_time", "seq", "reply", "module", "performed",
-                 "src_line")
+                 "src_line", "rec")
 
     def __init__(self, kind: str, tcu_id: int, cluster_id: int,
                  addr: int = 0, value: int = 0, rd: int = -1,
@@ -54,6 +54,9 @@ class Package:
         self.performed = False
         #: originating XMTC source line (0 = unknown), for filter plug-ins
         self.src_line = 0
+        #: flight-recorder lifecycle record: list of (stage, time_ps,
+        #: queue_depth) stamps, or None when no recorder is armed
+        self.rec = None
 
     def clone(self) -> "Package":
         """Duplicate this package under a fresh sequence number (the
@@ -65,6 +68,8 @@ class Package:
         dup.module = self.module
         dup.performed = self.performed
         dup.src_line = self.src_line
+        # rec stays None: the original owns the lifecycle record and a
+        # duplicate reply must not complete it twice
         return dup
 
     @property

@@ -110,6 +110,9 @@ class ProcessorBase:
     #: package kind for a blocking ``sw`` (the Master's write buffer
     #: makes every store non-blocking; see MasterTCU)
     _store_kind = P.STORE
+    #: active spawn region (TCUs set an instance attribute; the Master
+    #: always runs the serial section) -- cycle accounting reads this
+    region = None
 
     def __init__(self, machine, tcu_id: int):
         self.machine = machine
@@ -666,8 +669,13 @@ class TCU(ProcessorBase):
         self.core.pc += 1
 
     def _push_package(self, now: int, pkg: P.Package) -> bool:
-        if self.cluster.send_queue.push(now, pkg):
-            self.machine.icn_pending += 1
+        queue = self.cluster.send_queue
+        if queue.push(now, pkg):
+            machine = self.machine
+            machine.icn_pending += 1
+            lifecycle = machine.lifecycle
+            if lifecycle is not None:
+                lifecycle.send_enqueued(pkg, now, len(queue))
             return True
         return False
 

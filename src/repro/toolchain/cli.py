@@ -10,6 +10,7 @@ multi-run campaigns), as executables.
            [--ledger DIR]
     xmtc-lint program.c [--json] [--dynamic] [--check-shipped]
     xmt-prof report profile.json [--top 30]
+    xmt-explain {report,diff} ... [--format text|markdown|json]
     xmt-compare {list,diff,sweep,check} ... [--ledger DIR]
     xmt-campaign program.c --vary f=v1,v2 --workers 4 --ledger DIR
     xmt-campaign --queue runs.jsonl --workers 4 --ledger DIR
@@ -340,7 +341,8 @@ def _load_program(path: str, options: CompileOptions):
 
 
 def _write_observability(args, obs, machine) -> int:
-    """Write --trace-out/--metrics-out/--profile outputs; 0 on success."""
+    """Write --trace-out/--metrics-out/--profile/--accounting-out/
+    --lifecycle-out/--explain outputs; 0 on success."""
     import json as _json
 
     from repro.sim.observability import render_profile, write_metrics
@@ -371,6 +373,41 @@ def _write_observability(args, obs, machine) -> int:
                   file=sys.stderr)
         if args.profile:
             print(render_profile(data), file=sys.stderr)
+        accounting = None
+        if getattr(obs, "accounting", None) is not None:
+            from repro.sim.observability import export_accounting
+
+            accounting = export_accounting(machine, obs.accounting)
+            if args.accounting_out:
+                from repro.sim.observability import write_accounting
+
+                with open(args.accounting_out, "w") as fh:
+                    write_accounting(accounting, fh)
+                print(f"xmtsim: wrote cycle accounting to "
+                      f"{args.accounting_out}", file=sys.stderr)
+        recorder = getattr(obs, "lifecycle", None)
+        if recorder is not None:
+            recorder.close()
+            if args.lifecycle_out:
+                print(f"xmtsim: streamed {recorder.sampled} request "
+                      f"lifecycle(s) to {args.lifecycle_out} "
+                      f"({recorder.completed} completed)",
+                      file=sys.stderr)
+        if args.explain and accounting is not None:
+            from repro.sim.observability import (
+                build_explain,
+                export_metrics,
+                render_explain,
+            )
+
+            metrics_data = (export_metrics(machine)
+                            if obs.metrics is not None else None)
+            report = build_explain(
+                accounting,
+                lifecycle=(recorder.to_data()
+                           if recorder is not None else None),
+                metrics=metrics_data)
+            print(render_explain(report), file=sys.stderr)
     except OSError as exc:
         print(f"xmtsim: {exc}", file=sys.stderr)
         return 2
@@ -437,6 +474,26 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
     obsgroup.add_argument("--profile-out", default=None, metavar="PATH",
                           help="write the raw profile to PATH as JSON "
                                "(render later with 'xmt-prof report')")
+    obsgroup.add_argument("--accounting-out", default=None, metavar="PATH",
+                          help="write top-down cycle accounting (every "
+                               "TCU cycle attributed to retiring / "
+                               "frontend / scoreboard / FU / memory-by-"
+                               "layer / sync-join) to PATH as JSON; "
+                               "render with 'xmt-explain report'")
+    obsgroup.add_argument("--lifecycle-out", default=None, metavar="PATH",
+                          help="stream sampled memory-request lifecycles "
+                               "(per-hop timestamps and queue depths, "
+                               "TCU -> cluster -> ICN -> cache -> DRAM "
+                               "and back) to PATH as JSONL")
+    obsgroup.add_argument("--lifecycle-sample", type=int, default=1,
+                          metavar="N",
+                          help="record every Nth request lifecycle "
+                               "(default 1 = all; raises are cheaper "
+                               "on saturating workloads)")
+    obsgroup.add_argument("--explain", action="store_true",
+                          help="print the xmt-explain bottleneck report "
+                               "(top-down tree, hop latencies, "
+                               "contention hot spots) after the run")
     obsgroup.add_argument("--telemetry-out", default=None, metavar="PATH",
                           help="stream live progress frames (cycle, "
                                "retired instructions, interval IPC, queue "
@@ -567,14 +624,20 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
 
     observability = None
     want_profile = args.profile or args.profile_out is not None
-    if args.trace_out or args.metrics_out or want_profile or args.ledger:
+    want_accounting = args.explain or args.accounting_out is not None
+    want_recorder = args.lifecycle_out is not None or want_accounting
+    if (args.trace_out or args.metrics_out or want_profile or args.ledger
+            or want_recorder):
         if args.mode != "cycle":
-            print("xmtsim: --trace-out/--metrics-out/--profile/--ledger "
-                  "require --mode cycle", file=sys.stderr)
+            print("xmtsim: --trace-out/--metrics-out/--profile/--ledger/"
+                  "--accounting-out/--lifecycle-out/--explain require "
+                  "--mode cycle", file=sys.stderr)
             return 2
         from repro.sim.observability import (
+            CycleAccountant,
             CycleProfiler,
             EventStream,
+            FlightRecorder,
             MetricsRegistry,
             Observability,
         )
@@ -591,12 +654,24 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                     return 2
             else:
                 events = EventStream()
+        recorder = None
+        if want_recorder:
+            recorder = FlightRecorder(
+                sample_every=max(1, args.lifecycle_sample))
+            if args.lifecycle_out:
+                try:
+                    recorder.stream_to(args.lifecycle_out)
+                except OSError as exc:
+                    print(f"xmtsim: {exc}", file=sys.stderr)
+                    return 2
         observability = Observability(
             events=events,
             metrics=(MetricsRegistry()
                      if args.metrics_out or args.ledger else None),
             profiler=(CycleProfiler(program, source=xmtc_source)
-                      if want_profile or args.ledger else None))
+                      if want_profile or args.ledger else None),
+            accounting=CycleAccountant() if want_accounting else None,
+            lifecycle=recorder)
 
     telemetry = None
     if args.telemetry_out or args.telemetry_socket:
@@ -740,10 +815,22 @@ def xmtsim_main(argv: Optional[List[str]] = None) -> int:
                     instructions=result.instructions,
                     wall_seconds=run_wall, source=xmtc_source,
                     program_path=args.program, label=args.run_label)
+                accounting_payload = None
+                if observability.accounting is not None:
+                    from repro.sim.observability import export_accounting
+
+                    accounting_payload = export_accounting(
+                        final_machine, observability.accounting,
+                        cycles=result.cycles)
+                extras = None
+                if observability.lifecycle is not None:
+                    extras = {"lifecycle":
+                              observability.lifecycle.to_data()}
                 try:
                     record = Ledger(args.ledger).record(
                         manifest, export_metrics(final_machine),
-                        observability.profiler.to_data())
+                        observability.profiler.to_data(),
+                        accounting=accounting_payload, extras=extras)
                 except OSError as exc:
                     print(f"xmtsim: {exc}", file=sys.stderr)
                     return 2
@@ -948,6 +1035,13 @@ def xmt_compare_main(argv: Optional[List[str]] = None) -> int:
     p_check.add_argument("--update-baseline", action="store_true",
                          help="rewrite the baseline directory from the "
                               "fresh run instead of gating")
+    p_check.add_argument("--recorder", action="store_true",
+                         help="run the fresh program with the flight "
+                              "recorder and cycle accounting enabled "
+                              "(proves the zero-overhead invariant under "
+                              "the gate; the comparison gains the layer-"
+                              "attribution table when the baseline also "
+                              "recorded accounting)")
     add_common(p_check, with_compile=True)
 
     args = parser.parse_args(argv)
@@ -1074,11 +1168,14 @@ def _compare_check(args) -> int:
     artifacts = instrumented_run(
         program, config, source=source, program_path=args.program,
         label="baseline" if args.update_baseline else "fresh",
-        max_cycles=args.max_cycles)
+        max_cycles=args.max_cycles,
+        accounting=getattr(args, "recorder", False))
     fresh = artifacts.as_record()
     if args.update_baseline:
         write_run_dir(baseline_dir, artifacts.manifest, artifacts.metrics,
-                      artifacts.profile)
+                      artifacts.profile,
+                      accounting=artifacts.accounting,
+                      extras=artifacts.extras or None)
         print(f"xmt-compare: baseline {baseline_dir} updated "
               f"({fresh.cycles} cycles, run {fresh.run_id})")
         return 0

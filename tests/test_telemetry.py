@@ -453,9 +453,9 @@ class TestAggregation:
         text = render_top(fold_stream(self.STREAM), "text")
         assert text.splitlines() == [
             "campaign cafe12345678: 2/2 runs seen",
-            "run  state   att  cycles  instr    ipc  wall_s  eta_s",
-            "a    ok        1     200    160  0.800    0.50     --",
-            "b    failed    3      --     --     --      --     --",
+            "run  state   att  cycles  instr    ipc  wall_s  eta_s  hot",
+            "a    ok        1     200    160  0.800    0.50     --   --",
+            "b    failed    3      --     --     --      --     --   --",
             "-- failed: 1  ok: 1  [stream ended]",
         ]
         markdown = render_top(fold_stream(self.STREAM), "markdown")
