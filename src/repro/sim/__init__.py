@@ -4,6 +4,8 @@ checkpoints."""
 
 from repro.sim.config import XMTConfig, fpga64, chip1024, from_file, tiny
 from repro.sim.engine import Actor, ClockDomain, Event, Scheduler, TimedQueue
+from repro.sim.fabric import (Component, Fabric, Link, Port,
+                              register_backend, registered)
 from repro.sim.functional import FunctionalResult, FunctionalSimulator
 from repro.sim.machine import CycleResult, Simulator
 from repro.sim.observability import (CycleProfiler, EventStream, Ledger,
@@ -23,6 +25,12 @@ __all__ = [
     "Event",
     "Scheduler",
     "TimedQueue",
+    "Component",
+    "Fabric",
+    "Link",
+    "Port",
+    "register_backend",
+    "registered",
     "FunctionalResult",
     "FunctionalSimulator",
     "CycleResult",

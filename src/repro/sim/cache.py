@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.isa.semantics import to_signed
 from repro.sim import packages as P
-from repro.sim.engine import TimedQueue
+from repro.sim.fabric import Component, Port, register_backend
 
 
 class CacheArray:
@@ -95,23 +95,31 @@ class CacheArray:
         return sum(len(e) for e in self._lines)
 
 
-class CacheModule:
-    """One hash-partition of the shared L1 (a solid box of Fig. 1).
+class CacheModule(Component):
+    """One partition of the shared L1 (a solid box of Fig. 1).
 
     Requests arrive from the ICN into :attr:`in_queue`; up to
     ``cache_ports`` are dequeued per cache cycle.  Hits respond after the
     hit latency; misses allocate an MSHR, go to the owning DRAM port and
     respond when the fill returns.  Responses leave through
-    :attr:`out_queue`, drained by the ICN return network.
+    :attr:`out_queue`, drained by the ICN return network.  Both queues
+    are fabric :class:`Port`\\ s -- the only surface any ICN backend
+    touches; which addresses land here is the ``cache_layout``
+    backend's decision, not the module's.
     """
+
+    layer = "cache"
 
     def __init__(self, machine, module_id: int):
         cfg = machine.config
         self.machine = machine
         self.module_id = module_id
         self.array = CacheArray(cfg.cache_sets, cfg.cache_assoc, cfg.cache_line_words)
-        self.in_queue = TimedQueue()          # requests from the ICN
-        self.out_queue = TimedQueue()         # responses toward the ICN
+        # requests from the ICN / responses toward the ICN
+        self.in_queue = Port(name=f"cache{module_id}.in", layer="cache",
+                             owner=self)
+        self.out_queue = Port(name=f"cache{module_id}.out", layer="return",
+                              owner=self)
         self.ports = cfg.cache_ports
         self.hit_latency = cfg.cache_hit_latency
         # line address -> list of waiting packages (MSHR-style merging)
@@ -149,6 +157,12 @@ class CacheModule:
         period = self.domain.period
         ready = now + extra_cycles * period
         heapq.heappush(self._delayed, (ready, pkg.seq, pkg))
+
+    def wake(self) -> None:
+        """Consumer-side wake-up wired to :attr:`in_queue`'s ``on_push``
+        hook by the fabric: a package entering the port puts this
+        module in the cache bank's active set."""
+        self.machine.cache_bank.activate(self.module_id)
 
     # -- per-cycle behaviour ----------------------------------------------------
 
@@ -251,6 +265,40 @@ class CacheModule:
         memory = self.machine.memory
         memory.store(addr, memory.load(addr) ^ (1 << bit))
         return addr, bit
+
+
+@register_backend("cache_layout", "hashed")
+class HashedLayout:
+    """The paper's address hashing: line indexes are scattered over the
+    modules by a Fibonacci hash so regular strides cannot concentrate
+    on one module ("the shared caches are partitioned ... addresses are
+    hashed", Section II)."""
+
+    layer = "cache"
+
+    def __init__(self, machine):
+        cfg = machine.config
+        self.n_modules = cfg.n_cache_modules
+        self._line_shift = 2 + (cfg.cache_line_words - 1).bit_length() \
+            if cfg.cache_line_words > 1 else 2
+
+    def module_of(self, addr: int) -> int:
+        """Home cache module of ``addr`` (any ICN backend routes here)."""
+        return P.hash_address(addr, self.n_modules, self._line_shift)
+
+
+@register_backend("cache_layout", "interleaved")
+class InterleavedLayout(HashedLayout):
+    """Plain low-order line interleave (no hashing).
+
+    The ablation of :class:`HashedLayout`: power-of-two strides map
+    whole access streams onto a single module, exhibiting exactly the
+    hotspots hashing exists to prevent -- useful as the contrast
+    configuration in topology sweeps.
+    """
+
+    def module_of(self, addr: int) -> int:
+        return (addr >> self._line_shift) % self.n_modules
 
 
 class MasterCache:

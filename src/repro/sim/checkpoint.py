@@ -99,7 +99,13 @@ def _detach_unpicklables(machine: Machine):
     detached = (machine.trace, machine.obs, machine.activity_plugins,
                 machine.filter_plugins, machine.filter_hook,
                 sched.check_hook, sched._heap, sched._cancelled,
-                machine.decoded, machine.lifecycle)
+                machine.decoded, machine.lifecycle, machine.fabric)
+    # the fabric wiring map (port on_push hooks, link metadata) is
+    # transient like traces and plug-ins: detach the hooks so no bound
+    # methods ride the pickle; the restored machine rewires itself
+    if machine.fabric is not None:
+        machine.fabric.unhook()
+    machine.fabric = None
     # the decode cache holds per-op handler closures (unpicklable) and
     # is pure derived state: rebuilt from the program on restore
     machine.decoded = None
@@ -129,7 +135,9 @@ def _reattach(machine: Machine, detached) -> None:
     (machine.trace, machine.obs, machine.activity_plugins,
      machine.filter_plugins, machine.filter_hook,
      sched.check_hook, sched._heap, sched._cancelled,
-     machine.decoded, machine.lifecycle) = detached
+     machine.decoded, machine.lifecycle, machine.fabric) = detached
+    if machine.fabric is not None:
+        machine.fabric.hook()
 
 
 def load_bytes(payload: bytes) -> Machine:
@@ -142,6 +150,8 @@ def load_bytes(payload: bytes) -> Machine:
     machine.pause_reason = None
     # derived state: re-decode the program (never part of the pickle)
     machine.decoded = decode_program(machine.program)
+    # re-wire the fabric: ports were detached like other transient state
+    machine._wire_fabric()
     return machine
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.isa.instructions import FU_FPU, FU_MDU
 from repro.sim.cache import ReadOnlyCache
-from repro.sim.engine import TimedQueue
+from repro.sim.fabric import Port
 from repro.sim.tcu import TCU
 
 
@@ -20,7 +20,10 @@ class Cluster:
         cfg = machine.config
         self.machine = machine
         self.cluster_id = cluster_id
-        self.send_queue = TimedQueue(capacity=cfg.send_queue_capacity)
+        # the ICN send port: a fabric Port so any ICN backend drains it
+        self.send_queue = Port(capacity=cfg.send_queue_capacity,
+                               name=f"cluster{cluster_id}.send",
+                               layer="cluster", owner=self)
         self.ro_cache = ReadOnlyCache(machine, cluster_id)
         self.tcus = [
             TCU(machine, self, cluster_id * cfg.tcus_per_cluster + i, i)

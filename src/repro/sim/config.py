@@ -64,8 +64,15 @@ class XMTConfig:
     # -- interconnection network -------------------------------------------
     #: "sync" = clocked mesh-of-trees; "async" = GALS/asynchronous
     #: network (Section III-F, following [39]): continuous-time
-    #: traversal independent of any clock, lower per-package energy
+    #: traversal independent of any clock, lower per-package energy.
+    #: May also directly name a registered ICN backend (styles fold
+    #: into backends; see :mod:`repro.sim.fabric.registry`).
     icn_style: str = "sync"
+    #: explicit ICN backend name; "" derives it from ``icn_style``
+    #: ("sync" -> "mot", "async" -> "mot-async").  Shipped alternates:
+    #: "crossbar" (single-stage, output-port serialized) and "ring"
+    #: (unidirectional, hop-distance latency).
+    icn_backend: str = ""
     #: async ICN: handshake delay per tree stage (picoseconds)
     icn_async_hop_delay_ps: int = 1000
     #: async ICN: data-dependent handshake jitter (fraction of latency)
@@ -78,6 +85,10 @@ class XMTConfig:
     icn_return_width: int = 2
 
     # -- shared L1 cache modules ---------------------------------------------
+    #: address -> cache-module placement backend: "hashed" (the paper's
+    #: hashing to avoid module hotspots) or "interleaved" (low-order
+    #: line-index interleave; exhibits the hotspots hashing prevents)
+    cache_layout: str = "hashed"
     cache_sets: int = 64
     cache_assoc: int = 4
     cache_line_words: int = 8
@@ -92,6 +103,13 @@ class XMTConfig:
     master_cache_hit_latency: int = 1
 
     # -- DRAM -------------------------------------------------------------------
+    #: DRAM subsystem backend: "simple" = one queue + one accept per
+    #: cycle per port (the paper's "DRAM is modeled as simple latency");
+    #: "banked" = HBM-flavoured, ``dram_banks`` independent banks per
+    #: port, each with its own queue and accept slot
+    dram_backend: str = "simple"
+    #: banks per DRAM port (used by the "banked" backend only)
+    dram_banks: int = 4
     dram_latency: int = 25           # dram-domain cycles from accept to data
     dram_queue_capacity: int = 16
 
@@ -127,6 +145,19 @@ class XMTConfig:
         fan_in = max(1, math.ceil(math.log2(max(2, self.n_cache_modules))))
         return fan_out + fan_in
 
+    def resolved_icn_backend(self) -> str:
+        """The ICN backend name the machine will instantiate.
+
+        ``icn_backend`` wins when set; otherwise the legacy style
+        strings map to their backends ("sync" -> "mot", "async" ->
+        "mot-async"), and any other ``icn_style`` is taken as a backend
+        name directly (styles fold into backends).
+        """
+        if self.icn_backend:
+            return self.icn_backend
+        return {"sync": "mot", "async": "mot-async"}.get(
+            self.icn_style, self.icn_style)
+
     def validate(self) -> None:
         if self.n_clusters < 1 or self.tcus_per_cluster < 1:
             raise ValueError("need at least one cluster and one TCU")
@@ -137,12 +168,21 @@ class XMTConfig:
                 raise ValueError(f"{attr} must be positive")
         if self.prefetch_policy not in ("fifo", "lru"):
             raise ValueError("prefetch_policy must be 'fifo' or 'lru'")
-        if self.icn_style not in ("sync", "async"):
-            raise ValueError("icn_style must be 'sync' or 'async'")
         if self.cache_line_words & (self.cache_line_words - 1):
             raise ValueError("cache_line_words must be a power of two")
         if self.prefetch_buffer_size < 0:
             raise ValueError("prefetch_buffer_size must be >= 0")
+        if self.dram_banks < 1:
+            raise ValueError("dram_banks must be >= 1")
+        # backend names resolve against the fabric registry, so a typo
+        # fails here with the registered alternatives listed and a
+        # runtime-registered backend is accepted like a built-in
+        # (deferred import: the component modules self-register)
+        from repro.sim.fabric.registry import validate_backend
+
+        validate_backend("icn", self.resolved_icn_backend())
+        validate_backend("dram", self.dram_backend)
+        validate_backend("cache_layout", self.cache_layout)
 
     def scaled(self, **overrides) -> "XMTConfig":
         """Return a copy with overridden fields (convenience for sweeps)."""

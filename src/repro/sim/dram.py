@@ -1,10 +1,20 @@
-"""DRAM ports.
+"""DRAM subsystem backends.
 
 "Currently, only on-chip components are simulated, and DRAM is modeled
-as simple latency" (Section III).  Each port accepts one transaction per
-DRAM-domain cycle (the bandwidth knob) and completes it a fixed number
-of cycles later; line fills call back into the owning cache module.
-Addresses are interleaved over ports by cache-line index.
+as simple latency" (Section III).  That sentence is the ``simple``
+backend: each port accepts one transaction per DRAM-domain cycle (the
+bandwidth knob) and completes it a fixed number of cycles later; line
+fills call back into the owning cache module.  Addresses are
+interleaved over ports by cache-line index.
+
+The ``banked`` backend is the HBM-flavoured alternate: every port holds
+``dram_banks`` independent banks, each with its own queue and its own
+accept slot per cycle, so bank-level parallelism multiplies per-port
+bandwidth while the per-transaction latency stays the same.  Both are
+fabric backends (``@register_backend("dram", name)``) selected by
+``XMTConfig.dram_backend``; the machine exposes whichever port list the
+backend built as ``machine.dram_ports`` so fault injection, telemetry
+and the power model keep reading one surface.
 """
 
 from __future__ import annotations
@@ -13,9 +23,13 @@ import heapq
 from collections import deque
 from typing import Deque, List, Tuple
 
+from repro.sim.fabric import Component, register_backend
 
-class DRAMPort:
+
+class DRAMPort(Component):
     """One off-chip memory channel: bounded queue + fixed latency."""
+
+    layer = "dram"
 
     def __init__(self, machine, port_id: int):
         cfg = machine.config
@@ -39,43 +53,56 @@ class DRAMPort:
         queue stall; the queue is where reordering slack lives)."""
         self.queue.append((module, line, writeback))
 
-    def tick(self, cycle: int) -> None:
-        now = self.machine.scheduler.now
-        if now < self.stall_until:
-            return  # injected timeout: no completions, no accepts
-        stats = self.machine.stats
-        # complete transactions
+    def _complete(self, now: int) -> None:
+        """Finish every in-flight transaction whose data is ready."""
         while self._in_flight and self._in_flight[0][0] <= now:
             _, _, module, line = heapq.heappop(self._in_flight)
             self.machine.note_progress()
             module.dram_fill(now, line)
             self.machine.cache_bank.activate(module.module_id)
+
+    def _accept(self, now: int, module, line: int, writeback: bool) -> None:
+        """Consume one accept slot: start a read or retire a write-back."""
+        stats = self.machine.stats
+        self.machine.note_progress()
+        ready = now
+        if writeback:
+            # write-backs consume bandwidth but need no completion event
+            self.writes += 1
+            stats.inc("dram.write")
+        else:
+            self.reads += 1
+            stats.inc("dram.read")
+            self._seq += 1
+            ready = now + self.latency * self.domain.period
+            heapq.heappush(self._in_flight, (ready, self._seq, module, line))
+            lifecycle = self.machine.lifecycle
+            if lifecycle is not None:
+                lifecycle.dram_accepted(self, module, line, now, ready)
+        obs = self.machine.obs
+        if obs is not None:
+            obs.dram_access(self, line, now, ready, writeback)
+
+    def tick(self, cycle: int) -> None:
+        now = self.machine.scheduler.now
+        if now < self.stall_until:
+            return  # injected timeout: no completions, no accepts
+        self._complete(now)
         # accept one transaction per cycle (bandwidth limit)
         if self.queue:
             module, line, writeback = self.queue.popleft()
-            self.machine.note_progress()
-            ready = now
-            if writeback:
-                # write-backs consume bandwidth but need no completion event
-                self.writes += 1
-                stats.inc("dram.write")
-            else:
-                self.reads += 1
-                stats.inc("dram.read")
-                self._seq += 1
-                ready = now + self.latency * self.domain.period
-                heapq.heappush(self._in_flight, (ready, self._seq, module, line))
-                lifecycle = self.machine.lifecycle
-                if lifecycle is not None:
-                    lifecycle.dram_accepted(self, module, line, now, ready)
-            obs = self.machine.obs
-            if obs is not None:
-                obs.dram_access(self, line, now, ready, writeback)
+            self._accept(now, module, line, writeback)
 
     def idle(self) -> bool:
         return not self.queue and not self._in_flight
 
     # -- resilience hooks ---------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Transactions waiting to be accepted (the port-interface depth
+        the flight recorder stamps; backends with several internal
+        queues report their total here)."""
+        return len(self.queue)
 
     def occupancy(self) -> dict:
         """Queue occupancy snapshot for diagnostic dumps."""
@@ -85,3 +112,95 @@ class DRAMPort:
         """Fault-injection hook: the port times out -- ignores queued and
         in-flight traffic -- until ``now + duration_ps``."""
         self.stall_until = max(self.stall_until, now + duration_ps)
+
+
+class BankedDRAMPort(DRAMPort):
+    """HBM-flavoured channel: independent banks, one accept slot each.
+
+    Lines interleave over banks by ``(line // n_ports) % n_banks`` (the
+    port-selection bits are already consumed by channel interleaving),
+    so streaming traffic spreads across banks and the port accepts up
+    to ``dram_banks`` transactions per cycle instead of one.  Latency
+    per transaction is unchanged -- the backend alters *bandwidth*
+    shape only, which is what makes it a clean sweep axis against
+    ``simple``.
+    """
+
+    def __init__(self, machine, port_id: int):
+        super().__init__(machine, port_id)
+        cfg = machine.config
+        self._port_stride = max(1, cfg.n_dram_ports)
+        self.banks: List[Deque[Tuple[object, int, bool]]] = [
+            deque() for _ in range(cfg.dram_banks)]
+
+    def bank_of(self, line: int) -> int:
+        return (line // self._port_stride) % len(self.banks)
+
+    def request(self, module, line: int, writeback: bool = False) -> None:
+        self.banks[self.bank_of(line)].append((module, line, writeback))
+
+    def tick(self, cycle: int) -> None:
+        now = self.machine.scheduler.now
+        if now < self.stall_until:
+            return
+        self._complete(now)
+        # each bank owns an accept slot: bank-level parallelism
+        for bank in self.banks:
+            if bank:
+                module, line, writeback = bank.popleft()
+                self._accept(now, module, line, writeback)
+
+    def idle(self) -> bool:
+        return not self._in_flight and not any(self.banks)
+
+    def queue_depth(self) -> int:
+        return sum(len(bank) for bank in self.banks)
+
+    def occupancy(self) -> dict:
+        return {"queued": self.queue_depth(),
+                "in_flight": len(self._in_flight),
+                "banks": [len(bank) for bank in self.banks]}
+
+
+@register_backend("dram", "simple")
+class SimpleDRAM(Component):
+    """The paper's DRAM model: one queue and one accept per port-cycle.
+
+    The subsystem owns the port list and the channel-interleave routing
+    (line index modulo port count); the machine talks to it only via
+    :meth:`request` and re-exposes :attr:`ports` as
+    ``machine.dram_ports``.
+    """
+
+    layer = "dram"
+    port_cls = DRAMPort
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.ports = [self.port_cls(machine, i)
+                      for i in range(machine.config.n_dram_ports)]
+
+    def route(self, line: int) -> DRAMPort:
+        return self.ports[line % len(self.ports)]
+
+    def request(self, module, line: int, writeback: bool = False) -> None:
+        self.route(line).request(module, line, writeback)
+
+    def components(self) -> list:
+        """The clocked actors the DRAM domain ticks, in tick order."""
+        return list(self.ports)
+
+    def idle(self) -> bool:
+        return all(port.idle() for port in self.ports)
+
+    def occupancy(self) -> dict:
+        return {"queued": sum(p.queue_depth() for p in self.ports),
+                "in_flight": sum(len(p._in_flight) for p in self.ports)}
+
+
+@register_backend("dram", "banked")
+class BankedDRAM(SimpleDRAM):
+    """``dram_banks`` independent banks behind each of the
+    ``n_dram_ports`` channels (see :class:`BankedDRAMPort`)."""
+
+    port_cls = BankedDRAMPort

@@ -1,0 +1,87 @@
+"""Backend registry: config strings -> component implementations.
+
+Each *kind* of Fig. 1 box has a namespace of named backends:
+
+- ``icn``: interconnection networks (``mot``, ``mot-async``,
+  ``crossbar``, ``ring``);
+- ``dram``: off-chip memory subsystems (``simple``, ``banked``);
+- ``cache_layout``: address -> cache-module placement functions
+  (``hashed``, ``interleaved``).
+
+``XMTConfig.validate`` resolves its backend fields here, so an unknown
+name fails at construction with the registered alternatives listed, and
+a backend registered at runtime (a plug-in topology under study) is
+accepted everywhere a built-in is -- sweeps, campaigns, ledger
+manifests -- with no further wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+BACKEND_KINDS = ("icn", "dram", "cache_layout")
+
+_REGISTRY: Dict[str, Dict[str, Callable]] = {k: {} for k in BACKEND_KINDS}
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the modules whose backends self-register.
+
+    Deferred so ``config.py`` can validate backend names without a
+    module-level import cycle through the component modules.
+    """
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        import repro.sim.cache   # noqa: F401  (hashed / interleaved)
+        import repro.sim.dram    # noqa: F401  (simple / banked)
+        import repro.sim.icn     # noqa: F401  (mot / mot-async / crossbar / ring)
+
+
+def register_backend(kind: str, name: str):
+    """Class decorator: ``@register_backend("icn", "crossbar")``.
+
+    The class is constructed as ``cls(machine)`` by
+    :func:`create_backend`; re-registering a name replaces the previous
+    backend (last registration wins, so tests can shadow built-ins).
+    """
+    if kind not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend kind {kind!r}; kinds: {', '.join(BACKEND_KINDS)}")
+
+    def deco(cls):
+        _REGISTRY[kind][name] = cls
+        return cls
+
+    return deco
+
+
+def registered(kind: str) -> List[str]:
+    """Sorted names of every registered backend of ``kind``."""
+    _ensure_builtins()
+    if kind not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend kind {kind!r}; kinds: {', '.join(BACKEND_KINDS)}")
+    return sorted(_REGISTRY[kind])
+
+
+def validate_backend(kind: str, name: str) -> None:
+    """Raise ``ValueError`` naming the registered backends when ``name``
+    is not one of them (the config-construction guard)."""
+    _ensure_builtins()
+    if name not in _REGISTRY[kind]:
+        raise ValueError(
+            f"unknown {kind} backend {name!r}; registered backends: "
+            f"{', '.join(registered(kind))}")
+
+
+def backend_class(kind: str, name: str):
+    _ensure_builtins()
+    validate_backend(kind, name)
+    return _REGISTRY[kind][name]
+
+
+def create_backend(kind: str, name: str, machine):
+    """Instantiate the named backend bound to ``machine``."""
+    return backend_class(kind, name)(machine)

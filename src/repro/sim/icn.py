@@ -1,14 +1,32 @@
-"""The interconnection network (mesh-of-trees), modeled as a macro-actor.
+"""Interconnection-network backends, modeled as macro-actors.
 
 The paper singles the ICN out twice: it is the component implemented as
 a macro-actor (Fig. 4) because per-switch events would cross the DE
 scheduling threshold, and it dominates simulation cost ("up to 60% of
 the time can be spent in simulating the interconnection network",
 Section III-D).  We model it transaction-level: a package injected at a
-cluster send port traverses a log-depth pipeline to its hashed cache
-module; responses traverse a separate return network.  Contention is
-expressed by per-cluster injection width, per-module return drain width
-and the bounded cluster send queues (back-pressure to the TCUs).
+cluster send port traverses to its cache module (placement decided by
+the machine's ``cache_layout`` backend); responses traverse a separate
+return network.  Contention is expressed by per-cluster injection
+width, per-module return drain width and the bounded cluster send
+queues (back-pressure to the TCUs).
+
+Every network here is a fabric backend (``@register_backend("icn",
+name)``) behind the same :class:`~repro.sim.fabric.Component` surface:
+
+- ``mot``       -- the clocked mesh-of-trees (fixed log-depth latency);
+- ``mot-async`` -- its GALS/asynchronous variant (continuous-time,
+  no ICN clock, lower per-package energy);
+- ``crossbar``  -- a single-stage N x M crossbar: shallow constant
+  latency, but each output port accepts one package per cycle;
+- ``ring``      -- a unidirectional ring of cluster and module stops:
+  latency is the hop distance, so placement matters.
+
+All four share the injection/drain engine of :class:`Interconnect` and
+differ only in the arrival-time law (``traversal_latency`` /
+``_arrival``), which is exactly the seam the port/link abstraction
+promises: the flight-recorder stamps, fault hooks and telemetry gauges
+live in the shared engine and hold for every backend.
 """
 
 from __future__ import annotations
@@ -17,10 +35,14 @@ import heapq
 from typing import List, Tuple
 
 from repro.sim import packages as P
+from repro.sim.fabric import Component, register_backend
 
 
-class Interconnect:
+@register_backend("icn", "mot")
+class Interconnect(Component):
     """Both ICN directions plus the Master ICN send/return paths."""
+
+    layer = "icn"
 
     #: relative per-package dynamic energy (see AsyncInterconnect)
     energy_factor = 1.0
@@ -29,10 +51,10 @@ class Interconnect:
         cfg = machine.config
         self.machine = machine
         self.depth = cfg.icn_depth()
-        self._line_shift = 2 + (cfg.cache_line_words - 1).bit_length() \
-            if cfg.cache_line_words > 1 else 2
         self.width_per_cluster = cfg.icn_width_per_cluster
         self.return_width = cfg.icn_return_width
+        #: address -> module placement, owned by the cache_layout backend
+        self._route = machine.cache_router.module_of
         # in-flight heaps: (arrival_time, seq, pkg)
         self._to_cache: List[Tuple[int, int, P.Package]] = []
         self._to_cluster: List[Tuple[int, int, P.Package]] = []
@@ -59,8 +81,9 @@ class Interconnect:
             in_queue = machine.cache_modules[pkg.module].in_queue
             if lifecycle is not None:
                 lifecycle.cache_enqueued(pkg, now, len(in_queue))
+            # the port's on_push wake-up activates the module in the
+            # cache bank; no backend names the bank directly
             in_queue.push(now, pkg)
-            machine.cache_bank.activate(pkg.module)
             machine.note_progress()
 
         # 2. deliver responses that finished the return traversal
@@ -77,9 +100,7 @@ class Interconnect:
                 if pkg is None:
                     break
                 machine.icn_pending -= 1
-                pkg.module = P.hash_address(pkg.addr,
-                                            machine.config.n_cache_modules,
-                                            self._line_shift)
+                pkg.module = self._route(pkg.addr)
                 self.packages_sent += 1
                 stats.inc("icn.send")
                 arrival = self._arrival(now, pkg, "send")
@@ -161,6 +182,7 @@ class Interconnect:
         return now + self.traversal_latency(pkg)
 
 
+@register_backend("icn", "mot-async")
 class AsyncInterconnect(Interconnect):
     """GALS/asynchronous mesh-of-trees (Section III-F, following [39]).
 
@@ -181,6 +203,11 @@ class AsyncInterconnect(Interconnect):
     - per-package energy is lower (no clock tree): the power model
       reads :attr:`energy_factor`.
     """
+
+    #: no clock of its own: polls at the cluster rate, immune to any
+    #: "icn" domain retiming (the machine reads this when building
+    #: clock domains and scaling them)
+    clocked = False
 
     #: relative per-package dynamic energy vs the synchronous network
     energy_factor = 0.7
@@ -215,3 +242,85 @@ class AsyncInterconnect(Interconnect):
             arrival = floor + 1
         self._last_arrival[key] = arrival
         return arrival
+
+
+@register_backend("icn", "crossbar")
+class CrossbarInterconnect(Interconnect):
+    """Single-stage N x M crossbar.
+
+    The opposite corner of the design space from the mesh-of-trees:
+    traversal is a constant shallow latency (``icn_latency`` cycles
+    when set, else 1 -- no log-depth pipeline), but the crossbar has
+    one output port per destination and each accepts a single package
+    per cycle.  Under uniform traffic it beats the MoT on latency; when
+    many sources hash to one module the output-port serialization
+    surfaces exactly the hotspot the tree's pipelining hides.
+
+    Per-channel FIFO order (memory-model rule 1) holds: arrivals at a
+    given output are strictly increasing, and a source's packages to
+    that output are injected in program order at monotonic ``now``.
+    """
+
+    def __init__(self, machine):
+        super().__init__(machine)
+        cfg = machine.config
+        self.xbar_latency = cfg.icn_latency if cfg.icn_latency is not None else 1
+        # (direction, output port) -> time its last package lands
+        self._out_busy: dict = {}
+
+    def traversal_latency(self, pkg: P.Package) -> int:
+        return self.xbar_latency * self.domain.period
+
+    def _arrival(self, now: int, pkg: P.Package, direction: str) -> int:
+        if direction == "send":
+            dest = pkg.module
+        else:  # one return port per cluster; the master owns its own
+            dest = pkg.cluster_id if pkg.tcu_id >= 0 else -1
+        arrival = now + self.traversal_latency(pkg)
+        key = (direction, dest)
+        busy = self._out_busy.get(key, 0)
+        if arrival <= busy:
+            arrival = busy + self.domain.period
+        self._out_busy[key] = arrival
+        return arrival
+
+
+@register_backend("icn", "ring")
+class RingInterconnect(Interconnect):
+    """Unidirectional ring: master, clusters and cache modules as stops.
+
+    Stop order is master, cluster 0..N-1, module 0..M-1; a package
+    travels clockwise from its source stop to its destination stop at
+    one hop per ICN cycle, so latency is data-dependent (the hop
+    distance) instead of the tree's uniform log depth.  Cheap to build,
+    scales poorly: mean distance grows linearly with machine size,
+    which is exactly the saturation behaviour topology sweeps are after.
+
+    FIFO per channel holds because a (source, destination) pair always
+    sees the same distance, making arrivals monotonic per channel.
+    """
+
+    def __init__(self, machine):
+        super().__init__(machine)
+        cfg = machine.config
+        self.n_cluster_stops = cfg.n_clusters + 1   # +1: the master's stop
+        self.n_stops = self.n_cluster_stops + cfg.n_cache_modules
+
+    def _cluster_stop(self, pkg: P.Package) -> int:
+        # master (tcu_id < 0) sits at stop 0; cluster c at stop c + 1
+        return 0 if pkg.tcu_id < 0 else pkg.cluster_id + 1
+
+    def _hops(self, src: int, dst: int) -> int:
+        return (dst - src) % self.n_stops or self.n_stops
+
+    def traversal_latency(self, pkg: P.Package) -> int:
+        # mean-distance estimate for callers without a direction context
+        return (self.n_stops // 2) * self.domain.period
+
+    def _arrival(self, now: int, pkg: P.Package, direction: str) -> int:
+        module_stop = self.n_cluster_stops + pkg.module
+        if direction == "send":
+            hops = self._hops(self._cluster_stop(pkg), module_stop)
+        else:
+            hops = self._hops(module_stop, self._cluster_stop(pkg))
+        return now + hops * self.domain.period

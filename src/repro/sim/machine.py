@@ -19,7 +19,6 @@ from repro.isa.registers import NUM_GLOBAL_REGS, REG_SP
 from repro.sim.cluster import Cluster
 from repro.sim.cache import CacheModule
 from repro.sim.config import XMTConfig, fpga64
-from repro.sim.dram import DRAMPort
 from repro.sim.engine import (
     Actor,
     ClockDomain,
@@ -30,8 +29,8 @@ from repro.sim.engine import (
     PRIO_PLUGIN,
     Scheduler,
 )
+from repro.sim.fabric import Fabric, create_backend
 from repro.sim.functional import Memory
-from repro.sim.icn import AsyncInterconnect, Interconnect
 from repro.sim.mtcu import MasterTCU
 from repro.sim.psunit import PrefixSumUnit
 from repro.sim.spawn_unit import SpawnUnit
@@ -168,21 +167,29 @@ class Machine:
         self.sampler = None
         self.sampler_exec = None
 
-        # components
+        # components -- every Fig. 1 box is a fabric backend resolved by
+        # name from the registry (config strings pick implementations)
         self.master = MasterTCU(self)
         self.clusters = [Cluster(self, i) for i in range(cfg.n_clusters)]
         self.tcus = [tcu for cluster in self.clusters for tcu in cluster.tcus]
         self.cache_modules = [CacheModule(self, i) for i in range(cfg.n_cache_modules)]
         self.cache_bank = CacheBank(self, self.cache_modules)
-        self.dram_ports = [DRAMPort(self, i) for i in range(cfg.n_dram_ports)]
+        #: address -> cache-module placement backend
+        self.cache_router = create_backend("cache_layout", cfg.cache_layout, self)
+        #: DRAM subsystem backend; its port list is re-exposed as
+        #: ``dram_ports`` (fault injection / telemetry / power read it)
+        self.dram = create_backend("dram", cfg.dram_backend, self)
+        self.dram_ports = self.dram.ports
         #: count of packages sitting in send ports / module out-queues;
         #: lets the ICN skip its tick entirely during quiet cycles
         self.icn_pending = 0
-        self.icn = (AsyncInterconnect(self) if cfg.icn_style == "async"
-                    else Interconnect(self))
+        self.icn = create_backend("icn", cfg.resolved_icn_backend(), self)
         self.ps_unit = PrefixSumUnit(self)
         self.spawn_unit = SpawnUnit(self)
         self.send_ports = [c.send_queue for c in self.clusters] + [self.master.send_queue]
+        #: wiring map + transient port hooks (rebuilt on checkpoint load)
+        self.fabric: Optional[Fabric] = None
+        self._wire_fabric()
 
         self.master.core.pc = program.entry
         self.master.core.write(REG_SP, cfg.stack_top)
@@ -205,6 +212,14 @@ class Machine:
 
     # -- construction ------------------------------------------------------------
 
+    def _wire_fabric(self) -> None:
+        """(Re)build the wiring map and the transient port hooks.
+
+        Called at construction and again by checkpoint restore -- the
+        Fabric (like traces and plug-ins) is detached before pickling.
+        """
+        self.fabric = Fabric(self)
+
     def _build_domains(self) -> None:
         cfg = self.config
         cluster_components = ([self.master] + self.clusters
@@ -212,10 +227,10 @@ class Machine:
         groups = [
             ("clusters", cfg.cluster_period, PRIO_CLUSTERS, cluster_components),
             ("cache", cfg.cache_period, PRIO_CACHE, [self.cache_bank]),
-            ("dram", cfg.dram_period, PRIO_DRAM, list(self.dram_ports)),
+            ("dram", cfg.dram_period, PRIO_DRAM, self.dram.components()),
         ]
-        if cfg.icn_style == "async":
-            # an asynchronous network has no clock of its own: it reacts
+        if not self.icn.clocked:
+            # a clockless network (e.g. the asynchronous MoT) reacts
             # whenever producers do, so it polls at the cluster rate and
             # is immune to any "icn" domain retiming
             cluster_components.append(self.icn)
@@ -238,6 +253,7 @@ class Machine:
         # their domain for latency conversion
         for module in self.cache_modules:
             module.domain = self.domains["cache"]
+        self.dram.domain = self.domains["dram"]
 
     def add_plugin(self, plugin) -> None:
         """Register an activity or filter plug-in (Section III-B).
@@ -299,12 +315,10 @@ class Machine:
             self.obs.package_replied(pkg, now)
 
     def dram_request(self, module, line: int, addr: int) -> None:
-        port = self.dram_ports[line % len(self.dram_ports)]
-        port.request(module, line, writeback=False)
+        self.dram.request(module, line, writeback=False)
 
     def dram_writeback(self, module, line: int) -> None:
-        port = self.dram_ports[line % len(self.dram_ports)]
-        port.request(module, line, writeback=True)
+        self.dram.request(module, line, writeback=True)
 
     # -- spawn/join orchestration -------------------------------------------------------
 
@@ -339,7 +353,7 @@ class Machine:
 
     def set_domain_scale(self, name: str, scale: float) -> None:
         """Scale a clock domain's frequency (1.0 = nominal)."""
-        if name == "icn" and self.config.icn_style == "async":
+        if name == "icn" and not self.icn.clocked:
             return  # no ICN clock to scale; that is the point of async
         base = {
             "clusters": self.config.cluster_period,

@@ -17,7 +17,7 @@ from repro.isa.registers import REG_ZERO
 from repro.isa.semantics import to_signed
 from repro.sim import packages as P
 from repro.sim.cache import MasterCache
-from repro.sim.engine import TimedQueue
+from repro.sim.fabric import Port
 from repro.sim.functional import SimulationError
 from repro.sim.tcu import ProcessorBase
 
@@ -33,7 +33,9 @@ class MasterTCU(ProcessorBase):
         super().__init__(machine, tcu_id=-1)
         cfg = machine.config
         self.cache = MasterCache(machine)
-        self.send_queue = TimedQueue(capacity=cfg.send_queue_capacity)
+        self.send_queue = Port(capacity=cfg.send_queue_capacity,
+                               name="master.send", layer="cluster",
+                               owner=self)
         self.active = True
         self.halted = False
         self.domain = None  # set by the machine

@@ -71,7 +71,11 @@ STAGE_NAMES = {
 }
 
 #: memory layer a request is "in" after clearing each stage -- what a
-#: TCU stalled on that request is actually waiting for
+#: TCU stalled on that request is actually waiting for.  Stages are
+#: stamped at fabric *port* boundaries (the shared engine in
+#: ``icn.py``/``cache.py``/``dram.py``), never by backend class, so
+#: ``current_layer`` and the ``mem.<layer>`` accounting attribute
+#: correctly for every registered ICN/DRAM/cache backend
 _LAYER_OF = {
     ST_SQ: "cluster", ST_ICN_SEND: "icn",
     ST_CACHE_Q: "cache", ST_CACHE_HIT: "cache",
@@ -191,7 +195,11 @@ class FlightRecorder:
 
     def dram_accepted(self, port, module, line: int, now: int,
                       ready: int) -> None:
-        self._dram_inflight[(module.module_id, line)] = (now, len(port.queue))
+        # depth through the port interface (``queue_depth``), not a
+        # concrete attribute: banked/alternate DRAM backends report
+        # their aggregate here and the stamp stays meaningful
+        self._dram_inflight[(module.module_id, line)] = (
+            now, port.queue_depth())
 
     def dram_filled(self, module, line: int, now: int, waiters) -> None:
         info = self._dram_inflight.pop((module.module_id, line), None)
